@@ -1,0 +1,12 @@
+package gnndrive
+
+import (
+	"testing"
+
+	"gnndrive/internal/experiments"
+)
+
+// BenchmarkAblations measures GNNDrive with each design decision disabled
+// (asynchronous extraction, direct I/O, mini-batch reordering, generous
+// feature buffer) — the knobs DESIGN.md calls out.
+func BenchmarkAblations(b *testing.B) { runExp(b, experiments.Ablations) }

@@ -1,0 +1,73 @@
+// Command datagen builds one of the scaled synthetic datasets (Table 1
+// stand-ins) and either prints its statistics or persists it as a .gnnd
+// container for cmd/gnndrive -load:
+//
+//	datagen -dataset papers100m-s -out papers.gnnd
+//	datagen -dataset mag240m-s -dim 512 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gnndrive/internal/gen"
+	"gnndrive/internal/graph"
+	"gnndrive/internal/ssd"
+)
+
+func main() {
+	log.SetFlags(0)
+	name := flag.String("dataset", "papers100m-s", "dataset: papers100m-s, twitter-s, friendster-s, mag240m-s, tiny")
+	dim := flag.Int("dim", 0, "override feature dimension")
+	out := flag.String("out", "", "write a .gnnd container to this path")
+	stats := flag.Bool("stats", true, "print dataset statistics")
+	seed := flag.Uint64("seed", 0, "override generator seed")
+	flag.Parse()
+
+	spec, err := gen.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dim != 0 {
+		spec.Dim = *dim
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	start := time.Now()
+	ds, err := gen.BuildStandalone(spec, ssd.InstantConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ds.Dev.Close()
+	if err := ds.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if *stats {
+		var maxDeg int64
+		for v := int64(0); v < ds.NumNodes; v++ {
+			if d := ds.Degree(v); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		fmt.Printf("dataset   %s\n", ds.Name)
+		fmt.Printf("nodes     %d\n", ds.NumNodes)
+		fmt.Printf("edges     %d (avg degree %.1f, max %d)\n",
+			ds.NumEdges, float64(ds.NumEdges)/float64(ds.NumNodes), maxDeg)
+		fmt.Printf("dim       %d (features %.1f MB)\n", ds.Dim, float64(ds.Layout.FeaturesLen)/1e6)
+		fmt.Printf("classes   %d\n", ds.NumClasses)
+		fmt.Printf("topology  %.1f MB\n", float64(ds.Layout.IndicesLen)/1e6)
+		fmt.Printf("splits    train=%d val=%d\n", len(ds.TrainIdx), len(ds.ValIdx))
+		fmt.Printf("built in  %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *out != "" {
+		if err := graph.Save(ds, *out); err != nil {
+			log.Fatal(err)
+		}
+		fi, _ := os.Stat(*out)
+		fmt.Printf("wrote %s (%.1f MB)\n", *out, float64(fi.Size())/1e6)
+	}
+}

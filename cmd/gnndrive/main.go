@@ -1,0 +1,92 @@
+// Command gnndrive trains a GNN on a scaled dataset with any of the five
+// systems the paper evaluates:
+//
+//	gnndrive -dataset papers100m-s -model sage -system gnndrive-gpu -epochs 3
+//	gnndrive -dataset twitter-s -model gat -system ginex -mem 16
+//	gnndrive -dataset tiny -system gnndrive-gpu -real -epochs 5
+//
+// It prints a per-epoch stage breakdown (and loss/accuracy with -real).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"gnndrive/internal/gen"
+	"gnndrive/internal/nn"
+	"gnndrive/internal/trainsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	dataset := flag.String("dataset", "papers100m-s", "dataset name (see cmd/datagen)")
+	model := flag.String("model", "sage", "model: sage, gcn, gat")
+	system := flag.String("system", "gnndrive-gpu", "system: gnndrive-gpu, gnndrive-cpu, pyg+, ginex, marius")
+	epochs := flag.Int("epochs", 1, "training epochs")
+	mem := flag.Int("mem", 32, "host memory budget in scaled GB")
+	dim := flag.Int("dim", 0, "override feature dimension")
+	batch := flag.Int("batch", 0, "override mini-batch size")
+	scale := flag.Float64("scale", 2.0, "time-model stretch")
+	real := flag.Bool("real", false, "real float32 training instead of modeled compute")
+	inorder := flag.Bool("inorder", false, "disable mini-batch reordering (1 sampler, 1 extractor)")
+	limit := flag.Int("train-limit", 0, "truncate the training split to N nodes")
+	hidden := flag.Int("hidden", 0, "override hidden dimension")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	spec, err := gen.ByName(*dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind, err := nn.ModelByName(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := systemByName(*system)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := trainsim.Config{
+		Dataset: spec, Dim: *dim, HostMemoryGB: *mem, Model: kind,
+		BatchSize: *batch, Scale: *scale, RealTrain: *real,
+		Hidden: *hidden, Seed: *seed, InOrder: *inorder, TrainLimit: *limit,
+	}
+	fmt.Printf("training %s on %s with %s (%d scaled-GB host memory)\n", kind, spec.Name, sys, *mem)
+	res, err := trainsim.Run(cfg, sys, trainsim.RunOptions{Epochs: *epochs, EvalVal: *real})
+	if err != nil {
+		log.Fatalf("%s: %v", sys, err)
+	}
+	for i, e := range res.Epochs {
+		fmt.Printf("epoch %d: total=%v prep=%v sample=%v extract=%v train=%v batches=%d read=%.1fMB reused=%.1fMB",
+			i, e.Total.Round(time.Millisecond), e.Prep.Round(time.Millisecond),
+			e.Sample.Round(time.Millisecond), e.Extract.Round(time.Millisecond),
+			e.Train.Round(time.Millisecond), e.Batches,
+			float64(e.BytesRead)/1e6, float64(e.BytesReused)/1e6)
+		if *real {
+			fmt.Printf(" loss=%.4f acc=%.3f", e.Loss, e.Acc)
+			if i < len(res.ValAcc) {
+				fmt.Printf(" val=%.3f", res.ValAcc[i])
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("average epoch: %v\n", res.AvgEpoch().Round(time.Millisecond))
+}
+
+func systemByName(s string) (trainsim.SystemKind, error) {
+	switch s {
+	case "gnndrive-gpu", "gnndrive", "gpu":
+		return trainsim.GNNDriveGPU, nil
+	case "gnndrive-cpu", "cpu":
+		return trainsim.GNNDriveCPU, nil
+	case "pyg+", "pyg", "pygplus":
+		return trainsim.PyGPlus, nil
+	case "ginex":
+		return trainsim.Ginex, nil
+	case "marius", "mariusgnn":
+		return trainsim.Marius, nil
+	}
+	return 0, fmt.Errorf("unknown system %q", s)
+}

@@ -1,0 +1,64 @@
+// Command iobench is the repository's fio equivalent (Appendix B): random
+// 512 B reads against the simulated SSD, synchronous with N threads or
+// asynchronous at I/O depth D, direct or buffered:
+//
+//	iobench -threads 8
+//	iobench -depth 64 -buffered
+//	iobench -sweep            # the full Fig. B.1 grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gnndrive/internal/experiments"
+	"gnndrive/internal/iobench"
+	"gnndrive/internal/ssd"
+)
+
+func main() {
+	log.SetFlags(0)
+	threads := flag.Int("threads", 0, "synchronous reader threads (exclusive with -depth)")
+	depth := flag.Int("depth", 0, "async I/O depth on one thread")
+	buffered := flag.Bool("buffered", false, "buffered instead of direct I/O")
+	fileMB := flag.Int64("file-mb", 48, "target region size in MiB")
+	reads := flag.Int("reads", 12000, "total reads")
+	scale := flag.Float64("scale", 2.0, "time-model stretch")
+	sweep := flag.Bool("sweep", false, "run the full Fig. B.1 grid instead")
+	flag.Parse()
+
+	if *sweep {
+		if err := experiments.FigB1(os.Stdout, experiments.Opts{Scale: *scale}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if (*threads == 0) == (*depth == 0) {
+		log.Fatal("specify exactly one of -threads or -depth (or -sweep)")
+	}
+	cfg := ssd.DefaultConfig()
+	cfg.TimeScale = *scale
+	dev := iobench.NewDevice(*fileMB<<20, cfg)
+	defer dev.Close()
+	res, err := iobench.Run(dev, iobench.Spec{
+		FileBytes: *fileMB << 20, Reads: *reads,
+		Threads: *threads, Depth: *depth, Buffered: *buffered,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode := "direct"
+	if *buffered {
+		mode = "buffered"
+	}
+	if *threads > 0 {
+		fmt.Printf("sync %s, %d threads: %.1f MB/s, mean latency %v\n",
+			mode, *threads, res.MBps(), res.MeanLat.Round(time.Microsecond))
+	} else {
+		fmt.Printf("async %s, depth %d: %.1f MB/s, mean latency %v\n",
+			mode, *depth, res.MBps(), res.MeanLat.Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,3 @@
+module gnndrive
+
+go 1.22

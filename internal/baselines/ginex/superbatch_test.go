@@ -1,0 +1,90 @@
+package ginex
+
+import (
+	"testing"
+
+	"gnndrive/internal/nn"
+	"gnndrive/internal/sample"
+)
+
+// TestMultipleSuperbatchesPerEpoch exercises the superbatch boundary:
+// reschedule() must re-key survivors so stale heap entries from the
+// previous superbatch cannot wedge eviction.
+func TestMultipleSuperbatchesPerEpoch(t *testing.T) {
+	ds, gpu, budget, rec := newRig(t, 64<<20)
+	opts := testOpts(ds)
+	opts.Superbatch = 3 // many superbatches per epoch
+	s, err := New(ds, gpu, budget, rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for e := 0; e < 2; e++ {
+		res, err := s.TrainEpoch(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Batches == 0 {
+			t.Fatal("no batches")
+		}
+	}
+}
+
+// TestGinexSlowerWithSmallerFeatureCache: halving the feature cache must
+// not reduce the miss count (optimal caching is monotone in capacity).
+func TestGinexMissesMonotoneInCacheSize(t *testing.T) {
+	run := func(cacheBytes int64) int64 {
+		ds, gpu, budget, rec := newRig(t, 64<<20)
+		opts := testOpts(ds)
+		opts.Shuffle = false
+		opts.FeatureCacheBytes = cacheBytes
+		s, err := New(ds, gpu, budget, rec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		res, err := s.TrainEpoch(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CacheMiss
+	}
+	big := run(128 << 10)
+	small := run(16 << 10)
+	if small < big {
+		t.Fatalf("smaller cache missed less: %d < %d", small, big)
+	}
+}
+
+func TestScheduleOccurrences(t *testing.T) {
+	mk := func(nodes ...int64) *sample.Batch { return &sample.Batch{Nodes: nodes} }
+	sched := newSchedule([]*sample.Batch{mk(1, 2), mk(2), mk(1, 3)})
+	if sched.nextUse(1, 0) != 0 || sched.nextUse(1, 1) != 2 || sched.nextUse(1, 3) != 1<<30 {
+		t.Fatalf("nextUse(1): %d %d %d", sched.nextUse(1, 0), sched.nextUse(1, 1), sched.nextUse(1, 3))
+	}
+	if sched.nextUse(99, 0) != 1<<30 {
+		t.Fatal("unknown node must never be used")
+	}
+	order := sched.firstUseOrder(2)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("firstUseOrder %v", order)
+	}
+}
+
+func TestDefaultCacheSizes(t *testing.T) {
+	n, f := DefaultCacheSizes(32 << 20)
+	total := n + f
+	if total <= (32<<20)*80/100 || total > (32<<20)*86/100 {
+		t.Fatalf("caches use %d of %d", total, 32<<20)
+	}
+	if f/n < 3 || f/n > 5 {
+		t.Fatalf("feature:neighbor ratio %d", f/n)
+	}
+}
+
+func TestDefaultOptionsGATFanouts(t *testing.T) {
+	o := DefaultOptions(nn.GAT)
+	if o.Fanouts[len(o.Fanouts)-1] >= o.Fanouts[0] {
+		t.Fatal("GAT last-hop fanout should be reduced, as in the paper")
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"gnndrive/internal/hostmem"
+)
+
+// BenchmarkFeatureBufferReserveRelease measures the mapping-table hot
+// path: reserve a mini-batch worth of nodes, validate, release.
+func BenchmarkFeatureBufferReserveRelease(b *testing.B) {
+	const nodes = 100000
+	fb := NewFeatureBuffer(nodes, 128, 20000)
+	batch := make([]int64, 2000)
+	rng := uint64(7)
+	for i := range batch {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		batch[i] = int64(rng % nodes)
+	}
+	// Dedup.
+	seen := map[int64]bool{}
+	uniq := batch[:0]
+	for _, v := range batch {
+		if !seen[v] {
+			seen[v] = true
+			uniq = append(uniq, v)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fb.Reserve(uniq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pos := range res.ToLoad {
+			fb.MarkValid(uniq[pos])
+		}
+		fb.Release(uniq)
+	}
+}
+
+// BenchmarkBuildReadPlan measures the §4.4 joint-read planner on a
+// realistic toLoad set.
+func BenchmarkBuildReadPlan(b *testing.B) {
+	const n = 2000
+	nodes := make([]int64, n)
+	positions := make([]int32, n)
+	rng := uint64(11)
+	for i := range nodes {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		nodes[i] = int64(rng % 111000)
+		positions[i] = int32(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ns := append([]int64(nil), nodes...)
+		ps := append([]int32(nil), positions...)
+		BuildReadPlan(0, 512, 512, 16<<10, ns, ps)
+	}
+}
+
+// BenchmarkStagingAcquireRelease measures the staging slot pool.
+func BenchmarkStagingAcquireRelease(b *testing.B) {
+	budget := hostmem.NewBudget(1 << 30)
+	s, err := NewStaging(budget, 256, 16<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := s.Acquire()
+		s.Release(slot)
+	}
+}

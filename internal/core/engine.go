@@ -1,0 +1,697 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gnndrive/internal/device"
+	"gnndrive/internal/errutil"
+	"gnndrive/internal/graph"
+	"gnndrive/internal/hostmem"
+	"gnndrive/internal/metrics"
+	"gnndrive/internal/nn"
+	"gnndrive/internal/pagecache"
+	"gnndrive/internal/sample"
+	"gnndrive/internal/tensor"
+	"gnndrive/internal/trace"
+)
+
+const deviceGPUKind = device.GPU
+
+// Options configures a GNNDrive engine. Zero fields take defaults from
+// DefaultOptions.
+type Options struct {
+	Model  nn.ModelKind
+	Hidden int
+	Layers int
+
+	BatchSize int
+	Fanouts   []int
+
+	// Samplers and Extractors are the stage thread counts (paper default
+	// 4 + 4, with one trainer and one releaser).
+	Samplers   int
+	Extractors int
+	// ExtractQueueCap and TrainQueueCap bound the two hand-off queues
+	// (paper defaults 6 and 4; the train queue is limited by device
+	// memory).
+	ExtractQueueCap int
+	TrainQueueCap   int
+	// RingDepth is the io_uring depth per extractor.
+	RingDepth int
+	// FeatureSlots overrides the feature-buffer capacity (0 = auto-size
+	// to (extractors + train queue + 1) x estimated max batch nodes).
+	FeatureSlots int
+	// StagingSlots overrides the staging pool size (0 = extractors x
+	// ring depth slots).
+	StagingSlots int
+	// MaxJointRead caps a joint direct read's byte length (§4.4).
+	MaxJointRead int
+
+	// Shuffle randomizes mini-batch target order every epoch.
+	Shuffle bool
+	// InOrder disables mini-batch reordering (ablation): one sampler,
+	// one extractor, strictly ordered pipeline.
+	InOrder bool
+	// SyncExtraction replaces async I/O with blocking reads (ablation).
+	SyncExtraction bool
+	// BufferedIO uses exact-size buffered reads instead of aligned
+	// direct reads (§4.4 fallback / ablation).
+	BufferedIO bool
+	// GPUDirect models GPUDirect Storage (§4.4, the paper's future
+	// work): feature reads land in device memory without the host
+	// staging buffer, but at a 4 KiB access granularity, so small
+	// features pay redundant loading. Requires a GPU device.
+	GPUDirect bool
+
+	// RealTrain runs actual float32 training math (convergence
+	// experiments); otherwise the train stage uses the device time model.
+	RealTrain bool
+	LR        float32
+
+	Seed uint64
+
+	// SharedStaging, when non-nil, is a staging pool owned by a parent
+	// (multi-device training shares one staging buffer across workers,
+	// §4.3); the engine will not close it.
+	SharedStaging *Staging
+	// SharedFeatureBuffer, when non-nil, is a feature buffer owned by a
+	// parent. CPU-based data parallelism shares one host-resident
+	// feature buffer among all workers (§4.4); the engine will not
+	// account or release it.
+	SharedFeatureBuffer *FeatureBuffer
+	// SkipHostPins suppresses the indptr/labels pin for workers sharing
+	// topology metadata with a parent.
+	SkipHostPins bool
+
+	// Tracer, when non-nil, records per-batch stage events for pipeline
+	// overlap analysis (internal/trace).
+	Tracer *trace.Tracer
+}
+
+// DefaultOptions returns the paper's empirical configuration (§5).
+func DefaultOptions(model nn.ModelKind) Options {
+	// The paper uses batch 1,000 and fanouts (10,10,10) / (10,10,5) on
+	// graphs of 41-122M nodes. At 1:1000 graph scale a sampled batch
+	// cannot shrink 1000x (fanout products don't scale), so batch 50 and
+	// fanouts (3,3,3) / (3,3,2) are chosen to preserve the ratio the
+	// experiments actually exercise: sampled-batch bytes vs device and
+	// host memory (~10% of device memory at dim 128, as in the paper).
+	fan := []int{3, 3, 3}
+	if model == nn.GAT {
+		fan = []int{3, 3, 2}
+	}
+	return Options{
+		Model:           model,
+		Hidden:          256,
+		Layers:          3,
+		BatchSize:       50,
+		Fanouts:         fan,
+		Samplers:        4,
+		Extractors:      4,
+		ExtractQueueCap: 6,
+		TrainQueueCap:   4,
+		RingDepth:       64,
+		MaxJointRead:    16 << 10,
+		Shuffle:         true,
+		LR:              0.003,
+		Seed:            1,
+	}
+}
+
+func (o *Options) fillDefaults() {
+	d := DefaultOptions(o.Model)
+	if o.Hidden == 0 {
+		o.Hidden = d.Hidden
+	}
+	if o.Layers == 0 {
+		o.Layers = d.Layers
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = d.BatchSize
+	}
+	if len(o.Fanouts) == 0 {
+		o.Fanouts = d.Fanouts
+	}
+	if o.Samplers == 0 {
+		o.Samplers = d.Samplers
+	}
+	if o.Extractors == 0 {
+		o.Extractors = d.Extractors
+	}
+	if o.ExtractQueueCap == 0 {
+		o.ExtractQueueCap = d.ExtractQueueCap
+	}
+	if o.TrainQueueCap == 0 {
+		o.TrainQueueCap = d.TrainQueueCap
+	}
+	if o.RingDepth == 0 {
+		o.RingDepth = d.RingDepth
+	}
+	if o.MaxJointRead == 0 {
+		o.MaxJointRead = d.MaxJointRead
+	}
+	if o.LR == 0 {
+		o.LR = d.LR
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.InOrder {
+		// Reordering comes from stage parallelism; the ordered ablation
+		// runs one worker per stage.
+		o.Samplers, o.Extractors = 1, 1
+	}
+}
+
+// EpochResult reports one training epoch.
+type EpochResult struct {
+	metrics.Breakdown
+	// Loss and Acc are averaged over mini-batches (real training only).
+	Loss float64
+	Acc  float64
+	// FB summarizes feature-buffer reuse for the epoch's end state.
+	FB FeatureBufferStats
+}
+
+// Engine is a GNNDrive training instance bound to one dataset and one
+// training device.
+type Engine struct {
+	ds     *graph.Dataset
+	dev    *device.Device
+	budget *hostmem.Budget
+	cache  *pagecache.Cache
+	rec    *metrics.Recorder
+	opts   Options
+
+	fb        *FeatureBuffer
+	staging   *Staging
+	indexFile *pagecache.File
+	maxBatch  int
+
+	model *nn.Model
+	opt   *nn.Adam
+
+	pinned     int64 // host bytes pinned outside staging
+	fbOnCPU    bool
+	ownFB      bool
+	ownStaging bool
+	closed     bool
+}
+
+// New builds an engine: estimates the per-batch node high-water mark,
+// sizes and allocates the feature buffer (device memory for GPUs, host
+// budget for CPU training) and the staging pool, and pins the in-memory
+// topology metadata.
+func New(ds *graph.Dataset, dev *device.Device, budget *hostmem.Budget,
+	cache *pagecache.Cache, rec *metrics.Recorder, opts Options) (*Engine, error) {
+	opts.fillDefaults()
+	if rec == nil {
+		rec = metrics.NewRecorder()
+	}
+	e := &Engine{ds: ds, dev: dev, budget: budget, cache: cache, rec: rec, opts: opts}
+
+	mb, err := sample.EstimateMaxBatchNodes(ds, opts.BatchSize, opts.Fanouts, 4, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	e.maxBatch = mb
+
+	// Host pins: indptr and labels stay in memory (§5 setup).
+	if !opts.SkipHostPins {
+		hostPins := ds.IndptrBytes() + int64(len(ds.Labels))*4
+		if err := budget.Pin("gnndrive indptr+labels", hostPins); err != nil {
+			return nil, err
+		}
+		e.pinned = hostPins
+	}
+
+	if opts.SharedFeatureBuffer != nil {
+		e.fb = opts.SharedFeatureBuffer
+		e.ownFB = false
+		return e.finishSetup(ds, dev, cache, rec, opts)
+	}
+
+	// The feature buffer must hold at least Ne x Mb slots for pipeline
+	// liveness (§4.2). If that minimum does not fit the device memory
+	// (GPU) or half the host budget (CPU training), shed extractors —
+	// the paper's own knob: "the staging buffer can be expanded or
+	// shrunk by adjusting the number of extractors, which we decide with
+	// regard to ... the capacity of available host memory".
+	featBytes := ds.FeatBytes()
+	var fbLimit int64
+	if dev.Kind() == device.GPU {
+		fbLimit = dev.MemBytes() * 9 / 10
+	} else {
+		fbLimit = budget.Capacity() / 2
+	}
+	for {
+		min := int64(opts.Extractors) * int64(mb)
+		if min > ds.NumNodes {
+			min = ds.NumNodes
+		}
+		if min*featBytes <= fbLimit {
+			break
+		}
+		if opts.Extractors == 1 {
+			e.release()
+			if dev.Kind() == device.GPU {
+				return nil, fmt.Errorf("feature buffer needs %d bytes, limit %d: %w",
+					min*featBytes, fbLimit, device.ErrDeviceOOM)
+			}
+			return nil, fmt.Errorf("feature buffer needs %d bytes, limit %d: %w",
+				min*featBytes, fbLimit, hostmem.ErrOOM)
+		}
+		opts.Extractors--
+	}
+	e.opts = opts
+
+	minSlots := opts.Extractors * mb
+	if minSlots > int(ds.NumNodes) {
+		minSlots = int(ds.NumNodes)
+	}
+	slots := opts.FeatureSlots
+	if slots == 0 {
+		// Auto-size: at least the pipeline's working set, and as much of
+		// the device allowance as helps (inter-batch reuse, Fig. 12) —
+		// never more than the whole graph.
+		slots = (opts.Extractors + opts.TrainQueueCap + 1) * mb
+		if s := int(fbLimit / featBytes); s > slots {
+			slots = s
+		}
+		if slots > int(ds.NumNodes) {
+			slots = int(ds.NumNodes)
+		}
+		if int64(slots)*featBytes > fbLimit {
+			slots = int(fbLimit / featBytes)
+		}
+		if slots < minSlots {
+			slots = minSlots
+		}
+	}
+	if slots < minSlots {
+		// The §4.2 deadlock guard: without Ne x Mb reserved slots the
+		// pipeline can wedge with every extractor mid-batch.
+		e.release()
+		return nil, fmt.Errorf("%w: %d slots < required %d", ErrBufferTooSmall, slots, minSlots)
+	}
+	fb := NewFeatureBuffer(ds.NumNodes, ds.Dim, slots)
+	if dev.Kind() == device.GPU {
+		if err := dev.Alloc("feature buffer", fb.Bytes()); err != nil {
+			e.release()
+			return nil, err
+		}
+	} else {
+		if err := budget.Pin("feature buffer (CPU training)", fb.Bytes()); err != nil {
+			e.release()
+			return nil, err
+		}
+		e.fbOnCPU = true
+	}
+	e.fb = fb
+	e.ownFB = true
+
+	return e.finishSetup(ds, dev, cache, rec, opts)
+}
+
+// finishSetup builds the staging pool, index file, and optional real
+// model once the feature buffer exists.
+func (e *Engine) finishSetup(ds *graph.Dataset, dev *device.Device,
+	cache *pagecache.Cache, rec *metrics.Recorder, opts Options) (*Engine, error) {
+	if opts.GPUDirect && dev.Kind() != device.GPU {
+		e.release()
+		return nil, errors.New("core: GPUDirect requires a GPU device")
+	}
+	switch {
+	case opts.GPUDirect:
+		// No host staging at all — the whole point of GDS. A tiny
+		// bounce pool still backs the simulated reads, but it is not
+		// charged to the host budget (it stands in for the GPU BAR).
+		staging, err := NewStaging(nil, opts.Extractors*opts.RingDepth, gdsGranularity*2)
+		if err != nil {
+			e.release()
+			return nil, err
+		}
+		e.staging = staging
+		e.ownStaging = true
+	case opts.SharedStaging != nil:
+		e.staging = opts.SharedStaging
+		e.ownStaging = false
+	default:
+		stagingSlots := opts.StagingSlots
+		if stagingSlots == 0 {
+			stagingSlots = opts.Extractors * opts.RingDepth
+		}
+		slotBytes := opts.MaxJointRead
+		if fbBytes := int(ds.FeatBytes()); slotBytes < fbBytes {
+			slotBytes = (fbBytes + 511) / 512 * 512
+		}
+		staging, err := NewStaging(e.budget, stagingSlots, slotBytes)
+		if err != nil {
+			e.release()
+			return nil, err
+		}
+		e.staging = staging
+		e.ownStaging = true
+	}
+
+	e.indexFile = graph.IndicesFile(ds, cache)
+	rec.SetGPUProvider(func() int64 { return int64(dev.ComputeBusy()) })
+
+	if opts.RealTrain {
+		cfg := nn.Config{Kind: opts.Model, InDim: ds.Dim, Hidden: opts.Hidden,
+			Classes: ds.NumClasses, Layers: opts.Layers}
+		e.model = nn.NewModel(cfg, tensor.NewRNG(opts.Seed*7919))
+		e.opt = nn.NewAdam(opts.LR)
+	}
+	return e, nil
+}
+
+// MaxBatchNodes returns the estimated per-batch unique-node high-water
+// mark used to size the buffers.
+func (e *Engine) MaxBatchNodes() int { return e.maxBatch }
+
+// FeatureBuffer exposes the buffer for inspection.
+func (e *Engine) FeatureBuffer() *FeatureBuffer { return e.fb }
+
+// Model returns the real-training model (nil in modeled mode).
+func (e *Engine) Model() *nn.Model { return e.model }
+
+// Close releases device memory and host pins.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.release()
+}
+
+func (e *Engine) release() {
+	if e.staging != nil {
+		if e.ownStaging {
+			e.staging.Close()
+		}
+		e.staging = nil
+	}
+	if e.fb != nil {
+		if e.ownFB {
+			if e.fbOnCPU {
+				e.budget.Unpin(e.fb.Bytes())
+			} else {
+				e.dev.Free(e.fb.Bytes())
+			}
+		}
+		e.fb = nil
+	}
+	if e.pinned > 0 {
+		e.budget.Unpin(e.pinned)
+		e.pinned = 0
+	}
+}
+
+// TrainEpoch runs one full pass over the training set through the
+// four-stage pipeline and returns its timing breakdown.
+func (e *Engine) TrainEpoch(epoch int) (EpochResult, error) {
+	return e.trainEpochSegment(epoch, e.ds.TrainIdx, nil)
+}
+
+// trainEpochSegment trains on the given target nodes; stepSync, when
+// non-nil, is invoked by the trainer after every mini-batch (multi-device
+// gradient synchronization).
+func (e *Engine) trainEpochSegment(epoch int, targets []int64, stepSync func(step int)) (EpochResult, error) {
+	if e.closed {
+		return EpochResult{}, errors.New("core: engine closed")
+	}
+	var col metrics.BreakdownCollector
+	start := time.Now()
+
+	var planRNG *tensor.RNG
+	if e.opts.Shuffle {
+		planRNG = tensor.NewRNG(e.opts.Seed ^ (uint64(epoch)+1)*0x9e3779b97f4a7c15)
+	}
+	plan := sample.NewPlan(targets, e.opts.BatchSize, planRNG)
+
+	extractQ := make(chan *sample.Batch, e.opts.ExtractQueueCap)
+	trainQ := make(chan *trainItem, e.opts.TrainQueueCap)
+	releaseQ := make(chan *sample.Batch, e.opts.TrainQueueCap+2)
+
+	var firstErr errutil.FirstError
+	fail := firstErr.Set
+	failed := firstErr.Failed
+
+	// Sample stage: a pool of samplers pulling batch indexes; they finish
+	// at different paces, so batches enter the extracting queue out of
+	// order (mini-batch reordering, §4.3).
+	var next atomic.Int64
+	var sampWG sync.WaitGroup
+	for s := 0; s < e.opts.Samplers; s++ {
+		sampWG.Add(1)
+		go func(sid int) {
+			defer sampWG.Done()
+			reader := graph.NewCachedReader(e.ds, e.cache, e.indexFile)
+			smp := sample.New(reader, e.opts.Fanouts,
+				tensor.NewRNG(e.opts.Seed+uint64(epoch)*1000+uint64(sid)*31+7))
+			for !failed() {
+				i := int(next.Add(1)) - 1
+				if i >= len(plan.Batches) {
+					return
+				}
+				t0 := time.Now()
+				b, ioWait, err := smp.SampleBatch(i, plan.Batches[i])
+				d := time.Since(t0)
+				col.AddSample(d)
+				e.opts.Tracer.Record(trace.StageSample, i, t0, time.Now())
+				e.rec.AddIOWait(ioWait)
+				e.rec.AddCPU(d - ioWait)
+				if err != nil {
+					fail(err)
+					return
+				}
+				extractQ <- b
+			}
+		}(s)
+	}
+	go func() {
+		sampWG.Wait()
+		close(extractQ)
+	}()
+
+	// Extract stage.
+	var extWG sync.WaitGroup
+	for xi := 0; xi < e.opts.Extractors; xi++ {
+		extWG.Add(1)
+		go func() {
+			defer extWG.Done()
+			x := newExtractor(e)
+			for b := range extractQ {
+				if failed() {
+					continue
+				}
+				t0 := time.Now()
+				item, bytesRead, bytesReused, err := x.extractBatch(b)
+				col.AddExtract(time.Since(t0))
+				e.opts.Tracer.Record(trace.StageExtract, b.ID, t0, time.Now())
+				if err != nil {
+					fail(err)
+					continue
+				}
+				col.AddExtracted(int64(len(item.res.ToLoad)), bytesRead)
+				col.AddReused(bytesReused)
+				trainQ <- item
+			}
+		}()
+	}
+	go func() {
+		extWG.Wait()
+		close(trainQ)
+	}()
+
+	// Train stage: single trainer, then hand the node list to the
+	// releaser.
+	var lossSum, accSum float64
+	var trainWG sync.WaitGroup
+	trainWG.Add(1)
+	go func() {
+		defer trainWG.Done()
+		step := 0
+		for item := range trainQ {
+			if failed() {
+				releaseQ <- item.batch
+				continue
+			}
+			t0 := time.Now()
+			if e.opts.RealTrain {
+				loss, acc := e.trainRealBackward(item)
+				lossSum += float64(loss)
+				accSum += acc
+			} else {
+				e.dev.Compute(e.workFor(item.batch))
+			}
+			// Gradient synchronization happens in the backward pass,
+			// before the optimizer applies the (now averaged) gradients.
+			if stepSync != nil {
+				stepSync(step)
+			}
+			if e.opts.RealTrain {
+				e.opt.Step(e.model.Params())
+			}
+			d := time.Since(t0)
+			if e.opts.RealTrain {
+				e.dev.AddComputeBusy(d)
+			}
+			if e.dev.Kind() == device.CPU {
+				e.rec.AddCPU(d)
+			}
+			col.AddTrain(d)
+			col.AddBatch()
+			e.opts.Tracer.Record(trace.StageTrain, item.batch.ID, t0, time.Now())
+			step++
+			releaseQ <- item.batch
+		}
+		close(releaseQ)
+	}()
+
+	// Release stage.
+	var relWG sync.WaitGroup
+	relWG.Add(1)
+	go func() {
+		defer relWG.Done()
+		for b := range releaseQ {
+			t0 := time.Now()
+			e.fb.Release(b.Nodes)
+			col.AddRelease(time.Since(t0))
+			e.opts.Tracer.Record(trace.StageRelease, b.ID, t0, time.Now())
+		}
+	}()
+
+	trainWG.Wait()
+	relWG.Wait()
+
+	res := EpochResult{
+		Breakdown: col.Snapshot(time.Since(start)),
+		FB:        e.fb.Stats(),
+	}
+	if res.Batches > 0 && e.opts.RealTrain {
+		res.Loss = lossSum / float64(res.Batches)
+		res.Acc = accSum / float64(res.Batches)
+	}
+	return res, firstErr.Get()
+}
+
+// workFor builds the device-model work description of one batch.
+func (e *Engine) workFor(b *sample.Batch) device.Work {
+	return device.Work{
+		Model:    e.opts.Model,
+		Nodes:    int64(len(b.Nodes)),
+		Edges:    b.NumEdges(),
+		InDim:    e.ds.Dim,
+		Hidden:   e.opts.Hidden,
+		Classes:  e.ds.NumClasses,
+		Layers:   e.opts.Layers,
+		Backward: true,
+	}
+}
+
+// trainRealBackward gathers the batch's features from the feature buffer
+// via the node alias list and runs a real forward + backward pass, leaving
+// gradients accumulated for the optimizer (after any gradient sync).
+func (e *Engine) trainRealBackward(item *trainItem) (float32, float64) {
+	b := item.batch
+	x := tensor.New(len(b.Nodes), e.ds.Dim)
+	for i := range b.Nodes {
+		copy(x.Row(i), e.fb.SlotData(item.res.Alias[i]))
+	}
+	labels := make([]int32, b.NumTargets)
+	for i := 0; i < b.NumTargets; i++ {
+		labels[i] = e.ds.Labels[b.Nodes[i]]
+	}
+	return e.model.Loss(b, x, labels)
+}
+
+// SampleOnly runs the sample stage alone for one epoch (the paper's
+// "-only" measurements, Fig. 2) and returns the summed sampling time.
+func (e *Engine) SampleOnly(epoch int) (time.Duration, error) {
+	var planRNG *tensor.RNG
+	if e.opts.Shuffle {
+		planRNG = tensor.NewRNG(e.opts.Seed ^ (uint64(epoch)+1)*0x9e3779b97f4a7c15)
+	}
+	plan := sample.NewPlan(e.ds.TrainIdx, e.opts.BatchSize, planRNG)
+	var next atomic.Int64
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	var firstErr errutil.FirstError
+	for s := 0; s < e.opts.Samplers; s++ {
+		wg.Add(1)
+		go func(sid int) {
+			defer wg.Done()
+			reader := graph.NewCachedReader(e.ds, e.cache, e.indexFile)
+			smp := sample.New(reader, e.opts.Fanouts,
+				tensor.NewRNG(e.opts.Seed+uint64(epoch)*1000+uint64(sid)*31+7))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(plan.Batches) {
+					return
+				}
+				t0 := time.Now()
+				_, ioWait, err := smp.SampleBatch(i, plan.Batches[i])
+				if err != nil {
+					firstErr.Set(err)
+					return
+				}
+				total.Add(int64(time.Since(t0)))
+				e.rec.AddIOWait(ioWait)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := firstErr.Get(); err != nil {
+		return 0, err
+	}
+	return time.Duration(total.Load()), nil
+}
+
+// EvaluateVal runs an untimed real-math evaluation on the validation
+// split and returns accuracy. Requires RealTrain mode.
+func (e *Engine) EvaluateVal() (float64, error) {
+	if e.model == nil {
+		return 0, errors.New("core: EvaluateVal needs RealTrain mode")
+	}
+	return EvaluateModel(e.ds, e.model, e.opts.Fanouts, e.ds.ValIdx, e.opts.Seed)
+}
+
+// EvaluateModel measures accuracy of a model over the given nodes with
+// untimed raw reads (no I/O model involvement).
+func EvaluateModel(ds *graph.Dataset, model *nn.Model, fanouts []int, nodes []int64, seed uint64) (float64, error) {
+	if len(nodes) == 0 {
+		return 0, errors.New("core: empty evaluation set")
+	}
+	smp := sample.New(graph.NewRawReader(ds), fanouts, tensor.NewRNG(seed*13+5))
+	const evalBatch = 200
+	correct, total := 0, 0
+	for lo := 0; lo < len(nodes); lo += evalBatch {
+		hi := lo + evalBatch
+		if hi > len(nodes) {
+			hi = len(nodes)
+		}
+		b, _, err := smp.SampleBatch(lo/evalBatch, nodes[lo:hi])
+		if err != nil {
+			return 0, err
+		}
+		x := tensor.New(len(b.Nodes), ds.Dim)
+		for i, v := range b.Nodes {
+			ds.ReadFeatureRaw(v, x.Row(i)[:0])
+		}
+		logits := model.Predict(b, x)
+		pred := tensor.Argmax(logits)
+		for i := 0; i < b.NumTargets; i++ {
+			if pred[i] == ds.Labels[b.Nodes[i]] {
+				correct++
+			}
+			total++
+		}
+	}
+	return float64(correct) / float64(total), nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gnndrive/internal/graph"
+	"gnndrive/internal/sample"
+	"gnndrive/internal/uring"
+)
+
+// gdsGranularity is GPUDirect Storage's access granularity (§4.4: "GDS
+// needs an access granularity of 4KB, redundant loading is inevitable").
+const gdsGranularity = 4096
+
+// trainItem is what the extract stage hands the trainer: the sampled
+// subgraph plus the node alias list into the feature buffer.
+type trainItem struct {
+	batch *sample.Batch
+	res   *Reservation
+}
+
+// extractor performs asynchronous two-phase feature extraction for one
+// mini-batch at a time (§4.2, Algorithm 1). One extractor owns one
+// io_uring ring, handling all of a mini-batch's I/O in a single thread.
+type extractor struct {
+	eng  *Engine
+	ring *uring.Ring
+	// scratch reused across batches
+	loadNodes []int64
+}
+
+func newExtractor(eng *Engine) *extractor {
+	return &extractor{eng: eng, ring: uring.NewRing(eng.ds.Dev, eng.opts.RingDepth)}
+}
+
+// extractBatch reserves feature-buffer slots for the batch, loads the
+// missing vectors from SSD asynchronously, overlaps each node's
+// host-to-device transfer with the remaining loads, and waits for nodes
+// other extractors are bringing in. It returns the bytes read and reused.
+func (x *extractor) extractBatch(b *sample.Batch) (*trainItem, int64, int64, error) {
+	eng := x.eng
+	res, err := eng.fb.Reserve(b.Nodes)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+
+	x.loadNodes = x.loadNodes[:0]
+	for _, pos := range res.ToLoad {
+		x.loadNodes = append(x.loadNodes, b.Nodes[pos])
+	}
+	positions := append([]int32(nil), res.ToLoad...)
+	featBytes := int(eng.ds.FeatBytes())
+	var plan []ReadOp
+	switch {
+	case eng.opts.BufferedIO:
+		plan = buildExactPlan(eng.ds, x.loadNodes, positions)
+	case eng.opts.GPUDirect:
+		// GDS reads go straight to device memory at 4 KiB granularity.
+		plan = BuildReadPlan(eng.ds.Layout.FeaturesOff, featBytes, gdsGranularity,
+			2*gdsGranularity, x.loadNodes, positions)
+	default:
+		plan = BuildReadPlan(eng.ds.Layout.FeaturesOff, featBytes, eng.ds.Dev.SectorSize(),
+			eng.opts.MaxJointRead, x.loadNodes, positions)
+	}
+	bytesRead := PlanBytes(plan)
+	bytesReused := int64(len(b.Nodes)-len(res.ToLoad)) * int64(featBytes)
+
+	if err := x.runPlan(b, res, plan); err != nil {
+		return nil, 0, 0, err
+	}
+
+	// Re-examine the wait list: nodes another extractor was loading.
+	eng.fb.WaitValid(res.Wait)
+	return &trainItem{batch: b, res: res}, bytesRead, bytesReused, nil
+}
+
+// runPlan issues the plan's reads and transfers. Asynchronous mode keeps
+// up to RingDepth reads in flight and launches each completed read's
+// device transfer immediately (phases 4 and 5 of Fig. 4 overlap);
+// synchronous mode (ablation) performs one blocking read at a time.
+func (x *extractor) runPlan(b *sample.Batch, res *Reservation, plan []ReadOp) error {
+	if x.eng.opts.SyncExtraction {
+		return x.runPlanSync(b, res, plan)
+	}
+	eng := x.eng
+	opSlot := make([]int32, len(plan))
+	var xferWG sync.WaitGroup
+	var firstErr error
+	submitted, collected := 0, 0
+	for collected < len(plan) {
+		if submitted < len(plan) && firstErr == nil && x.ring.Inflight() < x.ring.Depth() {
+			slot, ok := eng.staging.TryAcquire()
+			if !ok && x.ring.Inflight() == 0 {
+				// Nothing in flight to wait on: block for a slot.
+				slot, ok = eng.staging.Acquire(), true
+			}
+			if ok {
+				op := plan[submitted]
+				opSlot[submitted] = slot
+				var err error
+				if eng.opts.BufferedIO {
+					err = x.ring.SubmitBufferedRead(eng.staging.Buf(slot)[:op.Len], op.DevOff, uint64(submitted))
+				} else {
+					err = x.ring.SubmitRead(eng.staging.Buf(slot)[:op.Len], op.DevOff, uint64(submitted))
+				}
+				if err != nil {
+					eng.staging.Release(slot)
+					firstErr = err
+					submitted = len(plan) // stop submitting
+				} else {
+					submitted++
+				}
+				continue
+			}
+		}
+		// Collect one completion; its transfer starts before the
+		// remaining loads finish.
+		cqe := x.ring.WaitCQE()
+		collected++
+		op := plan[cqe.User]
+		slot := opSlot[cqe.User]
+		if cqe.Err != nil {
+			eng.staging.Release(slot)
+			if firstErr == nil {
+				firstErr = cqe.Err
+			}
+			continue
+		}
+		x.transferOp(b, res, op, slot, &xferWG)
+	}
+	xferWG.Wait()
+	return firstErr
+}
+
+func (x *extractor) runPlanSync(b *sample.Batch, res *Reservation, plan []ReadOp) error {
+	eng := x.eng
+	var xferWG sync.WaitGroup
+	for _, op := range plan {
+		slot := eng.staging.Acquire()
+		var waited time.Duration
+		var err error
+		if eng.opts.BufferedIO {
+			waited, err = eng.ds.Dev.ReadAt(eng.staging.Buf(slot)[:op.Len], op.DevOff)
+		} else {
+			waited, err = eng.ds.Dev.ReadDirect(eng.staging.Buf(slot)[:op.Len], op.DevOff)
+		}
+		eng.rec.AddIOWait(waited)
+		if err != nil {
+			eng.staging.Release(slot)
+			return err
+		}
+		x.transferOp(b, res, op, slot, &xferWG)
+	}
+	xferWG.Wait()
+	return nil
+}
+
+// transferOp decodes the read's feature vectors into their feature-buffer
+// slots and schedules the (modeled) host-to-device DMA; on completion the
+// nodes become valid and the staging slot returns to the pool. CPU-based
+// training has no device transfer: data is already in host memory (§4.4).
+func (x *extractor) transferOp(b *sample.Batch, res *Reservation, op ReadOp, slot int32, wg *sync.WaitGroup) {
+	eng := x.eng
+	featBytes := int(eng.ds.FeatBytes())
+	buf := eng.staging.Buf(slot)
+	nodes := make([]int64, len(op.Nodes))
+	for i, rn := range op.Nodes {
+		nodes[i] = b.Nodes[rn.Pos]
+		dst := eng.fb.SlotData(res.Alias[rn.Pos])
+		graph.DecodeFeature(buf[rn.BufOff:rn.BufOff+featBytes], dst[:0])
+	}
+	finish := func() {
+		for _, n := range nodes {
+			eng.fb.MarkValid(n)
+		}
+		eng.staging.Release(slot)
+	}
+	if eng.opts.GPUDirect {
+		// GDS: the read already landed in device memory; no host-to-
+		// device phase exists.
+		finish()
+		return
+	}
+	if eng.dev.Kind() == deviceGPUKind {
+		wg.Add(1)
+		eng.dev.CopyAsync(int64(len(op.Nodes)*featBytes), func() {
+			finish()
+			wg.Done()
+		})
+	} else {
+		finish()
+	}
+}
+
+// buildExactPlan is the buffered-I/O fallback of §4.4: one exact-size read
+// per node, no alignment redundancy (and no joint extraction).
+func buildExactPlan(ds *graph.Dataset, nodes []int64, positions []int32) []ReadOp {
+	if len(nodes) != len(positions) {
+		panic(fmt.Sprintf("core: %d nodes vs %d positions", len(nodes), len(positions)))
+	}
+	featBytes := int(ds.FeatBytes())
+	plan := make([]ReadOp, len(nodes))
+	for i, v := range nodes {
+		plan[i] = ReadOp{
+			DevOff: ds.FeatureOff(v),
+			Len:    featBytes,
+			Nodes:  []ReadNode{{Pos: positions[i], BufOff: 0}},
+		}
+	}
+	return plan
+}

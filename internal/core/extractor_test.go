@@ -1,0 +1,203 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"gnndrive/internal/device"
+	"gnndrive/internal/sample"
+)
+
+// buildBatchOf builds a fake sampled batch over the given node IDs.
+func buildBatchOf(id int, nodes ...int64) *sample.Batch {
+	return &sample.Batch{ID: id, Nodes: nodes, NumTargets: 1,
+		Layers: []sample.Layer{{Src: []int32{0}, Dst: []int32{0}}}}
+}
+
+// newExtractorEngine builds an engine sized for direct extractor tests.
+func newExtractorEngine(t *testing.T) *Engine {
+	t.Helper()
+	rig := newRig(t, device.InstantConfig(), 64<<20)
+	opts := testOpts()
+	opts.Extractors = 2
+	opts.RingDepth = 8
+	e, err := New(rig.ds, rig.dev, rig.budget, rig.cache, rig.rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestExtractBatchLoadsCorrectFeatures(t *testing.T) {
+	e := newExtractorEngine(t)
+	x := newExtractor(e)
+	nodes := []int64{3, 77, 1500, 42}
+	item, bytesRead, bytesReused, err := x.extractBatch(buildBatchOf(0, nodes...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytesRead == 0 || bytesReused != 0 {
+		t.Fatalf("read=%d reused=%d", bytesRead, bytesReused)
+	}
+	for i, v := range nodes {
+		if !e.fb.Valid(v) {
+			t.Fatalf("node %d not valid after extraction", v)
+		}
+		got := e.fb.SlotData(item.res.Alias[i])
+		want := e.ds.ReadFeatureRaw(v, nil)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("node %d dim %d: %v != %v", v, j, got[j], want[j])
+			}
+		}
+	}
+	e.fb.Release(nodes)
+}
+
+func TestExtractBatchReusesSecondTime(t *testing.T) {
+	e := newExtractorEngine(t)
+	x := newExtractor(e)
+	nodes := []int64{10, 11, 12}
+	item1, read1, _, err := x.extractBatch(buildBatchOf(0, nodes...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.fb.Release(item1.batch.Nodes)
+	_, read2, reused2, err := x.extractBatch(buildBatchOf(1, nodes...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read1 == 0 {
+		t.Fatal("first extraction read nothing")
+	}
+	if read2 != 0 || reused2 != int64(len(nodes))*e.ds.FeatBytes() {
+		t.Fatalf("second extraction: read=%d reused=%d", read2, reused2)
+	}
+}
+
+func TestConcurrentExtractorsShareNodes(t *testing.T) {
+	e := newExtractorEngine(t)
+	shared := []int64{100, 101, 102, 103}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			x := newExtractor(e)
+			for r := 0; r < 10; r++ {
+				item, _, _, err := x.extractBatch(buildBatchOf(w*100+r, shared...))
+				if err != nil {
+					errs <- err
+					return
+				}
+				// All nodes must be valid and aliased consistently.
+				for i, v := range shared {
+					if !e.fb.Valid(v) {
+						errs <- errNotValid(v)
+						return
+					}
+					_ = item.res.Alias[i]
+				}
+				e.fb.Release(shared)
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	st := e.fb.Stats()
+	if st.Loads >= 40*4 {
+		t.Fatalf("every extraction loaded from disk (%d loads): sharing broken", st.Loads)
+	}
+	if st.ReuseHits == 0 && st.SharedWaits == 0 {
+		t.Fatal("no reuse or sharing recorded")
+	}
+}
+
+type errNotValid int64
+
+func (e errNotValid) Error() string { return "node not valid after extraction" }
+
+func TestSyncAndAsyncExtractionAgree(t *testing.T) {
+	nodes := []int64{5, 500, 1999, 7}
+	run := func(syncMode bool) []float32 {
+		rig := newRig(t, device.InstantConfig(), 64<<20)
+		opts := testOpts()
+		opts.SyncExtraction = syncMode
+		e, err := New(rig.ds, rig.dev, rig.budget, rig.cache, rig.rec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		x := newExtractor(e)
+		item, _, _, err := x.extractBatch(buildBatchOf(0, nodes...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float32
+		for i := range nodes {
+			out = append(out, e.fb.SlotData(item.res.Alias[i])...)
+		}
+		return out
+	}
+	a, s := run(false), run(true)
+	if len(a) != len(s) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != s[i] {
+			t.Fatalf("sync/async disagree at %d: %v vs %v", i, a[i], s[i])
+		}
+	}
+}
+
+func TestBufferedExtractionMatchesDirect(t *testing.T) {
+	nodes := []int64{8, 800, 1600}
+	run := func(buffered bool) []float32 {
+		rig := newRig(t, device.InstantConfig(), 64<<20)
+		opts := testOpts()
+		opts.BufferedIO = buffered
+		e, err := New(rig.ds, rig.dev, rig.budget, rig.cache, rig.rec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		x := newExtractor(e)
+		item, _, _, err := x.extractBatch(buildBatchOf(0, nodes...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float32
+		for i := range nodes {
+			out = append(out, e.fb.SlotData(item.res.Alias[i])...)
+		}
+		return out
+	}
+	d, b := run(false), run(true)
+	for i := range d {
+		if d[i] != b[i] {
+			t.Fatalf("buffered/direct disagree at %d", i)
+		}
+	}
+}
+
+func TestBuildExactPlanOneReadPerNode(t *testing.T) {
+	rig := newRig(t, device.InstantConfig(), 64<<20)
+	plan := buildExactPlan(rig.ds, []int64{4, 9}, []int32{0, 1})
+	if len(plan) != 2 {
+		t.Fatalf("%d ops", len(plan))
+	}
+	for i, op := range plan {
+		if op.Len != int(rig.ds.FeatBytes()) || len(op.Nodes) != 1 || op.Nodes[0].BufOff != 0 {
+			t.Fatalf("op %d: %+v", i, op)
+		}
+	}
+	if plan[0].DevOff != rig.ds.FeatureOff(4) {
+		t.Fatalf("offset %d", plan[0].DevOff)
+	}
+}

@@ -1,0 +1,334 @@
+// Package core implements GNNDrive itself (§4): the four-stage
+// sample → extract → train → release pipeline decoupled by bounded
+// queues, the feature-buffer manager with its mapping table, reverse
+// mapping, and LRU standby list, the bounded host staging buffer,
+// asynchronous two-phase feature extraction over the io_uring-style ring,
+// mini-batch reordering, and multi-device data parallelism.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBufferTooSmall is returned when a single mini-batch needs more
+// feature-buffer slots than exist; the deadlock guard of §4.2 (capacity
+// must cover Ne x Mb) is enforced at construction instead of discovered
+// as a hang.
+var ErrBufferTooSmall = errors.New("core: feature buffer smaller than one mini-batch")
+
+// reserveTimeout bounds how long a Reserve may wait for released slots
+// before reporting a configuration error; generous because it only fires
+// on misconfiguration.
+const reserveTimeout = 30 * time.Second
+
+// mapEntry is one node's row in the mapping table (Fig. 6): the buffer
+// slot holding (or receiving) its feature vector, a reference count, and
+// a valid bit. Slot -1 means "not applicable".
+type mapEntry struct {
+	slot  int32
+	ref   int32
+	valid bool
+}
+
+// FeatureBuffer is GNNDrive's device-side feature store plus its host-side
+// metadata. All metadata operations take the buffer mutex; feature rows
+// themselves are written and read lock-free because a slot is never
+// reassigned while referenced.
+type FeatureBuffer struct {
+	dim   int
+	slots int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	entries []mapEntry
+	reverse []int64 // slot -> node, -1 when empty
+	standby standbyList
+	data    []float32 // slots x dim backing store
+
+	waiters int
+
+	// stats
+	reuseHits    atomic.Int64
+	loads        atomic.Int64
+	sharedWaits  atomic.Int64
+	slotRecycles atomic.Int64
+}
+
+// NewFeatureBuffer creates a buffer of the given slot count for a graph of
+// numNodes nodes.
+func NewFeatureBuffer(numNodes int64, dim, slots int) *FeatureBuffer {
+	if slots < 1 {
+		panic("core: feature buffer needs at least one slot")
+	}
+	fb := &FeatureBuffer{
+		dim:     dim,
+		slots:   slots,
+		entries: make([]mapEntry, numNodes),
+		reverse: make([]int64, slots),
+		data:    make([]float32, int64(slots)*int64(dim)),
+	}
+	fb.cond = sync.NewCond(&fb.mu)
+	for i := range fb.entries {
+		fb.entries[i].slot = -1
+	}
+	for i := range fb.reverse {
+		fb.reverse[i] = -1
+	}
+	fb.standby.init(slots)
+	// All slots start free: push them in index order.
+	for s := 0; s < slots; s++ {
+		fb.standby.pushTail(int32(s))
+	}
+	return fb
+}
+
+// Slots returns the buffer capacity in feature vectors.
+func (fb *FeatureBuffer) Slots() int { return fb.slots }
+
+// Bytes returns the backing-store size (what must fit in device memory,
+// or in the host budget for CPU training).
+func (fb *FeatureBuffer) Bytes() int64 { return int64(fb.slots) * int64(fb.dim) * 4 }
+
+// SlotData returns the float32 row of a slot. The caller must hold a
+// reference to the node mapped there.
+func (fb *FeatureBuffer) SlotData(slot int32) []float32 {
+	return fb.data[int(slot)*fb.dim : (int(slot)+1)*fb.dim]
+}
+
+// Reservation is the outcome of reserving a mini-batch's nodes:
+// Alias[i] is the buffer slot of batch node i (the paper's node alias
+// list); ToLoad lists the positions in the node list this extractor must
+// load itself; Wait lists nodes another extractor is concurrently loading.
+type Reservation struct {
+	Alias  []int32
+	ToLoad []int32
+	Wait   []int64
+}
+
+// Reserve implements Algorithm 1's reuse scan and slot allocation for the
+// node list of one mini-batch. It increments every node's reference count;
+// Release undoes it after training. Blocks while the standby list is
+// empty, waiting for the releaser.
+func (fb *FeatureBuffer) Reserve(nodes []int64) (*Reservation, error) {
+	if len(nodes) > fb.slots {
+		return nil, fmt.Errorf("%w: batch of %d nodes, %d slots", ErrBufferTooSmall, len(nodes), fb.slots)
+	}
+	res := &Reservation{Alias: make([]int32, len(nodes))}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	deadline := time.Now().Add(reserveTimeout)
+	for i, node := range nodes {
+		e := &fb.entries[node]
+		switch {
+		case e.valid:
+			// Data already in the buffer; pull the slot off standby if it
+			// had retired (ref 0) so it cannot be recycled.
+			if e.ref == 0 {
+				fb.standby.remove(e.slot)
+			}
+			res.Alias[i] = e.slot
+			fb.reuseHits.Add(1)
+		case e.ref > 0:
+			// Another extractor is loading it right now: alias its slot
+			// and confirm readiness at the end of extraction.
+			res.Wait = append(res.Wait, node)
+			res.Alias[i] = e.slot
+			fb.sharedWaits.Add(1)
+		default:
+			// Not buffered: take the LRU standby slot, evicting whatever
+			// retired node still maps there (deferred invalidation, §4.2).
+			slot, err := fb.takeStandbyLocked(deadline)
+			if err != nil {
+				return nil, err
+			}
+			if prev := fb.reverse[slot]; prev >= 0 {
+				fb.entries[prev].slot = -1
+				fb.entries[prev].valid = false
+				fb.slotRecycles.Add(1)
+			}
+			e.slot = slot
+			e.valid = false
+			fb.reverse[slot] = node
+			res.Alias[i] = slot
+			res.ToLoad = append(res.ToLoad, int32(i))
+			fb.loads.Add(1)
+		}
+		e.ref++
+	}
+	return res, nil
+}
+
+// takeStandbyLocked pops the LRU standby slot, waiting for releases while
+// the list is empty. Caller holds fb.mu.
+func (fb *FeatureBuffer) takeStandbyLocked(deadline time.Time) (int32, error) {
+	for fb.standby.empty() {
+		fb.waiters++
+		// Timed wait: cond has no native timeout, so poke the condition
+		// from a timer if we're the first waiter.
+		done := make(chan struct{})
+		timer := time.AfterFunc(time.Until(deadline), func() {
+			fb.mu.Lock()
+			fb.cond.Broadcast()
+			fb.mu.Unlock()
+			close(done)
+		})
+		fb.cond.Wait()
+		timer.Stop()
+		fb.waiters--
+		select {
+		case <-done:
+			if fb.standby.empty() {
+				return -1, fmt.Errorf("%w: waited %v for a standby slot; increase FeatureSlots or reduce extractors", ErrBufferTooSmall, reserveTimeout)
+			}
+		default:
+		}
+	}
+	return fb.standby.popHead(), nil
+}
+
+// MarkValid publishes a node's data as extracted (valid bit = 1) and
+// wakes extractors waiting on shared nodes.
+func (fb *FeatureBuffer) MarkValid(node int64) {
+	fb.mu.Lock()
+	fb.entries[node].valid = true
+	fb.mu.Unlock()
+	fb.cond.Broadcast()
+}
+
+// WaitValid blocks until every listed node's valid bit is set — the
+// wait-list re-examination at the end of Algorithm 1.
+func (fb *FeatureBuffer) WaitValid(nodes []int64) {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	for _, node := range nodes {
+		for !fb.entries[node].valid {
+			fb.cond.Wait()
+		}
+	}
+}
+
+// Release decrements the nodes' reference counts after training; slots
+// whose count reaches zero retire to the standby tail (most-recently
+// retired), keeping their data for inter-batch reuse.
+func (fb *FeatureBuffer) Release(nodes []int64) {
+	fb.mu.Lock()
+	for _, node := range nodes {
+		e := &fb.entries[node]
+		if e.ref <= 0 {
+			fb.mu.Unlock()
+			panic(fmt.Sprintf("core: release of unreferenced node %d", node))
+		}
+		e.ref--
+		if e.ref == 0 {
+			fb.standby.pushTail(e.slot)
+		}
+	}
+	fb.mu.Unlock()
+	fb.cond.Broadcast()
+}
+
+// RefCount reports a node's current reference count (tests/inspection).
+func (fb *FeatureBuffer) RefCount(node int64) int32 {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return fb.entries[node].ref
+}
+
+// Valid reports whether a node's data is currently valid in the buffer.
+func (fb *FeatureBuffer) Valid(node int64) bool {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return fb.entries[node].valid
+}
+
+// StandbyLen returns the number of standby slots (tests/inspection).
+func (fb *FeatureBuffer) StandbyLen() int {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return fb.standby.length
+}
+
+// Stats summarizes buffer effectiveness.
+type FeatureBufferStats struct {
+	ReuseHits    int64 // nodes served without I/O
+	Loads        int64 // nodes loaded from storage
+	SharedWaits  int64 // nodes awaited from a concurrent extractor
+	SlotRecycles int64 // retired nodes evicted on slot reuse
+}
+
+// Stats returns a snapshot of the buffer counters.
+func (fb *FeatureBuffer) Stats() FeatureBufferStats {
+	return FeatureBufferStats{
+		ReuseHits:    fb.reuseHits.Load(),
+		Loads:        fb.loads.Load(),
+		SharedWaits:  fb.sharedWaits.Load(),
+		SlotRecycles: fb.slotRecycles.Load(),
+	}
+}
+
+// standbyList is an intrusive doubly-linked list over slot indexes with
+// O(1) push/pop/remove — the paper's hash-tracked LRU standby list, using
+// the slot index itself as the key.
+type standbyList struct {
+	next, prev []int32
+	inList     []bool
+	head, tail int32
+	length     int
+}
+
+func (l *standbyList) init(slots int) {
+	l.next = make([]int32, slots)
+	l.prev = make([]int32, slots)
+	l.inList = make([]bool, slots)
+	l.head, l.tail = -1, -1
+}
+
+func (l *standbyList) empty() bool { return l.length == 0 }
+
+func (l *standbyList) pushTail(s int32) {
+	if l.inList[s] {
+		panic(fmt.Sprintf("core: slot %d already on standby", s))
+	}
+	l.inList[s] = true
+	l.next[s] = -1
+	l.prev[s] = l.tail
+	if l.tail >= 0 {
+		l.next[l.tail] = s
+	} else {
+		l.head = s
+	}
+	l.tail = s
+	l.length++
+}
+
+func (l *standbyList) popHead() int32 {
+	s := l.head
+	if s < 0 {
+		panic("core: pop from empty standby list")
+	}
+	l.remove(s)
+	return s
+}
+
+func (l *standbyList) remove(s int32) {
+	if !l.inList[s] {
+		panic(fmt.Sprintf("core: slot %d not on standby", s))
+	}
+	if l.prev[s] >= 0 {
+		l.next[l.prev[s]] = l.next[s]
+	} else {
+		l.head = l.next[s]
+	}
+	if l.next[s] >= 0 {
+		l.prev[l.next[s]] = l.prev[s]
+	} else {
+		l.tail = l.prev[s]
+	}
+	l.inList[s] = false
+	l.length--
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ReadNode locates one node's feature vector inside a planned read.
+type ReadNode struct {
+	// Pos is the node's position in the mini-batch node list.
+	Pos int32
+	// BufOff is the byte offset of the feature vector within the read
+	// buffer.
+	BufOff int
+}
+
+// ReadOp is one sector-aligned direct-I/O read serving one or more nodes.
+type ReadOp struct {
+	DevOff int64
+	Len    int
+	Nodes  []ReadNode
+}
+
+// BuildReadPlan turns the set of feature vectors to load into a list of
+// sector-aligned direct reads, implementing the paper's access-granularity
+// handling (§4.4):
+//
+//   - when the feature size is a multiple of the sector, each node is one
+//     exact read;
+//   - smaller or unaligned features are read with redundant head/tail
+//     bytes, and neighboring nodes whose aligned windows touch are
+//     combined into one joint read (bounded by maxRead) to exploit
+//     spatial locality.
+//
+// nodes[i] is the node ID at batch position positions[i]; both slices are
+// reordered in place (sorted by node ID).
+func BuildReadPlan(featuresOff int64, featBytes, sector, maxRead int, nodes []int64, positions []int32) []ReadOp {
+	if len(nodes) != len(positions) {
+		panic(fmt.Sprintf("core: %d nodes vs %d positions", len(nodes), len(positions)))
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	if sector <= 0 {
+		sector = 512
+	}
+	if maxRead < sector {
+		maxRead = sector
+	}
+	if featBytes > maxRead {
+		maxRead = (featBytes + sector - 1) / sector * sector * 2
+	}
+	sort.Sort(&nodePosSorter{nodes: nodes, positions: positions})
+
+	ss := int64(sector)
+	var plan []ReadOp
+	var cur *ReadOp
+	for i, v := range nodes {
+		start := featuresOff + v*int64(featBytes)
+		end := start + int64(featBytes)
+		aStart := start / ss * ss
+		aEnd := (end + ss - 1) / ss * ss
+		// Extend the current op if this node's window overlaps or abuts
+		// it and the combined op stays within maxRead.
+		if cur != nil {
+			curEnd := cur.DevOff + int64(cur.Len)
+			if aStart <= curEnd && aEnd-cur.DevOff <= int64(maxRead) {
+				if aEnd > curEnd {
+					cur.Len = int(aEnd - cur.DevOff)
+				}
+				cur.Nodes = append(cur.Nodes, ReadNode{Pos: positions[i], BufOff: int(start - cur.DevOff)})
+				continue
+			}
+		}
+		plan = append(plan, ReadOp{DevOff: aStart, Len: int(aEnd - aStart)})
+		cur = &plan[len(plan)-1]
+		cur.Nodes = append(cur.Nodes, ReadNode{Pos: positions[i], BufOff: int(start - aStart)})
+	}
+	return plan
+}
+
+// PlanBytes sums the bytes a plan reads (including redundant alignment
+// bytes), for I/O accounting.
+func PlanBytes(plan []ReadOp) int64 {
+	var n int64
+	for _, op := range plan {
+		n += int64(op.Len)
+	}
+	return n
+}
+
+type nodePosSorter struct {
+	nodes     []int64
+	positions []int32
+}
+
+func (s *nodePosSorter) Len() int           { return len(s.nodes) }
+func (s *nodePosSorter) Less(i, j int) bool { return s.nodes[i] < s.nodes[j] }
+func (s *nodePosSorter) Swap(i, j int) {
+	s.nodes[i], s.nodes[j] = s.nodes[j], s.nodes[i]
+	s.positions[i], s.positions[j] = s.positions[j], s.positions[i]
+}

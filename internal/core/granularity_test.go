@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gnndrive/internal/hostmem"
+)
+
+func TestPlanAlignedFeatureOnePerNode(t *testing.T) {
+	// dim 128 -> 512 B: exactly one sector per node.
+	plan := BuildReadPlan(0, 512, 512, 512, []int64{5, 1, 9}, []int32{0, 1, 2})
+	if len(plan) != 3 {
+		t.Fatalf("%d ops, want 3 (maxRead forbids joining)", len(plan))
+	}
+	for _, op := range plan {
+		if op.Len != 512 || op.DevOff%512 != 0 {
+			t.Fatalf("op %+v", op)
+		}
+		if len(op.Nodes) != 1 || op.Nodes[0].BufOff != 0 {
+			t.Fatalf("op nodes %+v", op.Nodes)
+		}
+	}
+	// Sorted by node: first op must be node 1 (position 1).
+	if plan[0].DevOff != 512 || plan[0].Nodes[0].Pos != 1 {
+		t.Fatalf("plan not sorted by node: %+v", plan)
+	}
+}
+
+func TestPlanJointExtractionSmallDim(t *testing.T) {
+	// dim 32 -> 128 B features: 4 per sector. Adjacent nodes 8..11 share
+	// one sector and must be joined into one read.
+	plan := BuildReadPlan(0, 128, 512, 4096, []int64{8, 9, 10, 11}, []int32{0, 1, 2, 3})
+	if len(plan) != 1 {
+		t.Fatalf("%d ops, want 1 joint read", len(plan))
+	}
+	op := plan[0]
+	if op.DevOff != 1024 || op.Len != 512 {
+		t.Fatalf("op %+v", op)
+	}
+	for i, rn := range op.Nodes {
+		if rn.BufOff != i*128 {
+			t.Fatalf("node %d BufOff %d", i, rn.BufOff)
+		}
+	}
+}
+
+func TestPlanUnalignedDimReadsRedundantTail(t *testing.T) {
+	// dim 129 -> 516 B: every node needs 2 sectors with redundancy.
+	plan := BuildReadPlan(0, 516, 512, 1024, []int64{3}, []int32{0})
+	if len(plan) != 1 {
+		t.Fatalf("%d ops", len(plan))
+	}
+	op := plan[0]
+	start := int64(3 * 516)
+	if op.DevOff > start || op.DevOff+int64(op.Len) < start+516 {
+		t.Fatalf("op [%d,%d) does not cover feature [%d,%d)", op.DevOff, op.DevOff+int64(op.Len), start, start+516)
+	}
+	if op.DevOff%512 != 0 || op.Len%512 != 0 {
+		t.Fatalf("unaligned op %+v", op)
+	}
+	if op.Nodes[0].BufOff != int(start-op.DevOff) {
+		t.Fatalf("BufOff %d", op.Nodes[0].BufOff)
+	}
+}
+
+func TestPlanMaxReadSplits(t *testing.T) {
+	// 16 consecutive 128 B features = 2048 B, but maxRead 1024 forces at
+	// least 2 ops.
+	nodes := make([]int64, 16)
+	pos := make([]int32, 16)
+	for i := range nodes {
+		nodes[i] = int64(i)
+		pos[i] = int32(i)
+	}
+	plan := BuildReadPlan(0, 128, 512, 1024, nodes, pos)
+	if len(plan) < 2 {
+		t.Fatalf("%d ops, maxRead not enforced", len(plan))
+	}
+	for _, op := range plan {
+		if op.Len > 1024 {
+			t.Fatalf("op len %d > maxRead", op.Len)
+		}
+	}
+}
+
+func TestPlanEmpty(t *testing.T) {
+	if plan := BuildReadPlan(0, 512, 512, 512, nil, nil); plan != nil {
+		t.Fatalf("empty plan %v", plan)
+	}
+}
+
+// Property: every plan covers every node's feature range with aligned
+// ops, each node appears exactly once, and PlanBytes >= total feature
+// bytes.
+func TestPlanCoverageProperty(t *testing.T) {
+	f := func(seed uint64, dimSel uint8, count uint8) bool {
+		dims := []int{16, 32, 127, 128, 129, 256, 512}
+		dim := dims[int(dimSel)%len(dims)]
+		featBytes := dim * 4
+		n := int(count)%40 + 1
+		rng := seed
+		nodeSet := map[int64]bool{}
+		var nodes []int64
+		var positions []int32
+		for len(nodes) < n {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int64(rng % 5000)
+			if !nodeSet[v] {
+				nodeSet[v] = true
+				positions = append(positions, int32(len(nodes)))
+				nodes = append(nodes, v)
+			}
+		}
+		const featOff = 512 * 7
+		orig := map[int32]int64{}
+		for i, p := range positions {
+			orig[p] = nodes[i]
+		}
+		plan := BuildReadPlan(featOff, featBytes, 512, 8192, nodes, positions)
+		seen := map[int32]bool{}
+		for _, op := range plan {
+			if op.DevOff%512 != 0 || op.Len%512 != 0 || op.Len == 0 {
+				return false
+			}
+			for _, rn := range op.Nodes {
+				if seen[rn.Pos] {
+					return false
+				}
+				seen[rn.Pos] = true
+				v := orig[rn.Pos]
+				start := featOff + v*int64(featBytes)
+				// The feature must sit inside the read at BufOff.
+				if op.DevOff+int64(rn.BufOff) != start {
+					return false
+				}
+				if rn.BufOff+featBytes > op.Len {
+					return false
+				}
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		return PlanBytes(plan) >= int64(n*featBytes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStagingAcquireReleaseCycle(t *testing.T) {
+	b := hostmem.NewBudget(1 << 20)
+	s, err := NewStaging(b, 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if b.Pinned() != 4096 {
+		t.Fatalf("pinned %d", b.Pinned())
+	}
+	slots := []int32{s.Acquire(), s.Acquire(), s.Acquire(), s.Acquire()}
+	if s.FreeSlots() != 0 {
+		t.Fatal("pool should be empty")
+	}
+	if _, ok := s.TryAcquire(); ok {
+		t.Fatal("TryAcquire on empty pool")
+	}
+	// Buffers must be disjoint.
+	s.Buf(slots[0])[0] = 42
+	if s.Buf(slots[1])[0] != 0 {
+		t.Fatal("slot buffers overlap")
+	}
+	done := make(chan int32)
+	go func() { done <- s.Acquire() }()
+	s.Release(slots[2])
+	if got := <-done; got != slots[2] {
+		t.Fatalf("blocked Acquire got %d want %d", got, slots[2])
+	}
+}
+
+func TestStagingOOM(t *testing.T) {
+	b := hostmem.NewBudget(1000)
+	if _, err := NewStaging(b, 4, 1024); err == nil {
+		t.Fatal("expected OOM")
+	}
+	if b.Pinned() != 0 {
+		t.Fatal("failed pin must not leak")
+	}
+}
+
+func TestStagingCloseUnpins(t *testing.T) {
+	b := hostmem.NewBudget(1 << 20)
+	s, _ := NewStaging(b, 2, 512)
+	s.Close()
+	s.Close() // idempotent
+	if b.Pinned() != 0 {
+		t.Fatalf("pinned %d after close", b.Pinned())
+	}
+}
+
+func TestStagingBadReleasePanics(t *testing.T) {
+	b := hostmem.NewBudget(1 << 20)
+	s, _ := NewStaging(b, 2, 512)
+	defer s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Release(9)
+}

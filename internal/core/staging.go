@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"gnndrive/internal/hostmem"
+)
+
+// Staging is the bounded host-memory buffer through which feature bytes
+// travel from SSD to the device feature buffer (§4.2). It is a pool of
+// fixed-size slots: extractors acquire a slot per outstanding read and
+// release it once the host-to-device transfer completes, so the host
+// footprint is bounded by slots x slotBytes no matter how large the
+// mini-batches are. The whole pool is pinned in the host budget.
+type Staging struct {
+	slotBytes int
+	slots     int
+	data      []byte
+	budget    *hostmem.Budget
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	free   []int32
+	closed bool
+}
+
+// NewStaging pins a pool of slots x slotBytes host bytes. Fails with the
+// budget's OOM error when the pin does not fit.
+func NewStaging(budget *hostmem.Budget, slots, slotBytes int) (*Staging, error) {
+	if slots < 1 || slotBytes < 1 {
+		return nil, fmt.Errorf("core: staging %d x %d", slots, slotBytes)
+	}
+	total := int64(slots) * int64(slotBytes)
+	if budget != nil {
+		if err := budget.Pin("staging buffer", total); err != nil {
+			return nil, err
+		}
+	}
+	s := &Staging{
+		slotBytes: slotBytes,
+		slots:     slots,
+		data:      make([]byte, total),
+		budget:    budget,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.free = make([]int32, slots)
+	for i := range s.free {
+		s.free[i] = int32(i)
+	}
+	return s, nil
+}
+
+// Close unpins the pool from the host budget.
+func (s *Staging) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.budget != nil {
+		s.budget.Unpin(int64(s.slots) * int64(s.slotBytes))
+	}
+	s.cond.Broadcast()
+}
+
+// Bytes returns the pinned pool size.
+func (s *Staging) Bytes() int64 { return int64(s.slots) * int64(s.slotBytes) }
+
+// SlotBytes returns the size of one slot.
+func (s *Staging) SlotBytes() int { return s.slotBytes }
+
+// Slots returns the pool capacity.
+func (s *Staging) Slots() int { return s.slots }
+
+// Acquire blocks until a slot is free and returns its index.
+func (s *Staging) Acquire() int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.free) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		panic("core: Acquire on closed staging buffer")
+	}
+	slot := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	return slot
+}
+
+// TryAcquire returns a slot if one is free.
+func (s *Staging) TryAcquire() (int32, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.free) == 0 || s.closed {
+		return -1, false
+	}
+	slot := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	return slot, true
+}
+
+// Release returns a slot to the pool.
+func (s *Staging) Release(slot int32) {
+	s.mu.Lock()
+	if int(slot) < 0 || int(slot) >= s.slots {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("core: release of bad staging slot %d", slot))
+	}
+	s.free = append(s.free, slot)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Buf returns the byte region of a slot.
+func (s *Staging) Buf(slot int32) []byte {
+	return s.data[int(slot)*s.slotBytes : (int(slot)+1)*s.slotBytes]
+}
+
+// FreeSlots reports how many slots are currently free (tests).
+func (s *Staging) FreeSlots() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.free)
+}

@@ -1,0 +1,34 @@
+// Package errutil holds tiny error helpers shared by the pipelines.
+package errutil
+
+import "sync"
+
+// FirstError records the first error Set on it; later errors are dropped.
+// Safe for concurrent use (unlike atomic.Value, it tolerates mixed
+// concrete error types).
+type FirstError struct {
+	mu  sync.Mutex
+	err error
+}
+
+// Set stores err if it is the first non-nil error seen.
+func (f *FirstError) Set(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// Get returns the recorded error, if any.
+func (f *FirstError) Get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Failed reports whether an error has been recorded.
+func (f *FirstError) Failed() bool { return f.Get() != nil }

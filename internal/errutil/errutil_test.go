@@ -1,0 +1,45 @@
+package errutil
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestFirstErrorKeepsFirst(t *testing.T) {
+	var f FirstError
+	if f.Failed() || f.Get() != nil {
+		t.Fatal("zero value must be clean")
+	}
+	f.Set(nil) // ignored
+	if f.Failed() {
+		t.Fatal("nil Set must not fail")
+	}
+	first := errors.New("first")
+	f.Set(first)
+	f.Set(errors.New("second"))
+	if f.Get() != first {
+		t.Fatalf("got %v", f.Get())
+	}
+}
+
+func TestFirstErrorMixedTypesConcurrent(t *testing.T) {
+	var f FirstError
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				f.Set(fmt.Errorf("wrapped %d: %w", i, errors.New("inner")))
+			} else {
+				f.Set(errors.New("plain"))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if !f.Failed() {
+		t.Fatal("should have recorded an error")
+	}
+}

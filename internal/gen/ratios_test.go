@@ -1,0 +1,50 @@
+package gen
+
+import "testing"
+
+// TestScaledRatiosMatchTable1 checks that the stand-in datasets preserve
+// the paper's Table 1 proportions at 1:1000 scale: node counts, edge
+// counts, and the feature/topology memory ratio that drives every
+// out-of-core experiment.
+func TestScaledRatiosMatchTable1(t *testing.T) {
+	cases := []struct {
+		spec       Spec
+		paperNodeM float64 // millions
+		paperEdgeB float64 // billions
+		paperFeatG float64 // GB
+		paperTopoG float64 // GB
+	}{
+		{Papers(), 111, 1.6, 53, 13},
+		{Twitter(), 41.7, 1.5, 20, 11},
+		{Friendster(), 65.6, 1.8, 32, 14},
+		{MAG240M(), 122, 1.3, 349, 10},
+	}
+	for _, c := range cases {
+		gotNodes := float64(c.spec.Nodes)
+		wantNodes := c.paperNodeM * 1e6 / 1000
+		if ratio := gotNodes / wantNodes; ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("%s: nodes %g, want ~%g", c.spec.Name, gotNodes, wantNodes)
+		}
+		gotEdges := float64(2 * c.spec.Nodes * c.spec.EdgesPerNode)
+		wantEdges := c.paperEdgeB * 1e9 / 1000
+		if ratio := gotEdges / wantEdges; ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("%s: edges %g, want ~%g", c.spec.Name, gotEdges, wantEdges)
+		}
+		// Features per scaled budget: feature GB at 1 GB = 1 MiB.
+		gotFeatG := float64(c.spec.Nodes*c.spec.Dim*4) / float64(1<<20)
+		if ratio := gotFeatG / c.paperFeatG; ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("%s: features %.1f scaled-GB, paper %.0f GB", c.spec.Name, gotFeatG, c.paperFeatG)
+		}
+	}
+}
+
+// TestPapersExceedsDefaultBudget asserts the headline out-of-core
+// property: papers100m-s features cannot fit the default 32 scaled-GB
+// host budget, exactly as 53 GB > 32 GB in the paper.
+func TestPapersExceedsDefaultBudget(t *testing.T) {
+	s := Papers()
+	feat := int64(s.Nodes * s.Dim * 4)
+	if feat <= 32<<20 {
+		t.Fatalf("features %d fit in the 32 MiB scaled budget; dataset not out-of-core", feat)
+	}
+}

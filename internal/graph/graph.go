@@ -1,0 +1,196 @@
+// Package graph defines the on-disk and in-memory representation of a
+// graph dataset as the paper lays it out (§4.1, §5): topology as a CSC
+// adjacency matrix whose index-pointer array (indptr) stays in host memory
+// while the index array (indices) and the node-feature table live on the
+// SSD; features are stored as a dense table in ascending node-ID order.
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"gnndrive/internal/pagecache"
+	"gnndrive/internal/ssd"
+)
+
+// Layout records where a dataset's arrays live on the device.
+type Layout struct {
+	// IndicesOff is the byte offset of the CSC index array (int32 LE).
+	IndicesOff int64
+	// IndicesLen is the index array length in bytes (4 * NumEdges).
+	IndicesLen int64
+	// FeaturesOff is the byte offset of the feature table (float32 LE,
+	// row-major, NumNodes x Dim).
+	FeaturesOff int64
+	// FeaturesLen is the feature table length in bytes.
+	FeaturesLen int64
+}
+
+// Dataset is a graph bound to a simulated device.
+type Dataset struct {
+	Name       string
+	NumNodes   int64
+	NumEdges   int64
+	Dim        int
+	NumClasses int
+
+	// Indptr is the CSC index-pointer array, len NumNodes+1. The paper
+	// keeps it in host memory because it is small (<1 GB) and hot.
+	Indptr []int64
+	// Labels holds the class of every node.
+	Labels []int32
+	// TrainIdx and ValIdx are the training and validation node IDs.
+	TrainIdx []int64
+	ValIdx   []int64
+
+	Layout Layout
+	Dev    *ssd.Device
+}
+
+// FeatBytes returns the byte length of one node's feature vector.
+func (d *Dataset) FeatBytes() int64 { return int64(d.Dim) * 4 }
+
+// FeatureOff returns the device offset of node v's feature vector.
+func (d *Dataset) FeatureOff(v int64) int64 {
+	return d.Layout.FeaturesOff + v*d.FeatBytes()
+}
+
+// Degree returns the in-degree of node v.
+func (d *Dataset) Degree(v int64) int64 { return d.Indptr[v+1] - d.Indptr[v] }
+
+// IndptrBytes returns the host-memory footprint of the indptr array.
+func (d *Dataset) IndptrBytes() int64 { return int64(len(d.Indptr)) * 8 }
+
+// Validate checks structural invariants: monotone indptr, edge count,
+// in-range indices (sampled raw, untimed).
+func (d *Dataset) Validate() error {
+	if int64(len(d.Indptr)) != d.NumNodes+1 {
+		return fmt.Errorf("graph: indptr len %d != nodes+1 %d", len(d.Indptr), d.NumNodes+1)
+	}
+	if d.Indptr[0] != 0 || d.Indptr[d.NumNodes] != d.NumEdges {
+		return fmt.Errorf("graph: indptr ends %d..%d, want 0..%d", d.Indptr[0], d.Indptr[d.NumNodes], d.NumEdges)
+	}
+	for i := int64(0); i < d.NumNodes; i++ {
+		if d.Indptr[i] > d.Indptr[i+1] {
+			return fmt.Errorf("graph: indptr not monotone at %d", i)
+		}
+	}
+	if d.Layout.IndicesLen != 4*d.NumEdges {
+		return fmt.Errorf("graph: indices len %d != 4*edges", d.Layout.IndicesLen)
+	}
+	// Spot-check a bounded number of neighbor lists.
+	r := NewRawReader(d)
+	step := d.NumNodes/256 + 1
+	buf := make([]int32, 0, 1024)
+	for v := int64(0); v < d.NumNodes; v += step {
+		ns, _, err := r.Neighbors(v, buf)
+		if err != nil {
+			return err
+		}
+		for _, u := range ns {
+			if int64(u) < 0 || int64(u) >= d.NumNodes {
+				return fmt.Errorf("graph: node %d has out-of-range neighbor %d", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// NeighborReader yields the in-neighbors of a node. Implementations
+// differ in where the index array bytes come from (page cache, raw
+// device, Ginex's neighbor cache) and report the I/O wait they incurred.
+type NeighborReader interface {
+	// Neighbors appends v's in-neighbors to buf (which may be reused
+	// across calls) and returns the filled slice plus time blocked on I/O.
+	Neighbors(v int64, buf []int32) ([]int32, time.Duration, error)
+}
+
+// decodeIndices converts little-endian int32 bytes in place into ids.
+func decodeIndices(raw []byte, ids []int32) []int32 {
+	n := len(raw) / 4
+	for i := 0; i < n; i++ {
+		ids = append(ids, int32(binary.LittleEndian.Uint32(raw[i*4:])))
+	}
+	return ids
+}
+
+// CachedReader reads the index array through the shared OS page cache,
+// the memory-mapped sampling path PyG+ and GNNDrive both use (§4.4).
+type CachedReader struct {
+	ds   *Dataset
+	file *pagecache.File
+	raw  []byte
+}
+
+// NewCachedReader mmaps the dataset's index region through cache.
+// Each goroutine needs its own reader (the scratch buffer is not shared).
+func NewCachedReader(ds *Dataset, cache *pagecache.Cache, file *pagecache.File) *CachedReader {
+	return &CachedReader{ds: ds, file: file}
+}
+
+// IndicesFile registers the dataset's index region with a page cache.
+// The returned file can be shared by many CachedReaders.
+func IndicesFile(ds *Dataset, cache *pagecache.Cache) *pagecache.File {
+	return cache.NewFile(ds.Layout.IndicesOff, ds.Layout.IndicesLen)
+}
+
+// Neighbors implements NeighborReader.
+func (r *CachedReader) Neighbors(v int64, buf []int32) ([]int32, time.Duration, error) {
+	lo, hi := r.ds.Indptr[v], r.ds.Indptr[v+1]
+	n := int(hi - lo)
+	if n == 0 {
+		return buf[:0], 0, nil
+	}
+	if cap(r.raw) < n*4 {
+		r.raw = make([]byte, n*4)
+	}
+	raw := r.raw[:n*4]
+	waited, err := r.file.Read(lo*4, raw)
+	if err != nil {
+		return nil, waited, err
+	}
+	return decodeIndices(raw, buf[:0]), waited, nil
+}
+
+// RawReader reads indices straight from the device image with no modeled
+// cost; for setup, validation, and tests.
+type RawReader struct {
+	ds  *Dataset
+	raw []byte
+}
+
+// NewRawReader creates an untimed reader over ds.
+func NewRawReader(ds *Dataset) *RawReader { return &RawReader{ds: ds} }
+
+// Neighbors implements NeighborReader with zero modeled wait.
+func (r *RawReader) Neighbors(v int64, buf []int32) ([]int32, time.Duration, error) {
+	lo, hi := r.ds.Indptr[v], r.ds.Indptr[v+1]
+	n := int(hi - lo)
+	if n == 0 {
+		return buf[:0], 0, nil
+	}
+	if cap(r.raw) < n*4 {
+		r.raw = make([]byte, n*4)
+	}
+	raw := r.raw[:n*4]
+	r.ds.Dev.ReadRaw(raw, r.ds.Layout.IndicesOff+lo*4)
+	return decodeIndices(raw, buf[:0]), 0, nil
+}
+
+// DecodeFeature converts one node's raw feature bytes to float32s.
+func DecodeFeature(raw []byte, out []float32) []float32 {
+	n := len(raw) / 4
+	for i := 0; i < n; i++ {
+		out = append(out, math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
+	}
+	return out
+}
+
+// ReadFeatureRaw fetches node v's feature vector untimed (setup/tests).
+func (d *Dataset) ReadFeatureRaw(v int64, out []float32) []float32 {
+	raw := make([]byte, d.FeatBytes())
+	d.Dev.ReadRaw(raw, d.FeatureOff(v))
+	return DecodeFeature(raw, out)
+}

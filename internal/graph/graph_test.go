@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"gnndrive/internal/hostmem"
+	"gnndrive/internal/pagecache"
+	"gnndrive/internal/ssd"
+)
+
+// buildTestDataset writes a small hand-made CSC graph to a device:
+// 4 nodes; in-neighbors: 0<-{1,2}, 1<-{0}, 2<-{}, 3<-{0,1,2}.
+func buildTestDataset(t *testing.T) *Dataset {
+	t.Helper()
+	dev := ssd.New(1<<20, ssd.InstantConfig())
+	t.Cleanup(dev.Close)
+	indices := []int32{1, 2, 0, 0, 1, 2}
+	indptr := []int64{0, 2, 3, 3, 6}
+	raw := make([]byte, len(indices)*4)
+	for i, v := range indices {
+		binary.LittleEndian.PutUint32(raw[i*4:], uint32(v))
+	}
+	const indOff = 512
+	dev.WriteAt(raw, indOff)
+	dim := 8
+	featOff := int64(indOff + len(raw))
+	frow := make([]byte, dim*4)
+	for v := 0; v < 4; v++ {
+		for j := 0; j < dim; j++ {
+			binary.LittleEndian.PutUint32(frow[j*4:], math.Float32bits(float32(v*100+j)))
+		}
+		dev.WriteAt(frow, featOff+int64(v*dim*4))
+	}
+	return &Dataset{
+		Name: "test", NumNodes: 4, NumEdges: 6, Dim: dim, NumClasses: 2,
+		Indptr: indptr,
+		Labels: []int32{0, 1, 0, 1},
+		Layout: Layout{
+			IndicesOff: indOff, IndicesLen: int64(len(raw)),
+			FeaturesOff: featOff, FeaturesLen: int64(4 * dim * 4),
+		},
+		Dev: dev,
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	ds := buildTestDataset(t)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadIndptr(t *testing.T) {
+	ds := buildTestDataset(t)
+	ds.Indptr[2] = 5
+	ds.Indptr[3] = 4 // non-monotone
+	if err := ds.Validate(); err == nil {
+		t.Fatal("expected monotonicity error")
+	}
+}
+
+func TestRawReaderNeighbors(t *testing.T) {
+	ds := buildTestDataset(t)
+	r := NewRawReader(ds)
+	cases := map[int64][]int32{0: {1, 2}, 1: {0}, 2: {}, 3: {0, 1, 2}}
+	var buf []int32
+	for v, want := range cases {
+		ns, wait, err := r.Neighbors(v, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wait != 0 {
+			t.Fatal("raw reader must be untimed")
+		}
+		if len(ns) != len(want) {
+			t.Fatalf("node %d: got %v want %v", v, ns, want)
+		}
+		for i := range want {
+			if ns[i] != want[i] {
+				t.Fatalf("node %d: got %v want %v", v, ns, want)
+			}
+		}
+	}
+}
+
+func TestCachedReaderMatchesRaw(t *testing.T) {
+	ds := buildTestDataset(t)
+	budget := hostmem.NewBudget(1 << 20)
+	cache := pagecache.New(ds.Dev, budget)
+	file := IndicesFile(ds, cache)
+	cr := NewCachedReader(ds, cache, file)
+	rr := NewRawReader(ds)
+	for v := int64(0); v < ds.NumNodes; v++ {
+		a, _, err := cr.Neighbors(v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, _ := rr.Neighbors(v, nil)
+		if len(a) != len(b) {
+			t.Fatalf("node %d: cached %v raw %v", v, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d: cached %v raw %v", v, a, b)
+			}
+		}
+	}
+	if cache.Stats().Misses == 0 {
+		t.Fatal("cached reader should have faulted pages")
+	}
+}
+
+func TestFeatureOffAndRead(t *testing.T) {
+	ds := buildTestDataset(t)
+	if off := ds.FeatureOff(2); off != ds.Layout.FeaturesOff+2*ds.FeatBytes() {
+		t.Fatalf("FeatureOff(2)=%d", off)
+	}
+	f := ds.ReadFeatureRaw(3, nil)
+	if len(f) != ds.Dim || f[0] != 300 || f[7] != 307 {
+		t.Fatalf("feature of node 3: %v", f)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	ds := buildTestDataset(t)
+	want := []int64{2, 1, 0, 3}
+	for v, w := range want {
+		if ds.Degree(int64(v)) != w {
+			t.Fatalf("degree(%d)=%d want %d", v, ds.Degree(int64(v)), w)
+		}
+	}
+}
+
+func TestDecodeFeature(t *testing.T) {
+	raw := make([]byte, 8)
+	binary.LittleEndian.PutUint32(raw, math.Float32bits(1.5))
+	binary.LittleEndian.PutUint32(raw[4:], math.Float32bits(-2))
+	out := DecodeFeature(raw, nil)
+	if out[0] != 1.5 || out[1] != -2 {
+		t.Fatalf("DecodeFeature got %v", out)
+	}
+}

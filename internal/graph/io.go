@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"gnndrive/internal/ssd"
+)
+
+// fileMagic guards the .gnnd dataset container format.
+const fileMagic = "GNND1\n"
+
+// header is the JSON metadata block of a .gnnd file.
+type header struct {
+	Name       string `json:"name"`
+	NumNodes   int64  `json:"num_nodes"`
+	NumEdges   int64  `json:"num_edges"`
+	Dim        int    `json:"dim"`
+	NumClasses int    `json:"num_classes"`
+	Train      int    `json:"train"`
+	Val        int    `json:"val"`
+}
+
+// Save writes the dataset — metadata, indptr, labels, splits, and the
+// on-device index and feature arrays — to a .gnnd container file.
+func Save(ds *Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: save: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteString(fileMagic); err != nil {
+		return err
+	}
+	h := header{Name: ds.Name, NumNodes: ds.NumNodes, NumEdges: ds.NumEdges,
+		Dim: ds.Dim, NumClasses: ds.NumClasses, Train: len(ds.TrainIdx), Val: len(ds.ValIdx)}
+	meta, err := json.Marshal(h)
+	if err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int64(len(meta))); err != nil {
+		return err
+	}
+	if _, err := w.Write(meta); err != nil {
+		return err
+	}
+	for _, arr := range [][]int64{ds.Indptr, ds.TrainIdx, ds.ValIdx} {
+		if err := binary.Write(w, binary.LittleEndian, arr); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, ds.Labels); err != nil {
+		return err
+	}
+	// Stream the device arrays in chunks.
+	if err := copyRegion(w, ds.Dev, ds.Layout.IndicesOff, ds.Layout.IndicesLen); err != nil {
+		return err
+	}
+	if err := copyRegion(w, ds.Dev, ds.Layout.FeaturesOff, ds.Layout.FeaturesLen); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func copyRegion(w io.Writer, dev *ssd.Device, off, n int64) error {
+	buf := make([]byte, 1<<20)
+	for done := int64(0); done < n; {
+		c := int64(len(buf))
+		if done+c > n {
+			c = n - done
+		}
+		dev.ReadRaw(buf[:c], off+done)
+		if _, err := w.Write(buf[:c]); err != nil {
+			return err
+		}
+		done += c
+	}
+	return nil
+}
+
+// Load reads a .gnnd container, creates a simulated device of the given
+// configuration (plus extraBytes of scratch capacity), and returns the
+// dataset bound to it.
+func Load(path string, cfg ssd.Config, extraBytes int64) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: load: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != fileMagic {
+		return nil, fmt.Errorf("graph: %s is not a .gnnd file", path)
+	}
+	var metaLen int64
+	if err := binary.Read(r, binary.LittleEndian, &metaLen); err != nil {
+		return nil, err
+	}
+	if metaLen <= 0 || metaLen > 1<<20 {
+		return nil, fmt.Errorf("graph: implausible metadata length %d", metaLen)
+	}
+	meta := make([]byte, metaLen)
+	if _, err := io.ReadFull(r, meta); err != nil {
+		return nil, err
+	}
+	var h header
+	if err := json.Unmarshal(meta, &h); err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		Name: h.Name, NumNodes: h.NumNodes, NumEdges: h.NumEdges,
+		Dim: h.Dim, NumClasses: h.NumClasses,
+		Indptr:   make([]int64, h.NumNodes+1),
+		TrainIdx: make([]int64, h.Train),
+		ValIdx:   make([]int64, h.Val),
+		Labels:   make([]int32, h.NumNodes),
+	}
+	for _, arr := range [][]int64{ds.Indptr, ds.TrainIdx, ds.ValIdx} {
+		if err := binary.Read(r, binary.LittleEndian, arr); err != nil {
+			return nil, err
+		}
+	}
+	if err := binary.Read(r, binary.LittleEndian, ds.Labels); err != nil {
+		return nil, err
+	}
+	indicesLen := 4 * h.NumEdges
+	featOff := (indicesLen + 511) / 512 * 512
+	featLen := h.NumNodes * int64(h.Dim) * 4
+	ds.Layout = Layout{IndicesOff: 0, IndicesLen: indicesLen,
+		FeaturesOff: featOff, FeaturesLen: featLen}
+	dev := ssd.New(featOff+featLen+extraBytes, cfg)
+	if err := fillRegion(r, dev, 0, indicesLen); err != nil {
+		dev.Close()
+		return nil, err
+	}
+	if err := fillRegion(r, dev, featOff, featLen); err != nil {
+		dev.Close()
+		return nil, err
+	}
+	ds.Dev = dev
+	if err := ds.Validate(); err != nil {
+		dev.Close()
+		return nil, err
+	}
+	return ds, nil
+}
+
+func fillRegion(r io.Reader, dev *ssd.Device, off, n int64) error {
+	buf := make([]byte, 1<<20)
+	for done := int64(0); done < n; {
+		c := int64(len(buf))
+		if done+c > n {
+			c = n - done
+		}
+		if _, err := io.ReadFull(r, buf[:c]); err != nil {
+			return err
+		}
+		dev.WriteAt(buf[:c], off+done)
+		done += c
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gnndrive/internal/ssd"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := buildTestDataset(t)
+	ds.TrainIdx = []int64{0, 2}
+	ds.ValIdx = []int64{1}
+	path := filepath.Join(t.TempDir(), "tiny.gnnd")
+	if err := Save(ds, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, ssd.InstantConfig(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Dev.Close()
+	if got.Name != ds.Name || got.NumNodes != ds.NumNodes || got.NumEdges != ds.NumEdges ||
+		got.Dim != ds.Dim || got.NumClasses != ds.NumClasses {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	for i := range ds.Indptr {
+		if got.Indptr[i] != ds.Indptr[i] {
+			t.Fatalf("indptr[%d] %d != %d", i, got.Indptr[i], ds.Indptr[i])
+		}
+	}
+	if got.TrainIdx[1] != 2 || got.ValIdx[0] != 1 {
+		t.Fatalf("splits mismatch: %v %v", got.TrainIdx, got.ValIdx)
+	}
+	// Neighbors and features byte-identical.
+	a, b := NewRawReader(ds), NewRawReader(got)
+	for v := int64(0); v < ds.NumNodes; v++ {
+		na, _, _ := a.Neighbors(v, nil)
+		nb, _, _ := b.Neighbors(v, nil)
+		if len(na) != len(nb) {
+			t.Fatalf("node %d neighbors differ", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("node %d neighbors differ", v)
+			}
+		}
+		fa := ds.ReadFeatureRaw(v, nil)
+		fb := got.ReadFeatureRaw(v, nil)
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Fatalf("node %d features differ", v)
+			}
+		}
+	}
+	// Extra scratch capacity honored.
+	if got.Dev.Capacity() < got.Layout.FeaturesOff+got.Layout.FeaturesLen+4096 {
+		t.Fatal("scratch capacity missing")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a dataset"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, ssd.InstantConfig(), 0); err == nil {
+		t.Fatal("expected format error")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing"), ssd.InstantConfig(), 0); err == nil {
+		t.Fatal("expected open error")
+	}
+}

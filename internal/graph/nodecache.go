@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"container/list"
+	"sort"
+	"time"
+
+	"gnndrive/internal/hostmem"
+)
+
+// This file provides the "domain-specific node caching methods" hook of
+// §4.4: NeighborReader decorators that keep hot adjacency lists in host
+// memory, in the spirit of AliGraph's static hub cache and GNNLab's
+// dynamic caches. Both decorators account their capacity in the host
+// budget so they participate honestly in the memory-contention story.
+
+// StaticNeighborCache pins the adjacency lists of the highest-degree
+// nodes at construction; power-law sampling hits hubs constantly, so a
+// small static cache removes most topology I/O.
+type StaticNeighborCache struct {
+	inner  NeighborReader
+	lists  map[int64][]int32
+	bytes  int64
+	budget *hostmem.Budget
+	hits   int64
+	misses int64
+}
+
+// NewStaticNeighborCache preloads up to capacity bytes of the
+// highest-degree nodes' lists (read untimed — cache warmup is setup).
+func NewStaticNeighborCache(ds *Dataset, inner NeighborReader, budget *hostmem.Budget, capacity int64) (*StaticNeighborCache, error) {
+	if budget != nil {
+		if err := budget.Pin("static neighbor cache", capacity); err != nil {
+			return nil, err
+		}
+	}
+	c := &StaticNeighborCache{inner: inner, lists: make(map[int64][]int32), bytes: capacity, budget: budget}
+	order := make([]int64, ds.NumNodes)
+	for i := range order {
+		order[i] = int64(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return ds.Degree(order[a]) > ds.Degree(order[b]) })
+	raw := NewRawReader(ds)
+	var used int64
+	for _, v := range order {
+		need := ds.Degree(v)*4 + 16
+		if used+need > capacity {
+			break
+		}
+		ns, _, err := raw.Neighbors(v, nil)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.lists[v] = append([]int32(nil), ns...)
+		used += need
+	}
+	return c, nil
+}
+
+// Neighbors implements NeighborReader.
+func (c *StaticNeighborCache) Neighbors(v int64, buf []int32) ([]int32, time.Duration, error) {
+	if ns, ok := c.lists[v]; ok {
+		c.hits++
+		return append(buf[:0], ns...), 0, nil
+	}
+	c.misses++
+	return c.inner.Neighbors(v, buf)
+}
+
+// Stats returns (hits, misses). Not safe against concurrent Neighbors
+// calls; snapshot after the run.
+func (c *StaticNeighborCache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// Close releases the budget pin.
+func (c *StaticNeighborCache) Close() {
+	if c.budget != nil {
+		c.budget.Unpin(c.bytes)
+		c.budget = nil
+	}
+}
+
+// LRUNeighborCache keeps recently used adjacency lists, adapting to the
+// current epoch's access pattern. Unlike StaticNeighborCache it is not
+// safe for concurrent use; give each sampler goroutine its own.
+type LRUNeighborCache struct {
+	inner    NeighborReader
+	capacity int64
+	used     int64
+	entries  map[int64]*list.Element
+	order    *list.List // front = most recent
+	budget   *hostmem.Budget
+	hits     int64
+	misses   int64
+}
+
+type lruEntry struct {
+	node int64
+	ns   []int32
+}
+
+// NewLRUNeighborCache wraps inner with an LRU list cache of the given
+// byte capacity.
+func NewLRUNeighborCache(inner NeighborReader, budget *hostmem.Budget, capacity int64) (*LRUNeighborCache, error) {
+	if budget != nil {
+		if err := budget.Pin("lru neighbor cache", capacity); err != nil {
+			return nil, err
+		}
+	}
+	return &LRUNeighborCache{
+		inner: inner, capacity: capacity,
+		entries: make(map[int64]*list.Element), order: list.New(),
+		budget: budget,
+	}, nil
+}
+
+// Neighbors implements NeighborReader.
+func (c *LRUNeighborCache) Neighbors(v int64, buf []int32) ([]int32, time.Duration, error) {
+	if e, ok := c.entries[v]; ok {
+		c.order.MoveToFront(e)
+		c.hits++
+		return append(buf[:0], e.Value.(*lruEntry).ns...), 0, nil
+	}
+	c.misses++
+	ns, waited, err := c.inner.Neighbors(v, buf)
+	if err != nil {
+		return ns, waited, err
+	}
+	cost := int64(len(ns))*4 + 32
+	if cost <= c.capacity {
+		cp := append([]int32(nil), ns...)
+		c.entries[v] = c.order.PushFront(&lruEntry{node: v, ns: cp})
+		c.used += cost
+		for c.used > c.capacity {
+			back := c.order.Back()
+			ent := back.Value.(*lruEntry)
+			c.order.Remove(back)
+			delete(c.entries, ent.node)
+			c.used -= int64(len(ent.ns))*4 + 32
+		}
+	}
+	return ns, waited, nil
+}
+
+// Stats returns (hits, misses).
+func (c *LRUNeighborCache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// Close releases the budget pin.
+func (c *LRUNeighborCache) Close() {
+	if c.budget != nil {
+		c.budget.Unpin(c.capacity)
+		c.budget = nil
+	}
+}

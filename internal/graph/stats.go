@@ -1,0 +1,88 @@
+package graph
+
+import "sort"
+
+// Stats summarizes a graph's degree structure.
+type Stats struct {
+	NumNodes, NumEdges int64
+	MinDegree          int64
+	MaxDegree          int64
+	AvgDegree          float64
+	MedianDegree       int64
+	// Gini is the Gini coefficient of the degree distribution, a
+	// scale-free graph's skew in one number (0 = uniform, ->1 = hubs
+	// dominate).
+	Gini float64
+	// Isolated counts nodes with no in-neighbors.
+	Isolated int64
+}
+
+// ComputeStats scans the indptr array (host memory only, no I/O).
+func ComputeStats(ds *Dataset) Stats {
+	s := Stats{NumNodes: ds.NumNodes, NumEdges: ds.NumEdges, MinDegree: 1 << 62}
+	if ds.NumNodes == 0 {
+		s.MinDegree = 0
+		return s
+	}
+	degs := make([]int64, ds.NumNodes)
+	var sum int64
+	for v := int64(0); v < ds.NumNodes; v++ {
+		d := ds.Degree(v)
+		degs[v] = d
+		sum += d
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+	}
+	s.AvgDegree = float64(sum) / float64(ds.NumNodes)
+	sort.Slice(degs, func(i, j int) bool { return degs[i] < degs[j] })
+	s.MedianDegree = degs[len(degs)/2]
+	// Gini over the sorted degrees.
+	if sum > 0 {
+		var weighted int64
+		for i, d := range degs {
+			weighted += int64(i+1) * d
+		}
+		n := float64(len(degs))
+		s.Gini = (2*float64(weighted))/(n*float64(sum)) - (n+1)/n
+	}
+	return s
+}
+
+// DegreeHistogram returns counts of nodes per power-of-two degree bucket:
+// bucket i holds degrees in [2^i, 2^(i+1)) with bucket 0 = degree 0..1.
+func DegreeHistogram(ds *Dataset) []int64 {
+	var hist []int64
+	for v := int64(0); v < ds.NumNodes; v++ {
+		d := ds.Degree(v)
+		b := 0
+		for d > 1 {
+			d >>= 1
+			b++
+		}
+		for len(hist) <= b {
+			hist = append(hist, 0)
+		}
+		hist[b]++
+	}
+	return hist
+}
+
+// TopKByDegree returns the k highest-degree node IDs, descending.
+func TopKByDegree(ds *Dataset, k int) []int64 {
+	if k > int(ds.NumNodes) {
+		k = int(ds.NumNodes)
+	}
+	ids := make([]int64, ds.NumNodes)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ds.Degree(ids[a]) > ds.Degree(ids[b]) })
+	return ids[:k]
+}

@@ -1,0 +1,47 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	ds := buildTestDataset(t) // degrees: 2, 1, 0, 3
+	s := ComputeStats(ds)
+	if s.NumNodes != 4 || s.NumEdges != 6 {
+		t.Fatalf("counts %+v", s)
+	}
+	if s.MinDegree != 0 || s.MaxDegree != 3 || s.Isolated != 1 {
+		t.Fatalf("degrees %+v", s)
+	}
+	if math.Abs(s.AvgDegree-1.5) > 1e-9 {
+		t.Fatalf("avg %v", s.AvgDegree)
+	}
+	if s.MedianDegree != 2 { // sorted 0,1,2,3 -> index 2
+		t.Fatalf("median %d", s.MedianDegree)
+	}
+	if s.Gini <= 0 || s.Gini >= 1 {
+		t.Fatalf("gini %v", s.Gini)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	ds := buildTestDataset(t) // degrees 2,1,0,3
+	h := DegreeHistogram(ds)
+	// bucket 0: degrees 0,1 -> 2 nodes; bucket 1: degrees 2,3 -> 2 nodes.
+	if len(h) != 2 || h[0] != 2 || h[1] != 2 {
+		t.Fatalf("hist %v", h)
+	}
+}
+
+func TestTopKByDegree(t *testing.T) {
+	ds := buildTestDataset(t)
+	top := TopKByDegree(ds, 2)
+	if len(top) != 2 || top[0] != 3 || top[1] != 0 {
+		t.Fatalf("top %v", top)
+	}
+	all := TopKByDegree(ds, 100)
+	if len(all) != 4 {
+		t.Fatalf("clamp failed: %d", len(all))
+	}
+}

@@ -1,0 +1,160 @@
+// Package iobench is the fio-equivalent micro-benchmark driver used by
+// Appendix B's study (Fig. B.1) and the cmd/iobench CLI: random fixed-size
+// reads against the simulated SSD, synchronously with N threads or
+// asynchronously with one thread at I/O depth D, in direct or buffered
+// (page-cached) mode, reporting bandwidth and mean latency.
+package iobench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gnndrive/internal/hostmem"
+	"gnndrive/internal/pagecache"
+	"gnndrive/internal/ssd"
+	"gnndrive/internal/tensor"
+	"gnndrive/internal/uring"
+)
+
+// Spec describes one measurement point.
+type Spec struct {
+	// FileBytes is the target region size; reads are 512 B random.
+	FileBytes int64
+	// Reads is the total number of reads for the point.
+	Reads int
+	// Threads > 0 selects synchronous mode with that many threads;
+	// otherwise Depth selects asynchronous mode on one thread.
+	Threads int
+	Depth   int
+	// Buffered reads through a page cache (sync) or without sector
+	// alignment (async) instead of direct I/O.
+	Buffered bool
+	// CachePool bounds the page cache for buffered sync reads.
+	CachePool int64
+	Seed      uint64
+}
+
+// Result is one measurement.
+type Result struct {
+	Bandwidth float64 // bytes/second
+	MeanLat   time.Duration
+}
+
+// MBps returns the bandwidth in MB/s.
+func (r Result) MBps() float64 { return r.Bandwidth / 1e6 }
+
+// Run executes the spec against dev.
+func Run(dev *ssd.Device, spec Spec) (Result, error) {
+	if spec.FileBytes <= 0 || spec.Reads <= 0 {
+		return Result{}, fmt.Errorf("iobench: bad spec %+v", spec)
+	}
+	if spec.Threads > 0 {
+		return runSync(dev, spec)
+	}
+	if spec.Depth <= 0 {
+		return Result{}, fmt.Errorf("iobench: need Threads or Depth")
+	}
+	return runAsync(dev, spec)
+}
+
+func runSync(dev *ssd.Device, spec Spec) (Result, error) {
+	var file *pagecache.File
+	if spec.Buffered {
+		pool := spec.CachePool
+		if pool == 0 {
+			pool = 8 << 20
+		}
+		budget := hostmem.NewBudget(pool)
+		cache := pagecache.New(dev, budget)
+		file = cache.NewFile(0, spec.FileBytes)
+	}
+	per := spec.Reads / spec.Threads
+	if per == 0 {
+		per = 1
+	}
+	var latSum atomic.Int64
+	var firstErr atomic.Int64 // 0 ok, 1 failed
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < spec.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			rng := tensor.NewRNG(spec.Seed + uint64(t)*977 + 3)
+			buf := make([]byte, 512)
+			for i := 0; i < per; i++ {
+				off := int64(rng.Intn(int(spec.FileBytes/512))) * 512
+				t0 := time.Now()
+				var err error
+				if file != nil {
+					_, err = file.Read(off, buf)
+				} else {
+					_, err = dev.ReadDirect(buf, off)
+				}
+				if err != nil {
+					firstErr.Store(1)
+					return
+				}
+				latSum.Add(int64(time.Since(t0)))
+			}
+		}(t)
+	}
+	wg.Wait()
+	if firstErr.Load() != 0 {
+		return Result{}, fmt.Errorf("iobench: read failed")
+	}
+	elapsed := time.Since(start)
+	n := per * spec.Threads
+	return Result{
+		Bandwidth: float64(n) * 512 / elapsed.Seconds(),
+		MeanLat:   time.Duration(latSum.Load() / int64(n)),
+	}, nil
+}
+
+func runAsync(dev *ssd.Device, spec Spec) (Result, error) {
+	ring := uring.NewRing(dev, spec.Depth)
+	rng := tensor.NewRNG(spec.Seed + uint64(spec.Depth)*31 + 7)
+	bufs := make([][]byte, spec.Depth)
+	for i := range bufs {
+		bufs[i] = make([]byte, 512)
+	}
+	var latSum time.Duration
+	submitted, collected := 0, 0
+	start := time.Now()
+	for collected < spec.Reads {
+		if submitted < spec.Reads && ring.Inflight() < spec.Depth {
+			off := int64(rng.Intn(int(spec.FileBytes/512))) * 512
+			buf := bufs[submitted%spec.Depth]
+			var err error
+			if spec.Buffered {
+				err = ring.SubmitBufferedRead(buf, off, uint64(submitted))
+			} else {
+				err = ring.SubmitRead(buf, off, uint64(submitted))
+			}
+			if err != nil {
+				return Result{}, err
+			}
+			submitted++
+			continue
+		}
+		c := ring.WaitCQE()
+		if c.Err != nil {
+			return Result{}, c.Err
+		}
+		latSum += c.Latency
+		collected++
+	}
+	elapsed := time.Since(start)
+	return Result{
+		Bandwidth: float64(spec.Reads) * 512 / elapsed.Seconds(),
+		MeanLat:   latSum / time.Duration(spec.Reads),
+	}, nil
+}
+
+// NewDevice builds a zero-filled device of the given size for standalone
+// benchmarking.
+func NewDevice(fileBytes int64, cfg ssd.Config) *ssd.Device {
+	return ssd.New(fileBytes, cfg)
+}

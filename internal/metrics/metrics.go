@@ -1,0 +1,232 @@
+// Package metrics collects the measurements the paper's evaluation plots:
+// per-epoch stage breakdowns (sample/extract/train/release plus
+// MariusGNN-style data preparation) and time-series windows of CPU
+// utilization, GPU utilization, and I/O-wait ratio (Figs. 3 and 11).
+//
+// Semantics follow the paper's monitoring: I/O wait is time a thread
+// spends blocked on a *synchronous* storage operation (page-cache fault,
+// sync read/write); time parked on an io_uring completion queue does not
+// count, which is precisely why asynchronous extraction removes I/O wait.
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder accumulates busy/wait counters from every pipeline component.
+type Recorder struct {
+	cpuBusy atomic.Int64 // nanos of useful CPU work
+	ioWait  atomic.Int64 // nanos blocked on synchronous I/O
+	// gpuBusy is a provider because device busy time lives in the device
+	// model; nil means "no GPU".
+	gpuBusy func() int64
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// SetGPUProvider installs a cumulative-busy-nanos source for GPU
+// utilization sampling.
+func (r *Recorder) SetGPUProvider(f func() int64) { r.gpuBusy = f }
+
+// AddCPU accounts useful CPU time.
+func (r *Recorder) AddCPU(d time.Duration) {
+	if d > 0 {
+		r.cpuBusy.Add(int64(d))
+	}
+}
+
+// AddIOWait accounts synchronous I/O blocking time.
+func (r *Recorder) AddIOWait(d time.Duration) {
+	if d > 0 {
+		r.ioWait.Add(int64(d))
+	}
+}
+
+// CPUBusy returns cumulative CPU-busy time.
+func (r *Recorder) CPUBusy() time.Duration { return time.Duration(r.cpuBusy.Load()) }
+
+// IOWait returns cumulative I/O-wait time.
+func (r *Recorder) IOWait() time.Duration { return time.Duration(r.ioWait.Load()) }
+
+// Window is one sampling interval of the utilization time series.
+type Window struct {
+	// At is the window's end, relative to sampling start.
+	At time.Duration
+	// CPUUtil, GPUUtil, and IOWaitRatio are fractions in [0, ~1]
+	// normalized by the configured parallelism.
+	CPUUtil     float64
+	GPUUtil     float64
+	IOWaitRatio float64
+}
+
+// Sampler periodically snapshots a Recorder into utilization windows.
+type Sampler struct {
+	rec      *Recorder
+	interval time.Duration
+	cpuN     float64
+	ioN      float64
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu      sync.Mutex
+	windows []Window
+}
+
+// StartSampler begins sampling every interval. cpuThreads and ioThreads
+// normalize the CPU-busy and I/O-wait fractions (how many workers could
+// be busy/waiting simultaneously).
+func (r *Recorder) StartSampler(interval time.Duration, cpuThreads, ioThreads int) *Sampler {
+	if cpuThreads < 1 {
+		cpuThreads = 1
+	}
+	if ioThreads < 1 {
+		ioThreads = 1
+	}
+	s := &Sampler{
+		rec: r, interval: interval,
+		cpuN: float64(cpuThreads), ioN: float64(ioThreads),
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+func (s *Sampler) run() {
+	defer close(s.done)
+	start := time.Now()
+	lastCPU := s.rec.cpuBusy.Load()
+	lastIO := s.rec.ioWait.Load()
+	var lastGPU int64
+	if s.rec.gpuBusy != nil {
+		lastGPU = s.rec.gpuBusy()
+	}
+	lastT := start
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-ticker.C:
+			dt := now.Sub(lastT).Seconds()
+			if dt <= 0 {
+				continue
+			}
+			cpu := s.rec.cpuBusy.Load()
+			io := s.rec.ioWait.Load()
+			var gpu int64
+			if s.rec.gpuBusy != nil {
+				gpu = s.rec.gpuBusy()
+			}
+			w := Window{
+				At:          now.Sub(start),
+				CPUUtil:     clamp01(float64(cpu-lastCPU) / 1e9 / dt / s.cpuN),
+				IOWaitRatio: clamp01(float64(io-lastIO) / 1e9 / dt / s.ioN),
+			}
+			if s.rec.gpuBusy != nil {
+				w.GPUUtil = clamp01(float64(gpu-lastGPU) / 1e9 / dt)
+			}
+			s.mu.Lock()
+			s.windows = append(s.windows, w)
+			s.mu.Unlock()
+			lastCPU, lastIO, lastGPU, lastT = cpu, io, gpu, now
+		}
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Stop ends sampling and returns the collected windows.
+func (s *Sampler) Stop() []Window {
+	close(s.stop)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.windows
+}
+
+// Breakdown is a per-epoch stage timing summary. Stage times are summed
+// across the workers of that stage (they overlap in wall-clock time for
+// pipelined systems); Total is wall-clock.
+type Breakdown struct {
+	Prep    time.Duration // MariusGNN-style data preparation
+	Sample  time.Duration
+	Extract time.Duration
+	Train   time.Duration
+	Release time.Duration
+	Total   time.Duration
+
+	Batches        int
+	NodesExtracted int64
+	BytesRead      int64
+	BytesReused    int64 // feature bytes served from the feature buffer
+}
+
+// atomicDuration supports concurrent stage accumulation.
+type atomicDuration struct{ n atomic.Int64 }
+
+func (a *atomicDuration) add(d time.Duration) { a.n.Add(int64(d)) }
+func (a *atomicDuration) load() time.Duration { return time.Duration(a.n.Load()) }
+
+// BreakdownCollector accumulates a Breakdown from concurrent stages.
+type BreakdownCollector struct {
+	prep, sample, extract, train, release atomicDuration
+	batches                               atomic.Int64
+	nodesExtracted                        atomic.Int64
+	bytesRead                             atomic.Int64
+	bytesReused                           atomic.Int64
+}
+
+// AddPrep adds data-preparation time.
+func (c *BreakdownCollector) AddPrep(d time.Duration) { c.prep.add(d) }
+
+// AddSample adds sample-stage time.
+func (c *BreakdownCollector) AddSample(d time.Duration) { c.sample.add(d) }
+
+// AddExtract adds extract-stage time.
+func (c *BreakdownCollector) AddExtract(d time.Duration) { c.extract.add(d) }
+
+// AddTrain adds train-stage time.
+func (c *BreakdownCollector) AddTrain(d time.Duration) { c.train.add(d) }
+
+// AddRelease adds release-stage time.
+func (c *BreakdownCollector) AddRelease(d time.Duration) { c.release.add(d) }
+
+// AddBatch counts one completed mini-batch.
+func (c *BreakdownCollector) AddBatch() { c.batches.Add(1) }
+
+// AddExtracted counts nodes and bytes loaded from storage.
+func (c *BreakdownCollector) AddExtracted(nodes int64, bytes int64) {
+	c.nodesExtracted.Add(nodes)
+	c.bytesRead.Add(bytes)
+}
+
+// AddReused counts feature bytes served without I/O.
+func (c *BreakdownCollector) AddReused(bytes int64) { c.bytesReused.Add(bytes) }
+
+// Snapshot finalizes the breakdown with the epoch wall-clock total.
+func (c *BreakdownCollector) Snapshot(total time.Duration) Breakdown {
+	return Breakdown{
+		Prep:           c.prep.load(),
+		Sample:         c.sample.load(),
+		Extract:        c.extract.load(),
+		Train:          c.train.load(),
+		Release:        c.release.load(),
+		Total:          total,
+		Batches:        int(c.batches.Load()),
+		NodesExtracted: c.nodesExtracted.Load(),
+		BytesRead:      c.bytesRead.Load(),
+		BytesReused:    c.bytesReused.Load(),
+	}
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderCounters(t *testing.T) {
+	r := NewRecorder()
+	r.AddCPU(10 * time.Millisecond)
+	r.AddCPU(5 * time.Millisecond)
+	r.AddIOWait(3 * time.Millisecond)
+	r.AddCPU(-time.Millisecond) // negative ignored
+	if r.CPUBusy() != 15*time.Millisecond || r.IOWait() != 3*time.Millisecond {
+		t.Fatalf("cpu=%v io=%v", r.CPUBusy(), r.IOWait())
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.AddCPU(time.Microsecond)
+				r.AddIOWait(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.CPUBusy() != 3200*time.Microsecond {
+		t.Fatalf("cpu=%v", r.CPUBusy())
+	}
+}
+
+func TestSamplerProducesWindows(t *testing.T) {
+	r := NewRecorder()
+	var gpu int64
+	r.SetGPUProvider(func() int64 { return gpu })
+	s := r.StartSampler(5*time.Millisecond, 2, 2)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.AddCPU(2 * time.Millisecond)
+				gpu += int64(time.Millisecond)
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}()
+	time.Sleep(40 * time.Millisecond)
+	close(stop)
+	ws := s.Stop()
+	if len(ws) < 3 {
+		t.Fatalf("only %d windows", len(ws))
+	}
+	var sawCPU, sawGPU bool
+	for _, w := range ws {
+		if w.CPUUtil < 0 || w.CPUUtil > 1 || w.GPUUtil < 0 || w.GPUUtil > 1 || w.IOWaitRatio < 0 || w.IOWaitRatio > 1 {
+			t.Fatalf("window out of range: %+v", w)
+		}
+		if w.CPUUtil > 0.1 {
+			sawCPU = true
+		}
+		if w.GPUUtil > 0.1 {
+			sawGPU = true
+		}
+	}
+	if !sawCPU || !sawGPU {
+		t.Fatalf("expected busy windows, got %+v", ws)
+	}
+	for i := 1; i < len(ws); i++ {
+		if ws[i].At <= ws[i-1].At {
+			t.Fatal("window timestamps not increasing")
+		}
+	}
+}
+
+func TestBreakdownCollector(t *testing.T) {
+	var c BreakdownCollector
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.AddSample(time.Millisecond)
+			c.AddExtract(2 * time.Millisecond)
+			c.AddTrain(3 * time.Millisecond)
+			c.AddRelease(time.Microsecond)
+			c.AddBatch()
+			c.AddExtracted(10, 5120)
+			c.AddReused(1024)
+		}()
+	}
+	wg.Wait()
+	c.AddPrep(7 * time.Millisecond)
+	b := c.Snapshot(100 * time.Millisecond)
+	if b.Sample != 8*time.Millisecond || b.Extract != 16*time.Millisecond ||
+		b.Train != 24*time.Millisecond || b.Release != 8*time.Microsecond {
+		t.Fatalf("breakdown %+v", b)
+	}
+	if b.Prep != 7*time.Millisecond || b.Total != 100*time.Millisecond {
+		t.Fatalf("prep/total %+v", b)
+	}
+	if b.Batches != 8 || b.NodesExtracted != 80 || b.BytesRead != 8*5120 || b.BytesReused != 8*1024 {
+		t.Fatalf("counters %+v", b)
+	}
+}

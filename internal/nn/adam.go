@@ -1,0 +1,47 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	LR      float32
+	Beta1   float32
+	Beta2   float32
+	Eps     float32
+	t       int
+	m, v    map[*Param][]float32
+	stepped bool
+}
+
+// NewAdam creates an optimizer with the usual defaults (lr 1e-3 unless
+// overridden).
+func NewAdam(lr float32) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float32), v: make(map[*Param][]float32),
+	}
+}
+
+// Step applies one update from the accumulated gradients and clears them.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.t)))
+	c2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.t)))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float32, len(p.W.Data))
+			a.m[p] = m
+			a.v[p] = make([]float32, len(p.W.Data))
+		}
+		v := a.v[p]
+		for i, g := range p.G.Data {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mhat := m[i] / c1
+			vhat := v[i] / c2
+			p.W.Data[i] -= a.LR * mhat / (float32(math.Sqrt(float64(vhat))) + a.Eps)
+		}
+		p.G.Zero()
+	}
+}

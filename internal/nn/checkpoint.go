@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// checkpointMagic guards the checkpoint container format.
+const checkpointMagic = "GNNCKPT1"
+
+// SaveCheckpoint writes the model's parameters (names, shapes, values) to
+// path. Gradients and optimizer state are not persisted.
+func (m *Model) SaveCheckpoint(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: checkpoint: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	params := m.Params()
+	if err := binary.Write(w, binary.LittleEndian, int32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeString(w, p.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, int32(p.W.Rows)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, int32(p.W.Cols)); err != nil {
+			return err
+		}
+		for _, v := range p.W.Data {
+			if err := binary.Write(w, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
+// LoadCheckpoint restores parameters saved by SaveCheckpoint into the
+// model. Parameter names and shapes must match exactly (same Config).
+func (m *Model) LoadCheckpoint(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("nn: checkpoint: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != checkpointMagic {
+		return fmt.Errorf("nn: %s is not a checkpoint", path)
+	}
+	var n int32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	params := m.Params()
+	if int(n) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", n, len(params))
+	}
+	for _, p := range params {
+		name, err := readString(r)
+		if err != nil {
+			return err
+		}
+		if name != p.Name {
+			return fmt.Errorf("nn: checkpoint param %q, model expects %q", name, p.Name)
+		}
+		var rows, cols int32
+		if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+			return err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &cols); err != nil {
+			return err
+		}
+		if int(rows) != p.W.Rows || int(cols) != p.W.Cols {
+			return fmt.Errorf("nn: param %q shape %dx%d, model expects %dx%d",
+				name, rows, cols, p.W.Rows, p.W.Cols)
+		}
+		for i := range p.W.Data {
+			var bits uint32
+			if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+				return err
+			}
+			p.W.Data[i] = math.Float32frombits(bits)
+		}
+	}
+	return nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, int32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n int32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n < 0 || n > 4096 {
+		return "", fmt.Errorf("nn: implausible name length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gnndrive/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := Config{Kind: GAT, InDim: 6, Hidden: 8, Classes: 4, Layers: 2}
+	a := NewModel(cfg, tensor.NewRNG(1))
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := a.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	b := NewModel(cfg, tensor.NewRNG(999)) // different init
+	if err := b.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	ap, bp := a.Params(), b.Params()
+	for i := range ap {
+		for j := range ap[i].W.Data {
+			if ap[i].W.Data[j] != bp[i].W.Data[j] {
+				t.Fatalf("param %s differs after load", ap[i].Name)
+			}
+		}
+	}
+	// Loaded model must produce identical predictions.
+	x := toyFeatures(tensor.NewRNG(5), 6)
+	pa := a.Forward(toyBatch(), x)
+	pb := b.Forward(toyBatch(), x)
+	if pa.MaxAbsDiff(pb) != 0 {
+		t.Fatal("predictions differ after checkpoint load")
+	}
+}
+
+func TestCheckpointShapeMismatchRejected(t *testing.T) {
+	a := NewModel(Config{Kind: GCN, InDim: 6, Hidden: 8, Classes: 4, Layers: 2}, tensor.NewRNG(1))
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := a.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	wrongShape := NewModel(Config{Kind: GCN, InDim: 7, Hidden: 8, Classes: 4, Layers: 2}, tensor.NewRNG(1))
+	if err := wrongShape.LoadCheckpoint(path); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	wrongKind := NewModel(Config{Kind: GAT, InDim: 6, Hidden: 8, Classes: 4, Layers: 2}, tensor.NewRNG(1))
+	if err := wrongKind.LoadCheckpoint(path); err == nil {
+		t.Fatal("param count mismatch accepted")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("nonsense"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(Config{Kind: GCN, InDim: 4, Hidden: 4, Classes: 2, Layers: 1}, tensor.NewRNG(1))
+	if err := m.LoadCheckpoint(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := m.LoadCheckpoint(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,258 @@
+package nn
+
+import (
+	"math"
+
+	"gnndrive/internal/tensor"
+)
+
+// meanAggregate computes per-dst means of src rows along e (self-loop
+// included in e), returning the [n x dim] aggregate.
+func meanAggregate(e *edges, x *tensor.Matrix) *tensor.Matrix {
+	agg := tensor.New(e.n, x.Cols)
+	for i := range e.src {
+		d := agg.Row(int(e.dst[i]))
+		s := x.Row(int(e.src[i]))
+		for j, v := range s {
+			d[j] += v
+		}
+	}
+	for v := 0; v < e.n; v++ {
+		if dg := e.deg[v]; dg > 1 {
+			row := agg.Row(v)
+			inv := 1 / dg
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
+	return agg
+}
+
+// meanAggregateBackward scatters dagg back to dx through the mean.
+func meanAggregateBackward(e *edges, dagg *tensor.Matrix, dx *tensor.Matrix) {
+	for i := range e.src {
+		d := dagg.Row(int(e.dst[i]))
+		s := dx.Row(int(e.src[i]))
+		inv := float32(1) / e.deg[e.dst[i]]
+		for j, v := range d {
+			s[j] += v * inv
+		}
+	}
+}
+
+// sageConv is GraphSAGE with mean aggregator:
+// out = x·Wself + mean_{u in N(v) ∪ {v}}(x_u)·Wneigh + b.
+type sageConv struct {
+	wSelf, wNeigh, bias *Param
+	// forward cache
+	e   *edges
+	x   *tensor.Matrix
+	agg *tensor.Matrix
+}
+
+func newSAGEConv(name string, in, out int, rng *tensor.RNG) *sageConv {
+	return &sageConv{
+		wSelf:  newParam(name+".w_self", in, out, rng),
+		wNeigh: newParam(name+".w_neigh", in, out, rng),
+		bias:   newZeroParam(name+".bias", 1, out),
+	}
+}
+
+func (c *sageConv) params() []*Param { return []*Param{c.wSelf, c.wNeigh, c.bias} }
+
+func (c *sageConv) forward(e *edges, x *tensor.Matrix) *tensor.Matrix {
+	c.e, c.x = e, x
+	c.agg = meanAggregate(e, x)
+	out := tensor.MatMul(x, c.wSelf.W)
+	out.Add(tensor.MatMul(c.agg, c.wNeigh.W))
+	out.AddRowVector(c.bias.W.Data)
+	return out
+}
+
+func (c *sageConv) backward(dout *tensor.Matrix) *tensor.Matrix {
+	c.wSelf.G.Add(tensor.MatMulT1(c.x, dout))
+	c.wNeigh.G.Add(tensor.MatMulT1(c.agg, dout))
+	bg := dout.ColSums()
+	for j, v := range bg {
+		c.bias.G.Data[j] += v
+	}
+	dx := tensor.MatMulT2(dout, c.wSelf.W)
+	dagg := tensor.MatMulT2(dout, c.wNeigh.W)
+	meanAggregateBackward(c.e, dagg, dx)
+	return dx
+}
+
+// gcnConv is a GCN layer with mean-normalized aggregation over
+// N(v) ∪ {v}: out = mean(x)·W + b.
+type gcnConv struct {
+	w, bias *Param
+	e       *edges
+	x       *tensor.Matrix
+	agg     *tensor.Matrix
+}
+
+func newGCNConv(name string, in, out int, rng *tensor.RNG) *gcnConv {
+	return &gcnConv{
+		w:    newParam(name+".w", in, out, rng),
+		bias: newZeroParam(name+".bias", 1, out),
+	}
+}
+
+func (c *gcnConv) params() []*Param { return []*Param{c.w, c.bias} }
+
+func (c *gcnConv) forward(e *edges, x *tensor.Matrix) *tensor.Matrix {
+	c.e, c.x = e, x
+	c.agg = meanAggregate(e, x)
+	out := tensor.MatMul(c.agg, c.w.W)
+	out.AddRowVector(c.bias.W.Data)
+	return out
+}
+
+func (c *gcnConv) backward(dout *tensor.Matrix) *tensor.Matrix {
+	c.w.G.Add(tensor.MatMulT1(c.agg, dout))
+	bg := dout.ColSums()
+	for j, v := range bg {
+		c.bias.G.Data[j] += v
+	}
+	dagg := tensor.MatMulT2(dout, c.w.W)
+	dx := tensor.New(c.x.Rows, c.x.Cols)
+	meanAggregateBackward(c.e, dagg, dx)
+	return dx
+}
+
+// gatConv is a single-head graph attention layer:
+//
+//	h = x·W;  e_uv = LeakyReLU(a1·h_u + a2·h_v);  α = softmax_v(e)
+//	out_v = Σ_u α_uv h_u + b
+type gatConv struct {
+	w, a1, a2, bias *Param
+
+	// forward cache
+	e      *edges
+	x, h   *tensor.Matrix
+	scores []float32 // pre-activation edge scores
+	alpha  []float32 // attention weights
+}
+
+const gatSlope = 0.2
+
+func newGATConv(name string, in, out int, rng *tensor.RNG) *gatConv {
+	return &gatConv{
+		w:    newParam(name+".w", in, out, rng),
+		a1:   newParam(name+".a_src", out, 1, rng),
+		a2:   newParam(name+".a_dst", out, 1, rng),
+		bias: newZeroParam(name+".bias", 1, out),
+	}
+}
+
+func (c *gatConv) params() []*Param { return []*Param{c.w, c.a1, c.a2, c.bias} }
+
+func (c *gatConv) forward(e *edges, x *tensor.Matrix) *tensor.Matrix {
+	c.e, c.x = e, x
+	c.h = tensor.MatMul(x, c.w.W)
+	n := e.n
+	// Per-node projections onto the attention vectors.
+	s1 := make([]float32, n)
+	s2 := make([]float32, n)
+	for v := 0; v < n; v++ {
+		row := c.h.Row(v)
+		var d1, d2 float32
+		for j, hv := range row {
+			d1 += hv * c.a1.W.Data[j]
+			d2 += hv * c.a2.W.Data[j]
+		}
+		s1[v], s2[v] = d1, d2
+	}
+	m := len(e.src)
+	c.scores = make([]float32, m)
+	act := make([]float32, m)
+	maxPerDst := make([]float32, n)
+	for v := range maxPerDst {
+		maxPerDst[v] = float32(math.Inf(-1))
+	}
+	for i := range e.src {
+		s := s1[e.src[i]] + s2[e.dst[i]]
+		c.scores[i] = s
+		if s < 0 {
+			s *= gatSlope
+		}
+		act[i] = s
+		if s > maxPerDst[e.dst[i]] {
+			maxPerDst[e.dst[i]] = s
+		}
+	}
+	// Softmax over in-edges of each dst.
+	c.alpha = make([]float32, m)
+	sumPerDst := make([]float32, n)
+	for i := range e.src {
+		a := float32(math.Exp(float64(act[i] - maxPerDst[e.dst[i]])))
+		c.alpha[i] = a
+		sumPerDst[e.dst[i]] += a
+	}
+	for i := range c.alpha {
+		c.alpha[i] /= sumPerDst[e.dst[i]]
+	}
+	out := tensor.New(n, c.h.Cols)
+	for i := range e.src {
+		d := out.Row(int(e.dst[i]))
+		s := c.h.Row(int(e.src[i]))
+		a := c.alpha[i]
+		for j, v := range s {
+			d[j] += a * v
+		}
+	}
+	out.AddRowVector(c.bias.W.Data)
+	return out
+}
+
+func (c *gatConv) backward(dout *tensor.Matrix) *tensor.Matrix {
+	e, h := c.e, c.h
+	n, m := e.n, len(e.src)
+	bg := dout.ColSums()
+	for j, v := range bg {
+		c.bias.G.Data[j] += v
+	}
+	dh := tensor.New(h.Rows, h.Cols)
+	dalpha := make([]float32, m)
+	for i := range e.src {
+		dRow := dout.Row(int(e.dst[i]))
+		hRow := h.Row(int(e.src[i]))
+		dhRow := dh.Row(int(e.src[i]))
+		a := c.alpha[i]
+		var da float32
+		for j, dv := range dRow {
+			dhRow[j] += a * dv
+			da += dv * hRow[j]
+		}
+		dalpha[i] = da
+	}
+	// Softmax backward per dst: de_i = α_i (dα_i - Σ_j α_j dα_j).
+	dotPerDst := make([]float32, n)
+	for i := range e.src {
+		dotPerDst[e.dst[i]] += c.alpha[i] * dalpha[i]
+	}
+	ds1 := make([]float32, n)
+	ds2 := make([]float32, n)
+	for i := range e.src {
+		de := c.alpha[i] * (dalpha[i] - dotPerDst[e.dst[i]])
+		if c.scores[i] < 0 {
+			de *= gatSlope
+		}
+		ds1[e.src[i]] += de
+		ds2[e.dst[i]] += de
+	}
+	// dh += ds1⊗a1 + ds2⊗a2; da1 = hᵀ·ds1; da2 = hᵀ·ds2.
+	for v := 0; v < n; v++ {
+		hRow := h.Row(v)
+		dhRow := dh.Row(v)
+		g1, g2 := ds1[v], ds2[v]
+		for j := range hRow {
+			dhRow[j] += g1*c.a1.W.Data[j] + g2*c.a2.W.Data[j]
+			c.a1.G.Data[j] += g1 * hRow[j]
+			c.a2.G.Data[j] += g2 * hRow[j]
+		}
+	}
+	c.w.G.Add(tensor.MatMulT1(c.x, dh))
+	return tensor.MatMulT2(dh, c.w.W)
+}

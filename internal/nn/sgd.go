@@ -1,0 +1,53 @@
+package nn
+
+// SGD is stochastic gradient descent with optional momentum and weight
+// decay — the lighter-weight alternative to Adam for large models where
+// optimizer state memory matters (out-of-core training often prefers it).
+type SGD struct {
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+	vel         map[*Param][]float32
+}
+
+// NewSGD creates the optimizer.
+func NewSGD(lr, momentum, weightDecay float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		vel: make(map[*Param][]float32)}
+}
+
+// Step applies one update from the accumulated gradients and clears them.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		var v []float32
+		if s.Momentum != 0 {
+			var ok bool
+			v, ok = s.vel[p]
+			if !ok {
+				v = make([]float32, len(p.W.Data))
+				s.vel[p] = v
+			}
+		}
+		for i, g := range p.G.Data {
+			if s.WeightDecay != 0 {
+				g += s.WeightDecay * p.W.Data[i]
+			}
+			if v != nil {
+				v[i] = s.Momentum*v[i] + g
+				g = v[i]
+			}
+			p.W.Data[i] -= s.LR * g
+		}
+		p.G.Zero()
+	}
+}
+
+// Optimizer is the interface both Adam and SGD satisfy.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+var (
+	_ Optimizer = (*Adam)(nil)
+	_ Optimizer = (*SGD)(nil)
+)

@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"testing"
+
+	"gnndrive/internal/tensor"
+)
+
+func TestSGDMovesAgainstGradient(t *testing.T) {
+	p := newZeroParam("p", 1, 2)
+	p.G.Data[0] = 2
+	p.G.Data[1] = -2
+	NewSGD(0.5, 0, 0).Step([]*Param{p})
+	if p.W.Data[0] != -1 || p.W.Data[1] != 1 {
+		t.Fatalf("got %v", p.W.Data)
+	}
+	for _, g := range p.G.Data {
+		if g != 0 {
+			t.Fatal("gradients not cleared")
+		}
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := newZeroParam("p", 1, 1)
+	opt := NewSGD(1, 0.9, 0)
+	p.G.Data[0] = 1
+	opt.Step([]*Param{p}) // v=1, w=-1
+	p.G.Data[0] = 1
+	opt.Step([]*Param{p}) // v=1.9, w=-2.9
+	if diff := p.W.Data[0] + 2.9; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("w=%v want -2.9", p.W.Data[0])
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	p := newZeroParam("p", 1, 1)
+	p.W.Data[0] = 10
+	NewSGD(0.1, 0, 0.5).Step([]*Param{p}) // g=0+0.5*10=5; w=10-0.5=9.5
+	if p.W.Data[0] != 9.5 {
+		t.Fatalf("w=%v", p.W.Data[0])
+	}
+}
+
+func TestSGDTrainsToyModel(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	m := NewModel(Config{Kind: GraphSAGE, InDim: 6, Hidden: 12, Classes: 3, Layers: 2}, rng)
+	opt := NewSGD(0.05, 0.9, 0)
+	b := toyBatch()
+	x := toyFeatures(rng, 6)
+	labels := []int32{0, 2}
+	var first, last float32
+	for i := 0; i < 80; i++ {
+		loss, _ := m.Loss(b, x, labels)
+		opt.Step(m.Params())
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first/2 {
+		t.Fatalf("SGD loss %v -> %v", first, last)
+	}
+}

@@ -1,0 +1,46 @@
+package pagecache
+
+import (
+	"testing"
+
+	"gnndrive/internal/hostmem"
+	"gnndrive/internal/ssd"
+)
+
+// BenchmarkReadHit measures a fully cached 512 B read.
+func BenchmarkReadHit(b *testing.B) {
+	dev := ssd.New(1<<20, ssd.InstantConfig())
+	defer dev.Close()
+	budget := hostmem.NewBudget(1 << 20)
+	c := New(dev, budget)
+	f := c.NewFile(0, 1<<20)
+	buf := make([]byte, 512)
+	if _, err := f.Read(0, buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Read(int64(i%1024)*512%(1<<19), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadMissEvict measures the miss path under eviction pressure.
+func BenchmarkReadMissEvict(b *testing.B) {
+	dev := ssd.New(64<<20, ssd.InstantConfig())
+	defer dev.Close()
+	budget := hostmem.NewBudget(64 * PageSize)
+	c := New(dev, budget)
+	f := c.NewFile(0, 64<<20)
+	buf := make([]byte, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * 2 * PageSize) % (63 << 20)
+		if _, err := f.Read(off, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

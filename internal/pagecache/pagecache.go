@@ -1,0 +1,197 @@
+// Package pagecache models the OS page cache shared by every
+// memory-mapped file on the machine.
+//
+// This is the arena where the paper's memory contention (O1) plays out:
+// PyG+ memory-maps both topology and features, so extract-stage feature
+// pages evict sample-stage topology pages from the same LRU. The cache's
+// allowance is whatever the host budget has not pinned (hostmem.Budget),
+// so growing an application buffer shrinks the cache exactly as on Linux.
+package pagecache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gnndrive/internal/hostmem"
+	"gnndrive/internal/ssd"
+)
+
+// PageSize is the cache granularity, as on Linux.
+const PageSize = 4096
+
+type pageKey struct {
+	file int32
+	page int64
+}
+
+type page struct {
+	key     pageKey
+	data    []byte
+	loading chan struct{} // closed when data is valid
+	elem    *list.Element
+}
+
+// Stats are cumulative cache counters.
+type Stats struct {
+	Hits, Misses, Evictions int64
+}
+
+// Cache is a shared LRU page cache in front of one simulated device.
+type Cache struct {
+	dev    *ssd.Device
+	budget *hostmem.Budget
+
+	mu     sync.Mutex
+	pages  map[pageKey]*page
+	lru    *list.List // front = most recently used
+	nextID int32
+
+	hits, misses, evictions atomic.Int64
+}
+
+// New creates a cache over dev whose size is bounded by budget.CachePool().
+func New(dev *ssd.Device, budget *hostmem.Budget) *Cache {
+	return &Cache{
+		dev:    dev,
+		budget: budget,
+		pages:  make(map[pageKey]*page),
+		lru:    list.New(),
+	}
+}
+
+// File is a mmap-able region of the device, read through the cache.
+type File struct {
+	c    *Cache
+	id   int32
+	base int64
+	size int64
+}
+
+// NewFile registers a device region [base, base+size) as a cached file.
+func (c *Cache) NewFile(base, size int64) *File {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	return &File{c: c, id: c.nextID, base: base, size: size}
+}
+
+// Size returns the file length in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// Read copies file bytes [off, off+len(p)) into p through the cache,
+// faulting missing pages from the device. It returns the total time spent
+// blocked on device I/O (zero on a full hit).
+func (f *File) Read(off int64, p []byte) (time.Duration, error) {
+	if off < 0 || off+int64(len(p)) > f.size {
+		return 0, fmt.Errorf("pagecache: read [%d,%d) outside file size %d", off, off+int64(len(p)), f.size)
+	}
+	var waited time.Duration
+	for done := 0; done < len(p); {
+		pos := off + int64(done)
+		pageNo := pos / PageSize
+		pg, w, err := f.c.getPage(f, pageNo)
+		waited += w
+		if err != nil {
+			return waited, err
+		}
+		inPage := int(pos % PageSize)
+		n := copy(p[done:], pg.data[inPage:])
+		done += n
+	}
+	return waited, nil
+}
+
+// getPage returns the page, faulting it in if absent. Concurrent faults on
+// the same page coalesce: one reader performs the device I/O, others wait.
+func (c *Cache) getPage(f *File, pageNo int64) (*page, time.Duration, error) {
+	key := pageKey{file: f.id, page: pageNo}
+	c.mu.Lock()
+	if pg, ok := c.pages[key]; ok {
+		c.lru.MoveToFront(pg.elem)
+		loading := pg.loading
+		c.mu.Unlock()
+		if loading != nil {
+			start := time.Now()
+			<-loading
+			c.hits.Add(1)
+			return pg, time.Since(start), nil
+		}
+		c.hits.Add(1)
+		return pg, 0, nil
+	}
+	pg := &page{key: key, loading: make(chan struct{})}
+	pg.elem = c.lru.PushFront(pg)
+	c.pages[key] = pg
+	c.evictLocked()
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	// Fault: buffered 4 KiB read from the device (clamped at file end of
+	// the underlying region).
+	pg.data = make([]byte, PageSize)
+	devOff := f.base + pageNo*PageSize
+	n := int64(PageSize)
+	if devOff+n > c.dev.Capacity() {
+		n = c.dev.Capacity() - devOff
+	}
+	waited, err := c.dev.ReadAt(pg.data[:n], devOff)
+	closeLoad := pg.loading
+	c.mu.Lock()
+	pg.loading = nil
+	c.mu.Unlock()
+	close(closeLoad)
+	return pg, waited, err
+}
+
+// evictLocked drops least-recently-used ready pages while the cache
+// exceeds its current allowance. Pages still loading are skipped.
+func (c *Cache) evictLocked() {
+	allow := c.budget.CachePool()
+	for int64(c.lru.Len())*PageSize > allow {
+		evicted := false
+		for e := c.lru.Back(); e != nil; e = e.Prev() {
+			pg := e.Value.(*page)
+			if pg.loading != nil {
+				continue
+			}
+			c.lru.Remove(e)
+			delete(c.pages, pg.key)
+			c.evictions.Add(1)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything in flight; let them land first
+		}
+	}
+}
+
+// ResidentBytes returns the bytes currently cached.
+func (c *Cache) ResidentBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(c.lru.Len()) * PageSize
+}
+
+// DropAll empties the cache (echo 3 > drop_caches between runs).
+func (c *Cache) DropAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for e := c.lru.Front(); e != nil; {
+		next := e.Next()
+		pg := e.Value.(*page)
+		if pg.loading == nil {
+			c.lru.Remove(e)
+			delete(c.pages, pg.key)
+		}
+		e = next
+	}
+}
+
+// Stats returns a snapshot of cumulative counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Evictions: c.evictions.Load()}
+}

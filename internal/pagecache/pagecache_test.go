@@ -1,0 +1,243 @@
+package pagecache
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"gnndrive/internal/hostmem"
+	"gnndrive/internal/ssd"
+)
+
+func testCache(t *testing.T, devSize int64, budget int64) (*ssd.Device, *hostmem.Budget, *Cache) {
+	t.Helper()
+	d := ssd.New(devSize, ssd.InstantConfig())
+	t.Cleanup(d.Close)
+	b := hostmem.NewBudget(budget)
+	return d, b, New(d, b)
+}
+
+func fillPattern(d *ssd.Device, base, size int64) []byte {
+	img := make([]byte, size)
+	for i := range img {
+		img[i] = byte((int64(i) + base) * 131)
+	}
+	d.WriteAt(img, base)
+	return img
+}
+
+func TestReadThroughCache(t *testing.T) {
+	d, _, c := testCache(t, 1<<20, 1<<20)
+	img := fillPattern(d, 8192, 64*1024)
+	f := c.NewFile(8192, 64*1024)
+	buf := make([]byte, 1000)
+	if _, err := f.Read(5000, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, img[5000:6000]) {
+		t.Fatal("cached read returned wrong bytes")
+	}
+	// Second read of the same range: all hits, no new misses.
+	before := c.Stats()
+	if _, err := f.Read(5000, buf); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Stats()
+	if after.Misses != before.Misses {
+		t.Fatalf("re-read caused %d new misses", after.Misses-before.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatal("re-read should register hits")
+	}
+}
+
+func TestReadSpanningPages(t *testing.T) {
+	d, _, c := testCache(t, 1<<20, 1<<20)
+	img := fillPattern(d, 0, 1<<20)
+	f := c.NewFile(0, 1<<20)
+	buf := make([]byte, 3*PageSize+17)
+	off := int64(PageSize - 9)
+	if _, err := f.Read(off, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, img[off:off+int64(len(buf))]) {
+		t.Fatal("spanning read mismatch")
+	}
+}
+
+func TestReadOutOfFileBounds(t *testing.T) {
+	_, _, c := testCache(t, 1<<20, 1<<20)
+	f := c.NewFile(0, 1000)
+	if _, err := f.Read(990, make([]byte, 20)); err == nil {
+		t.Fatal("expected bounds error")
+	}
+	if _, err := f.Read(-1, make([]byte, 1)); err == nil {
+		t.Fatal("expected bounds error for negative offset")
+	}
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	// Budget allows ~4 pages of cache; stream 32 pages through.
+	d, b, c := testCache(t, 1<<20, 4*PageSize)
+	fillPattern(d, 0, 1<<20)
+	f := c.NewFile(0, 1<<20)
+	buf := make([]byte, PageSize)
+	for i := int64(0); i < 32; i++ {
+		if _, err := f.Read(i*PageSize, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.ResidentBytes(); got > 4*PageSize {
+		t.Fatalf("resident %d exceeds allowance %d", got, 4*PageSize)
+	}
+	if s := c.Stats(); s.Evictions == 0 {
+		t.Fatal("expected evictions under pressure")
+	}
+	_ = b
+}
+
+func TestPinningShrinksCache(t *testing.T) {
+	d, b, c := testCache(t, 1<<20, 16*PageSize)
+	fillPattern(d, 0, 1<<20)
+	f := c.NewFile(0, 1<<20)
+	buf := make([]byte, PageSize)
+	for i := int64(0); i < 10; i++ {
+		if _, err := f.Read(i*PageSize, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.ResidentBytes() != 10*PageSize {
+		t.Fatalf("resident %d", c.ResidentBytes())
+	}
+	// Pin most of the budget: the next fault must trigger eviction down
+	// to the new allowance.
+	b.MustPin("buffer", 14*PageSize)
+	if _, err := f.Read(20*PageSize, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, allow := c.ResidentBytes(), b.CachePool(); got > allow {
+		t.Fatalf("resident %d exceeds shrunk allowance %d", got, allow)
+	}
+}
+
+func TestLRUKeepsHotPages(t *testing.T) {
+	d, _, c := testCache(t, 1<<20, 3*PageSize)
+	fillPattern(d, 0, 1<<20)
+	f := c.NewFile(0, 1<<20)
+	buf := make([]byte, PageSize)
+	mustRead := func(page int64) {
+		t.Helper()
+		if _, err := f.Read(page*PageSize, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRead(0)
+	mustRead(1)
+	mustRead(2)
+	mustRead(0) // touch page 0: page 1 becomes LRU
+	mustRead(9) // evicts page 1
+	before := c.Stats()
+	mustRead(0) // should still be resident
+	if c.Stats().Misses != before.Misses {
+		t.Fatal("hot page 0 was evicted; LRU order wrong")
+	}
+	mustRead(1) // must miss
+	if c.Stats().Misses != before.Misses+1 {
+		t.Fatal("page 1 should have been evicted")
+	}
+}
+
+func TestTwoFilesShareOneCache(t *testing.T) {
+	d, _, c := testCache(t, 1<<20, 2*PageSize)
+	fillPattern(d, 0, 1<<20)
+	topo := c.NewFile(0, 8*PageSize)
+	feat := c.NewFile(8*PageSize, 64*PageSize)
+	buf := make([]byte, PageSize)
+	if _, err := topo.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Stream the feature file: must evict the topology page (contention).
+	for i := int64(0); i < 16; i++ {
+		if _, err := feat.Read(i*PageSize, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.Stats().Misses
+	if _, err := topo.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Misses != before+1 {
+		t.Fatal("feature streaming should have evicted the topology page")
+	}
+}
+
+func TestConcurrentReadersCoalesceAndAgree(t *testing.T) {
+	d, _, c := testCache(t, 1<<20, 1<<20)
+	img := fillPattern(d, 0, 1<<20)
+	f := c.NewFile(0, 1<<20)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 2048)
+			for i := 0; i < 50; i++ {
+				off := int64((g*37 + i*911) % (1 << 19))
+				if _, err := f.Read(off, buf); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(buf, img[off:off+2048]) {
+					errs <- bytes.ErrTooLarge // sentinel: mismatch
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestDropAll(t *testing.T) {
+	d, _, c := testCache(t, 1<<20, 1<<20)
+	fillPattern(d, 0, 1<<20)
+	f := c.NewFile(0, 1<<20)
+	buf := make([]byte, PageSize)
+	for i := int64(0); i < 5; i++ {
+		if _, err := f.Read(i*PageSize, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.DropAll()
+	if c.ResidentBytes() != 0 {
+		t.Fatalf("resident %d after DropAll", c.ResidentBytes())
+	}
+}
+
+// Property: cached reads always equal the device image regardless of
+// cache-size pressure and access order.
+func TestCachedReadEqualsImage(t *testing.T) {
+	d, _, c := testCache(t, 1<<18, 2*PageSize)
+	img := fillPattern(d, 0, 1<<18)
+	f := c.NewFile(0, 1<<18)
+	fn := func(off uint32, ln uint16) bool {
+		o := int64(off) % (1 << 18)
+		n := int64(ln)
+		if o+n > 1<<18 {
+			n = 1<<18 - o
+		}
+		buf := make([]byte, n)
+		if _, err := f.Read(o, buf); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, img[o:o+n])
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

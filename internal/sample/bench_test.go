@@ -1,0 +1,32 @@
+package sample
+
+import (
+	"testing"
+
+	"gnndrive/internal/gen"
+	"gnndrive/internal/graph"
+	"gnndrive/internal/ssd"
+	"gnndrive/internal/tensor"
+)
+
+// BenchmarkSampleBatch measures 3-hop sampling of a 50-target batch on
+// the tiny graph through the untimed reader (pure sampler cost).
+func BenchmarkSampleBatch(b *testing.B) {
+	ds, err := gen.BuildStandalone(gen.Tiny(), ssd.InstantConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ds.Dev.Close()
+	s := New(graph.NewRawReader(ds), []int{3, 3, 3}, tensor.NewRNG(1))
+	targets := make([]int64, 50)
+	for i := range targets {
+		targets[i] = int64(i * 7)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.SampleBatch(i, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

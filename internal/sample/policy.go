@@ -1,0 +1,126 @@
+package sample
+
+import (
+	"gnndrive/internal/tensor"
+)
+
+// Policy selects which of a node's in-neighbors join the sampled
+// subgraph. §4.4: "The sampler in GNNDrive supports various sampling
+// policies and domain-specific node caching methods with high
+// adaptability" — this is that extension point. Pick may reorder ns in
+// place and must return a subslice or ns itself.
+type Policy interface {
+	// Name identifies the policy in logs and experiment tables.
+	Name() string
+	// Pick returns up to fanout neighbors of v chosen from ns.
+	Pick(v int64, ns []int32, fanout int, rng *tensor.RNG) []int32
+}
+
+// UniformPolicy is classic uniform sampling without replacement — the
+// paper's default (GraphSAGE-style random neighborhood sampling).
+type UniformPolicy struct{}
+
+// Name implements Policy.
+func (UniformPolicy) Name() string { return "uniform" }
+
+// Pick implements Policy with a partial Fisher-Yates shuffle.
+func (UniformPolicy) Pick(_ int64, ns []int32, fanout int, rng *tensor.RNG) []int32 {
+	if len(ns) <= fanout {
+		return ns
+	}
+	for i := 0; i < fanout; i++ {
+		j := i + rng.Intn(len(ns)-i)
+		ns[i], ns[j] = ns[j], ns[i]
+	}
+	return ns[:fanout]
+}
+
+// DegreeBiasedPolicy samples neighbors with probability proportional to
+// their degree (importance-sampling flavour: hubs carry more aggregate
+// information and are also the nodes most likely to be cached).
+type DegreeBiasedPolicy struct {
+	// Degree returns the in-degree of a node.
+	Degree func(int64) int64
+}
+
+// Name implements Policy.
+func (DegreeBiasedPolicy) Name() string { return "degree-biased" }
+
+// Pick implements Policy with weighted sampling without replacement
+// (repeated weighted draws with swap-out).
+func (p DegreeBiasedPolicy) Pick(_ int64, ns []int32, fanout int, rng *tensor.RNG) []int32 {
+	if len(ns) <= fanout {
+		return ns
+	}
+	// Prefix-sum weighted draws over the remaining suffix.
+	weights := make([]float64, len(ns))
+	var total float64
+	for i, u := range ns {
+		w := float64(p.Degree(int64(u))) + 1
+		weights[i] = w
+		total += w
+	}
+	for i := 0; i < fanout; i++ {
+		r := rng.Float64() * total
+		var acc float64
+		pick := i
+		for j := i; j < len(ns); j++ {
+			acc += weights[j]
+			if acc >= r {
+				pick = j
+				break
+			}
+		}
+		ns[i], ns[pick] = ns[pick], ns[i]
+		total -= weights[pick]
+		weights[i], weights[pick] = weights[pick], weights[i]
+	}
+	return ns[:fanout]
+}
+
+// TopDegreePolicy deterministically keeps the highest-degree neighbors;
+// deterministic sampling makes extraction maximally cacheable (the same
+// hub features recur every batch).
+type TopDegreePolicy struct {
+	Degree func(int64) int64
+}
+
+// Name implements Policy.
+func (TopDegreePolicy) Name() string { return "top-degree" }
+
+// Pick implements Policy via partial selection of the top-fanout degrees.
+func (p TopDegreePolicy) Pick(_ int64, ns []int32, fanout int, _ *tensor.RNG) []int32 {
+	if len(ns) <= fanout {
+		return ns
+	}
+	for i := 0; i < fanout; i++ {
+		best := i
+		for j := i + 1; j < len(ns); j++ {
+			if p.Degree(int64(ns[j])) > p.Degree(int64(ns[best])) {
+				best = j
+			}
+		}
+		ns[i], ns[best] = ns[best], ns[i]
+	}
+	return ns[:fanout]
+}
+
+// FullPolicy keeps every neighbor (full-neighborhood aggregation; the
+// fanout is ignored). Useful for exact evaluation passes.
+type FullPolicy struct{}
+
+// Name implements Policy.
+func (FullPolicy) Name() string { return "full" }
+
+// Pick implements Policy.
+func (FullPolicy) Pick(_ int64, ns []int32, _ int, _ *tensor.RNG) []int32 { return ns }
+
+// WithPolicy replaces the sampler's neighbor-selection policy (default
+// UniformPolicy) and returns the sampler for chaining.
+func (s *Sampler) WithPolicy(p Policy) *Sampler {
+	if p == nil {
+		panic("sample: nil policy")
+	}
+	s.policy = p
+	return s
+}

@@ -1,0 +1,184 @@
+// Package sample implements k-hop uniform neighborhood sampling, the
+// "sample" stage of the SET loop (§2). A sampler turns a mini-batch of
+// target nodes into a layered subgraph: a deduplicated node list (targets
+// first) plus per-hop COO edge lists whose endpoints index into that
+// list — the shape PyG's NeighborSampler produces and the shape the GNN
+// layers in internal/nn consume.
+package sample
+
+import (
+	"fmt"
+	"time"
+
+	"gnndrive/internal/graph"
+	"gnndrive/internal/tensor"
+)
+
+// Layer is the COO edge list of one sampling hop. Edge i flows from
+// Nodes[Src[i]] to Nodes[Dst[i]] (aggregation direction).
+type Layer struct {
+	Src []int32
+	Dst []int32
+}
+
+// Batch is a sampled mini-batch subgraph.
+type Batch struct {
+	// ID is the batch's position in the epoch's original order.
+	ID int
+	// Nodes are the unique sampled node IDs; Nodes[:NumTargets] are the
+	// batch's target (seed) nodes in order.
+	Nodes      []int64
+	NumTargets int
+	// Layers[h] holds hop h+1's edges (Layers[0] connects 1-hop
+	// neighbors to targets). The forward pass consumes them reversed.
+	Layers []Layer
+}
+
+// NumEdges returns the total edge count across all hops.
+func (b *Batch) NumEdges() int64 {
+	var n int64
+	for _, l := range b.Layers {
+		n += int64(len(l.Src))
+	}
+	return n
+}
+
+// Sampler draws k-hop neighborhoods through a NeighborReader.
+// A Sampler is not safe for concurrent use; give each goroutine its own
+// (they can share the reader only if the reader is itself per-goroutine).
+type Sampler struct {
+	reader  graph.NeighborReader
+	fanouts []int
+	rng     *tensor.RNG
+	policy  Policy
+	scratch []int32
+}
+
+// New creates a sampler with per-hop fanouts (e.g. 10,10,10) and the
+// default uniform policy.
+func New(reader graph.NeighborReader, fanouts []int, rng *tensor.RNG) *Sampler {
+	if len(fanouts) == 0 {
+		panic("sample: empty fanouts")
+	}
+	for _, f := range fanouts {
+		if f <= 0 {
+			panic(fmt.Sprintf("sample: fanout %d", f))
+		}
+	}
+	return &Sampler{reader: reader, fanouts: fanouts, rng: rng, policy: UniformPolicy{}}
+}
+
+// SampleBatch samples the k-hop neighborhood of targets and returns the
+// batch plus the time spent blocked on topology I/O.
+func (s *Sampler) SampleBatch(id int, targets []int64) (*Batch, time.Duration, error) {
+	b := &Batch{ID: id, NumTargets: len(targets)}
+	index := make(map[int64]int32, len(targets)*8)
+	for _, t := range targets {
+		if _, dup := index[t]; dup {
+			return nil, 0, fmt.Errorf("sample: duplicate target %d", t)
+		}
+		index[t] = int32(len(b.Nodes))
+		b.Nodes = append(b.Nodes, t)
+	}
+	var ioWait time.Duration
+	frontierLo, frontierHi := 0, len(b.Nodes)
+	for _, fanout := range s.fanouts {
+		layer := Layer{}
+		for vi := frontierLo; vi < frontierHi; vi++ {
+			v := b.Nodes[vi]
+			ns, w, err := s.reader.Neighbors(v, s.scratch)
+			s.scratch = ns[:0]
+			ioWait += w
+			if err != nil {
+				return nil, ioWait, err
+			}
+			picked := s.policy.Pick(v, ns, fanout, s.rng)
+			// Every frontier node aggregates itself too (self-loop), so
+			// isolated nodes still produce an embedding.
+			layer.Src = append(layer.Src, int32(vi))
+			layer.Dst = append(layer.Dst, int32(vi))
+			for _, u := range picked {
+				ui, ok := index[int64(u)]
+				if !ok {
+					ui = int32(len(b.Nodes))
+					index[int64(u)] = ui
+					b.Nodes = append(b.Nodes, int64(u))
+				}
+				layer.Src = append(layer.Src, ui)
+				layer.Dst = append(layer.Dst, int32(vi))
+			}
+		}
+		b.Layers = append(b.Layers, layer)
+		frontierLo, frontierHi = frontierHi, len(b.Nodes)
+	}
+	return b, ioWait, nil
+}
+
+// Plan is an epoch's mini-batch schedule: target node ID chunks in a
+// (possibly shuffled) order.
+type Plan struct {
+	Batches [][]int64
+}
+
+// NewPlan splits train onto batches of size batchSize; if rng is non-nil
+// the node order is shuffled first.
+func NewPlan(train []int64, batchSize int, rng *tensor.RNG) *Plan {
+	if batchSize <= 0 {
+		panic("sample: batchSize <= 0")
+	}
+	order := make([]int64, len(train))
+	copy(order, train)
+	if rng != nil {
+		for i := len(order) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	p := &Plan{}
+	for lo := 0; lo < len(order); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(order) {
+			hi = len(order)
+		}
+		p.Batches = append(p.Batches, order[lo:hi])
+	}
+	return p
+}
+
+// EstimateMaxBatchNodes dry-runs sampling over a few batches with an
+// untimed reader and returns a high-water estimate of unique nodes per
+// mini-batch. GNNDrive sizes its feature and staging buffers from this
+// (the paper's M_b), "with regard to the volume of topological data and
+// the capacity of available host memory" (§4.2).
+func EstimateMaxBatchNodes(ds *graph.Dataset, batchSize int, fanouts []int, probes int, seed uint64) (int, error) {
+	rng := tensor.NewRNG(seed)
+	smp := New(graph.NewRawReader(ds), fanouts, rng)
+	if probes <= 0 {
+		probes = 4
+	}
+	max := 0
+	for p := 0; p < probes; p++ {
+		targets := make([]int64, 0, batchSize)
+		seen := make(map[int64]bool, batchSize)
+		for len(targets) < batchSize && len(targets) < int(ds.NumNodes) {
+			v := int64(rng.Intn(int(ds.NumNodes)))
+			if !seen[v] {
+				seen[v] = true
+				targets = append(targets, v)
+			}
+		}
+		b, _, err := smp.SampleBatch(p, targets)
+		if err != nil {
+			return 0, err
+		}
+		if len(b.Nodes) > max {
+			max = len(b.Nodes)
+		}
+	}
+	// Headroom for batches that sample wider than the probes did.
+	est := max + max/4
+	if est > int(ds.NumNodes) {
+		est = int(ds.NumNodes)
+	}
+	return est, nil
+}

@@ -1,0 +1,232 @@
+package sample
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gnndrive/internal/gen"
+	"gnndrive/internal/graph"
+	"gnndrive/internal/ssd"
+	"gnndrive/internal/tensor"
+)
+
+func tinyDataset(t *testing.T) *graph.Dataset {
+	t.Helper()
+	ds, err := gen.BuildStandalone(gen.Tiny(), ssd.InstantConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ds.Dev.Close)
+	return ds
+}
+
+func TestSampleBatchStructure(t *testing.T) {
+	ds := tinyDataset(t)
+	s := New(graph.NewRawReader(ds), []int{5, 5}, tensor.NewRNG(1))
+	targets := []int64{3, 17, 42, 99}
+	b, _, err := s.SampleBatch(7, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != 7 || b.NumTargets != 4 {
+		t.Fatalf("batch meta %+v", b)
+	}
+	for i, tg := range targets {
+		if b.Nodes[i] != tg {
+			t.Fatalf("Nodes[%d]=%d want target %d", i, b.Nodes[i], tg)
+		}
+	}
+	if len(b.Layers) != 2 {
+		t.Fatalf("layers %d", len(b.Layers))
+	}
+	// Nodes must be unique.
+	seen := map[int64]bool{}
+	for _, v := range b.Nodes {
+		if seen[v] {
+			t.Fatalf("duplicate node %d", v)
+		}
+		seen[v] = true
+		if v < 0 || v >= ds.NumNodes {
+			t.Fatalf("node %d out of range", v)
+		}
+	}
+	// Edge endpoints must index into Nodes; dst of layer 0 must be a target.
+	for li, l := range b.Layers {
+		if len(l.Src) != len(l.Dst) {
+			t.Fatalf("layer %d src/dst length mismatch", li)
+		}
+		for i := range l.Src {
+			if int(l.Src[i]) >= len(b.Nodes) || int(l.Dst[i]) >= len(b.Nodes) {
+				t.Fatalf("layer %d edge %d out of node range", li, i)
+			}
+		}
+	}
+	for _, d := range b.Layers[0].Dst {
+		if int(d) >= b.NumTargets {
+			t.Fatalf("hop-1 edge targets non-seed node %d", d)
+		}
+	}
+}
+
+func TestFanoutRespected(t *testing.T) {
+	ds := tinyDataset(t)
+	fan := 3
+	s := New(graph.NewRawReader(ds), []int{fan}, tensor.NewRNG(2))
+	b, _, err := s.SampleBatch(0, []int64{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDst := map[int32]int{}
+	for i := range b.Layers[0].Dst {
+		perDst[b.Layers[0].Dst[i]]++
+	}
+	for d, n := range perDst {
+		// fanout neighbors + 1 self-loop
+		if n > fan+1 {
+			t.Fatalf("target %d has %d edges, fanout %d", d, n, fan)
+		}
+	}
+}
+
+func TestSelfLoopAlwaysPresent(t *testing.T) {
+	ds := tinyDataset(t)
+	s := New(graph.NewRawReader(ds), []int{4, 4}, tensor.NewRNG(3))
+	b, _, err := s.SampleBatch(0, []int64{11, 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range b.Layers {
+		selfCount := 0
+		for i := range l.Src {
+			if l.Src[i] == l.Dst[i] {
+				selfCount++
+			}
+		}
+		if selfCount == 0 {
+			t.Fatal("layer has no self-loops")
+		}
+	}
+}
+
+func TestSampledNeighborsAreRealNeighbors(t *testing.T) {
+	ds := tinyDataset(t)
+	r := graph.NewRawReader(ds)
+	s := New(graph.NewRawReader(ds), []int{6, 6}, tensor.NewRNG(4))
+	b, _, err := s.SampleBatch(0, []int64{5, 50, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range b.Layers {
+		for i := range l.Src {
+			src, dst := b.Nodes[l.Src[i]], b.Nodes[l.Dst[i]]
+			if src == dst {
+				continue // self-loop
+			}
+			ns, _, _ := r.Neighbors(dst, nil)
+			found := false
+			for _, u := range ns {
+				if int64(u) == src {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d not in the graph", src, dst)
+			}
+		}
+	}
+}
+
+func TestDuplicateTargetsRejected(t *testing.T) {
+	ds := tinyDataset(t)
+	s := New(graph.NewRawReader(ds), []int{2}, tensor.NewRNG(5))
+	if _, _, err := s.SampleBatch(0, []int64{1, 1}); err == nil {
+		t.Fatal("expected duplicate-target error")
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	ds := tinyDataset(t)
+	run := func() *Batch {
+		s := New(graph.NewRawReader(ds), []int{5, 5}, tensor.NewRNG(42))
+		b, _, err := s.SampleBatch(0, []int64{7, 8, 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("node counts differ")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatal("node lists differ with same seed")
+		}
+	}
+}
+
+func TestNewPlanCoversAllTargets(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, bsRaw uint8) bool {
+		n := int(nRaw%500) + 1
+		bs := int(bsRaw%60) + 1
+		train := make([]int64, n)
+		for i := range train {
+			train[i] = int64(i * 3)
+		}
+		p := NewPlan(train, bs, tensor.NewRNG(seed))
+		seen := map[int64]int{}
+		for _, b := range p.Batches {
+			if len(b) > bs || len(b) == 0 {
+				return false
+			}
+			for _, v := range b {
+				seen[v]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPlanUnshuffledPreservesOrder(t *testing.T) {
+	train := []int64{10, 20, 30, 40, 50}
+	p := NewPlan(train, 2, nil)
+	if len(p.Batches) != 3 || p.Batches[0][0] != 10 || p.Batches[2][0] != 50 {
+		t.Fatalf("plan %v", p.Batches)
+	}
+}
+
+func TestEstimateMaxBatchNodes(t *testing.T) {
+	ds := tinyDataset(t)
+	est, err := EstimateMaxBatchNodes(ds, 32, []int{10, 10}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 32 {
+		t.Fatalf("estimate %d below batch size", est)
+	}
+	if est > int(ds.NumNodes) {
+		t.Fatalf("estimate %d above graph size", est)
+	}
+}
+
+func TestSamplerPanicsOnBadFanout(t *testing.T) {
+	ds := tinyDataset(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(graph.NewRawReader(ds), []int{0}, tensor.NewRNG(1))
+}

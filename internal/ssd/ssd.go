@@ -1,0 +1,279 @@
+// Package ssd simulates a SATA/NVMe solid-state drive.
+//
+// The paper's claims are about I/O *scheduling* — synchronous reads stall
+// the pipeline, asynchronous reads with a deep queue saturate the device,
+// direct I/O must be sector-aligned — not about flash physics. The model
+// therefore captures exactly those properties:
+//
+//   - the device has N internal channels; requests striped across them
+//     proceed in parallel, so bandwidth grows with concurrency until all
+//     channels are busy (Appendix B's saturation curve);
+//   - each request has a service time = base latency + bytes/bandwidth,
+//     scaled by TimeScale so experiments finish in seconds;
+//   - the backing store is an in-memory byte image, so reads return real
+//     bytes and real training can run through the same path;
+//   - per-request queueing delay is tracked, reproducing the latency
+//     growth with thread count / I/O depth in Fig. B.1.
+//
+// Writes are for dataset setup only and are untimed.
+package ssd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes the simulated device.
+type Config struct {
+	// ReadLatency is the per-request base service latency before scaling.
+	ReadLatency time.Duration
+	// BytesPerSec is the per-channel streaming bandwidth before scaling.
+	BytesPerSec float64
+	// Channels is the internal parallelism of the device.
+	Channels int
+	// SectorSize is the direct-I/O access granularity (512 B on the
+	// paper's drives).
+	SectorSize int
+	// TimeScale multiplies every modeled duration; <1 speeds the
+	// simulation up uniformly. 0 means 1.0.
+	TimeScale float64
+}
+
+// DefaultConfig models a SATA SSD (PM883-like: ~90us random read, ~520MB/s
+// sequential split over 8 channels) scaled 1:20 so a scaled epoch runs in
+// seconds.
+func DefaultConfig() Config {
+	return Config{
+		ReadLatency: 90 * time.Microsecond,
+		BytesPerSec: 65e6, // per channel; 8 channels ~ 520 MB/s aggregate
+		Channels:    8,
+		SectorSize:  512,
+		TimeScale:   0.05,
+	}
+}
+
+// InstantConfig returns a zero-latency configuration for unit tests.
+func InstantConfig() Config {
+	return Config{ReadLatency: 0, BytesPerSec: 0, Channels: 4, SectorSize: 512, TimeScale: 0}
+}
+
+// Request is one read submitted to the device.
+type Request struct {
+	Buf  []byte
+	Off  int64
+	User uint64 // caller cookie (e.g. node index), returned on completion
+	Err  error
+	// Done is invoked on the channel goroutine when the request
+	// completes. It must not block for long.
+	Done func(*Request)
+
+	submitted time.Time
+	// Latency is the total submit-to-complete duration (queueing +
+	// service), available inside Done and after completion.
+	Latency time.Duration
+}
+
+// Stats are cumulative device counters.
+type Stats struct {
+	Reads        int64
+	BytesRead    int64
+	BusyTime     time.Duration // summed channel service time
+	QueueTime    time.Duration // summed wait before service
+	TotalLatency time.Duration
+}
+
+// Device is a simulated SSD backed by an in-memory image.
+type Device struct {
+	cfg      Config
+	image    []byte
+	channels []*channel
+
+	reads        atomic.Int64
+	bytesRead    atomic.Int64
+	busyNanos    atomic.Int64
+	queueNanos   atomic.Int64
+	latencyNanos atomic.Int64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+type channel struct {
+	dev       *Device
+	queue     chan *Request
+	busyUntil time.Time
+}
+
+// New creates a device of the given capacity.
+func New(capacity int64, cfg Config) *Device {
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	if cfg.SectorSize <= 0 {
+		cfg.SectorSize = 512
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	d := &Device{cfg: cfg, image: make([]byte, capacity)}
+	d.channels = make([]*channel, cfg.Channels)
+	for i := range d.channels {
+		c := &channel{dev: d, queue: make(chan *Request, 4096)}
+		d.channels[i] = c
+		d.wg.Add(1)
+		go c.run()
+	}
+	return d
+}
+
+// Capacity returns the device size in bytes.
+func (d *Device) Capacity() int64 { return int64(len(d.image)) }
+
+// SectorSize returns the direct-I/O granularity.
+func (d *Device) SectorSize() int { return d.cfg.SectorSize }
+
+// Close stops the channel goroutines. Outstanding requests drain first.
+func (d *Device) Close() {
+	if d.closed.Swap(true) {
+		return
+	}
+	for _, c := range d.channels {
+		close(c.queue)
+	}
+	d.wg.Wait()
+}
+
+// ReadRaw copies device bytes into p with no modeled cost. It is for
+// dataset setup and test verification only — never on a timed path.
+func (d *Device) ReadRaw(p []byte, off int64) {
+	if off < 0 || off+int64(len(p)) > int64(len(d.image)) {
+		panic(fmt.Sprintf("ssd: ReadRaw [%d,%d) outside capacity %d", off, off+int64(len(p)), len(d.image)))
+	}
+	copy(p, d.image[off:])
+}
+
+// WriteSync stores p at off, blocking for the modeled service time.
+// Used by systems that write on the training path (e.g. Ginex persisting
+// superbatch sampling results).
+func (d *Device) WriteSync(p []byte, off int64) (time.Duration, error) {
+	if err := d.check(p, off); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	svc := d.serviceTime(len(p))
+	if svc > 0 {
+		time.Sleep(svc)
+	}
+	d.WriteAt(p, off)
+	d.busyNanos.Add(int64(svc))
+	return time.Since(start), nil
+}
+
+// WriteAt stores p at off with no modeled cost (dataset setup).
+func (d *Device) WriteAt(p []byte, off int64) {
+	if off < 0 || off+int64(len(p)) > int64(len(d.image)) {
+		panic(fmt.Sprintf("ssd: WriteAt [%d,%d) outside capacity %d", off, off+int64(len(p)), len(d.image)))
+	}
+	copy(d.image[off:], p)
+}
+
+// serviceTime returns the modeled service duration for n bytes.
+func (d *Device) serviceTime(n int) time.Duration {
+	t := float64(d.cfg.ReadLatency)
+	if d.cfg.BytesPerSec > 0 {
+		t += float64(n) / d.cfg.BytesPerSec * float64(time.Second)
+	}
+	return time.Duration(t * d.cfg.TimeScale)
+}
+
+// Submit enqueues an asynchronous read. The request's Done callback fires
+// on completion. Requests are striped across channels by offset so
+// sequential streams still engage all channels sector-interleaved.
+func (d *Device) Submit(req *Request) {
+	if err := d.check(req.Buf, req.Off); err != nil {
+		req.Err = err
+		if req.Done != nil {
+			req.Done(req)
+		}
+		return
+	}
+	req.submitted = time.Now()
+	c := d.channels[(req.Off/int64(d.cfg.SectorSize))%int64(len(d.channels))]
+	c.queue <- req
+}
+
+func (d *Device) check(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > int64(len(d.image)) {
+		return fmt.Errorf("ssd: read [%d,%d) outside capacity %d", off, off+int64(len(p)), len(d.image))
+	}
+	return nil
+}
+
+// ReadAt performs a synchronous read, blocking the caller for the modeled
+// queueing + service time. It returns the time the caller was blocked.
+func (d *Device) ReadAt(p []byte, off int64) (time.Duration, error) {
+	done := make(chan struct{})
+	req := &Request{Buf: p, Off: off, Done: func(*Request) { close(done) }}
+	start := time.Now()
+	d.Submit(req)
+	<-done
+	return time.Since(start), req.Err
+}
+
+// ReadDirect is ReadAt with the direct-I/O alignment constraint: offset
+// and length must be multiples of the sector size.
+func (d *Device) ReadDirect(p []byte, off int64) (time.Duration, error) {
+	ss := int64(d.cfg.SectorSize)
+	if off%ss != 0 || int64(len(p))%ss != 0 {
+		return 0, fmt.Errorf("ssd: direct read [%d,%d) not %d-aligned", off, off+int64(len(p)), ss)
+	}
+	return d.ReadAt(p, off)
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Reads:        d.reads.Load(),
+		BytesRead:    d.bytesRead.Load(),
+		BusyTime:     time.Duration(d.busyNanos.Load()),
+		QueueTime:    time.Duration(d.queueNanos.Load()),
+		TotalLatency: time.Duration(d.latencyNanos.Load()),
+	}
+}
+
+// sleepSlack batches modeled delays: a channel only sleeps once its
+// modeled clock runs ahead of wall-clock by this much, so sub-millisecond
+// service times don't pay one scheduler wakeup per request. Aggregate
+// throughput and completion times stay governed by busyUntil.
+const sleepSlack = 500 * time.Microsecond
+
+func (c *channel) run() {
+	defer c.dev.wg.Done()
+	for req := range c.queue {
+		now := time.Now()
+		svc := c.dev.serviceTime(len(req.Buf))
+		start := now
+		if c.busyUntil.After(now) {
+			start = c.busyUntil
+		}
+		finish := start.Add(svc)
+		c.busyUntil = finish
+		if wait := time.Until(finish); wait > sleepSlack {
+			time.Sleep(wait)
+		}
+		copy(req.Buf, c.dev.image[req.Off:req.Off+int64(len(req.Buf))])
+		req.Latency = time.Since(req.submitted)
+		c.dev.reads.Add(1)
+		c.dev.bytesRead.Add(int64(len(req.Buf)))
+		c.dev.busyNanos.Add(int64(svc))
+		if q := req.Latency - svc; q > 0 {
+			c.dev.queueNanos.Add(int64(q))
+		}
+		c.dev.latencyNanos.Add(int64(req.Latency))
+		if req.Done != nil {
+			req.Done(req)
+		}
+	}
+}

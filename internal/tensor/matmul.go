@@ -1,0 +1,151 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// matmulParallelThreshold is the FLOP count below which MatMul runs on the
+// calling goroutine; small mini-batch layers do not amortize fan-out.
+const matmulParallelThreshold = 1 << 18
+
+// MatMul returns a*b. a is MxK, b is KxN, result is MxN.
+// Large products are split across rows of a over GOMAXPROCS goroutines.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.Cols, b.Rows))
+	}
+	out := New(a.Rows, b.Cols)
+	matMulInto(out, a, b)
+	return out
+}
+
+func matMulInto(out, a, b *Matrix) {
+	flops := a.Rows * a.Cols * b.Cols
+	workers := runtime.GOMAXPROCS(0)
+	if flops < matmulParallelThreshold || workers == 1 || a.Rows == 1 {
+		matMulRange(out, a, b, 0, a.Rows)
+		return
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRange computes rows [lo,hi) of out = a*b with an ikj loop order
+// that streams b row-wise for cache friendliness.
+func matMulRange(out, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : k*n+n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT1 returns aᵀ*b: a is KxM, b is KxN, result is MxN.
+// Used for weight gradients (Xᵀ·dY).
+func MatMulT1(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT1 outer dims %d vs %d", a.Rows, b.Rows))
+	}
+	out := New(a.Cols, b.Cols)
+	n := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : i*n+n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT2 returns a*bᵀ: a is MxK, b is NxK, result is MxN.
+// Used for input gradients (dY·Wᵀ).
+func MatMulT2(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT2 inner dims %d vs %d", a.Cols, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	workers := runtime.GOMAXPROCS(0)
+	flops := a.Rows * a.Cols * b.Rows
+	if flops < matmulParallelThreshold || workers == 1 || a.Rows == 1 {
+		matMulT2Range(out, a, b, 0, a.Rows)
+		return out
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulT2Range(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func matMulT2Range(out, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// Transpose returns mᵀ.
+func Transpose(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}

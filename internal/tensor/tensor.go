@@ -1,0 +1,184 @@
+// Package tensor provides dense float32 matrices and the numeric kernels
+// needed for sample-based GNN training: parallel blocked matrix multiply,
+// elementwise operations, row gather/scatter, softmax, and deterministic
+// random initialization. It is deliberately 2-D: every activation in a
+// layered GNN mini-batch is a [nodes x features] matrix.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New allocates a zeroed rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data as a rows x cols matrix without copying.
+// len(data) must equal rows*cols.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Row returns the i-th row as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+}
+
+// Add accumulates o into m elementwise.
+func (m *Matrix) Add(o *Matrix) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", m, o))
+	}
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// Sub subtracts o from m elementwise.
+func (m *Matrix) Sub(o *Matrix) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Sub shape mismatch %v vs %v", m, o))
+	}
+	for i, v := range o.Data {
+		m.Data[i] -= v
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled accumulates s*o into m.
+func (m *Matrix) AddScaled(o *Matrix, s float32) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AddScaled shape mismatch %v vs %v", m, o))
+	}
+	for i, v := range o.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// Mul multiplies m elementwise by o (Hadamard product).
+func (m *Matrix) Mul(o *Matrix) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Mul shape mismatch %v vs %v", m, o))
+	}
+	for i, v := range o.Data {
+		m.Data[i] *= v
+	}
+}
+
+// AddRowVector adds the length-Cols vector v to every row of m.
+func (m *Matrix) AddRowVector(v []float32) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector length %d != cols %d", len(v), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for j, b := range v {
+			row[j] += b
+		}
+	}
+}
+
+// ColSums returns the per-column sum of m as a length-Cols slice
+// (the bias gradient for a linear layer).
+func (m *Matrix) ColSums() []float32 {
+	out := make([]float32, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns max_i |m[i]-o[i]|, for test tolerance checks.
+func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: MaxAbsDiff shape mismatch %v vs %v", m, o))
+	}
+	var worst float64
+	for i := range m.Data {
+		d := math.Abs(float64(m.Data[i] - o.Data[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// GatherRows copies rows idx[i] of src into row i of a new matrix.
+func GatherRows(src *Matrix, idx []int32) *Matrix {
+	out := New(len(idx), src.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), src.Row(int(r)))
+	}
+	return out
+}
+
+// ScatterAddRows accumulates row i of src into row idx[i] of dst.
+func ScatterAddRows(dst, src *Matrix, idx []int32) {
+	if dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: ScatterAddRows cols %d vs %d", dst.Cols, src.Cols))
+	}
+	for i, r := range idx {
+		d := dst.Row(int(r))
+		s := src.Row(i)
+		for j, v := range s {
+			d[j] += v
+		}
+	}
+}

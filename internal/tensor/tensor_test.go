@@ -1,0 +1,424 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndZero(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %v len=%d", m, len(m.Data))
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("New must zero storage")
+		}
+	}
+}
+
+func TestFromSliceAliases(t *testing.T) {
+	d := []float32{1, 2, 3, 4, 5, 6}
+	m := FromSlice(2, 3, d)
+	m.Set(1, 2, 42)
+	if d[5] != 42 {
+		t.Fatal("FromSlice must alias, not copy")
+	}
+	if m.At(0, 1) != 2 {
+		t.Fatalf("At(0,1)=%v", m.At(0, 1))
+	}
+}
+
+func TestFromSliceLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	FromSlice(2, 3, make([]float32, 5))
+}
+
+func TestRowAliases(t *testing.T) {
+	m := New(2, 2)
+	m.Row(1)[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must alias storage")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := New(2, 2)
+	m.Fill(3)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 3 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromSlice(1, 3, []float32{1, 2, 3})
+	b := FromSlice(1, 3, []float32{4, 5, 6})
+	a.Add(b)
+	want := []float32{5, 7, 9}
+	for i, v := range want {
+		if a.Data[i] != v {
+			t.Fatalf("Add[%d]=%v want %v", i, a.Data[i], v)
+		}
+	}
+	a.Sub(b)
+	a.Scale(2)
+	want = []float32{2, 4, 6}
+	for i, v := range want {
+		if a.Data[i] != v {
+			t.Fatalf("Sub/Scale[%d]=%v want %v", i, a.Data[i], v)
+		}
+	}
+}
+
+func TestAddScaledAndMul(t *testing.T) {
+	a := FromSlice(1, 2, []float32{1, 1})
+	b := FromSlice(1, 2, []float32{2, 3})
+	a.AddScaled(b, 0.5)
+	if a.Data[0] != 2 || a.Data[1] != 2.5 {
+		t.Fatalf("AddScaled got %v", a.Data)
+	}
+	a.Mul(b)
+	if a.Data[0] != 4 || a.Data[1] != 7.5 {
+		t.Fatalf("Mul got %v", a.Data)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	a, b := New(2, 2), New(2, 3)
+	for name, f := range map[string]func(){
+		"Add":       func() { a.Add(b) },
+		"Sub":       func() { a.Sub(b) },
+		"Mul":       func() { a.Mul(b) },
+		"AddScaled": func() { a.AddScaled(b, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected shape panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAddRowVectorAndColSums(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	m.AddRowVector([]float32{10, 20, 30})
+	if m.At(1, 2) != 36 || m.At(0, 0) != 11 {
+		t.Fatalf("AddRowVector got %v", m.Data)
+	}
+	s := m.ColSums()
+	want := []float32{11 + 14, 22 + 25, 33 + 36}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("ColSums[%d]=%v want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestGatherScatterRows(t *testing.T) {
+	src := FromSlice(3, 2, []float32{1, 2, 3, 4, 5, 6})
+	g := GatherRows(src, []int32{2, 0, 2})
+	want := []float32{5, 6, 1, 2, 5, 6}
+	for i := range want {
+		if g.Data[i] != want[i] {
+			t.Fatalf("GatherRows got %v", g.Data)
+		}
+	}
+	dst := New(3, 2)
+	ScatterAddRows(dst, g, []int32{2, 0, 2})
+	if dst.At(2, 0) != 10 || dst.At(0, 1) != 2 || dst.At(1, 0) != 0 {
+		t.Fatalf("ScatterAddRows got %v", dst.Data)
+	}
+}
+
+// matMulNaive is the reference triple loop.
+func matMulNaive(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float32
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func randomMatrix(rng *RNG, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat32()
+	}
+	return m
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := NewRNG(1)
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {7, 5, 9}, {64, 32, 48}, {130, 70, 33}} {
+		a := randomMatrix(rng, dims[0], dims[1])
+		b := randomMatrix(rng, dims[1], dims[2])
+		got := MatMul(a, b)
+		want := matMulNaive(a, b)
+		if d := got.MaxAbsDiff(want); d > 1e-4 {
+			t.Fatalf("dims %v: MatMul diff %g", dims, d)
+		}
+	}
+}
+
+func TestMatMulT1MatchesTranspose(t *testing.T) {
+	rng := NewRNG(2)
+	a := randomMatrix(rng, 20, 7)
+	b := randomMatrix(rng, 20, 11)
+	got := MatMulT1(a, b)
+	want := MatMul(Transpose(a), b)
+	if d := got.MaxAbsDiff(want); d > 1e-4 {
+		t.Fatalf("MatMulT1 diff %g", d)
+	}
+}
+
+func TestMatMulT2MatchesTranspose(t *testing.T) {
+	rng := NewRNG(3)
+	a := randomMatrix(rng, 20, 7)
+	b := randomMatrix(rng, 11, 7)
+	got := MatMulT2(a, b)
+	want := MatMul(a, Transpose(b))
+	if d := got.MaxAbsDiff(want); d > 1e-4 {
+		t.Fatalf("MatMulT2 diff %g", d)
+	}
+}
+
+func TestMatMulDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dim panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := NewRNG(4)
+	m := randomMatrix(rng, 9, 13)
+	tt := Transpose(Transpose(m))
+	if d := m.MaxAbsDiff(tt); d != 0 {
+		t.Fatalf("transpose involution diff %g", d)
+	}
+}
+
+// Property: (A+B)·C == A·C + B·C for random small matrices.
+func TestMatMulDistributiveProperty(t *testing.T) {
+	rng := NewRNG(5)
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m, k, n := 1+r.Intn(12), 1+r.Intn(12), 1+r.Intn(12)
+		a := randomMatrix(rng, m, k)
+		b := randomMatrix(rng, m, k)
+		c := randomMatrix(rng, k, n)
+		ab := a.Clone()
+		ab.Add(b)
+		lhs := MatMul(ab, c)
+		rhs := MatMul(a, c)
+		rhs.Add(MatMul(b, c))
+		return lhs.MaxAbsDiff(rhs) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogSoftmaxRowsSumToOne(t *testing.T) {
+	rng := NewRNG(6)
+	m := randomMatrix(rng, 17, 9)
+	m.Scale(5)
+	lp := LogSoftmax(m)
+	for i := 0; i < lp.Rows; i++ {
+		var sum float64
+		for _, v := range lp.Row(i) {
+			if v > 0 {
+				t.Fatalf("log-prob > 0: %v", v)
+			}
+			sum += math.Exp(float64(v))
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Fatalf("row %d probs sum to %v", i, sum)
+		}
+	}
+}
+
+func TestLogSoftmaxShiftInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m := randomMatrix(r, 1+r.Intn(5), 2+r.Intn(6))
+		shifted := m.Clone()
+		for i := range shifted.Data {
+			shifted.Data[i] += 100
+		}
+		return LogSoftmax(m).MaxAbsDiff(LogSoftmax(shifted)) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNLLLossGradientNumerically(t *testing.T) {
+	rng := NewRNG(7)
+	logits := randomMatrix(rng, 4, 5)
+	labels := []int32{1, 0, 4, 2}
+	_, grad := NLLLoss(LogSoftmax(logits), labels)
+	// Central difference on a few coordinates.
+	eps := float32(1e-2)
+	for _, probe := range [][2]int{{0, 1}, {1, 3}, {3, 0}, {2, 4}} {
+		i, j := probe[0], probe[1]
+		orig := logits.At(i, j)
+		logits.Set(i, j, orig+eps)
+		lp, _ := NLLLoss(LogSoftmax(logits), labels)
+		logits.Set(i, j, orig-eps)
+		lm, _ := NLLLoss(LogSoftmax(logits), labels)
+		logits.Set(i, j, orig)
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(float64(num-grad.At(i, j))) > 2e-2 {
+			t.Fatalf("grad(%d,%d): numeric %v analytic %v", i, j, num, grad.At(i, j))
+		}
+	}
+}
+
+func TestReLUAndBackward(t *testing.T) {
+	m := FromSlice(1, 4, []float32{-1, 0, 2, -3})
+	ReLU(m)
+	want := []float32{0, 0, 2, 0}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("ReLU got %v", m.Data)
+		}
+	}
+	g := FromSlice(1, 4, []float32{1, 1, 1, 1})
+	ReLUBackward(g, m)
+	want = []float32{0, 0, 1, 0}
+	for i := range want {
+		if g.Data[i] != want[i] {
+			t.Fatalf("ReLUBackward got %v", g.Data)
+		}
+	}
+}
+
+func TestLeakyReLU(t *testing.T) {
+	m := FromSlice(1, 3, []float32{-2, 0, 4})
+	LeakyReLU(m, 0.5)
+	if m.Data[0] != -1 || m.Data[2] != 4 {
+		t.Fatalf("LeakyReLU got %v", m.Data)
+	}
+	in := FromSlice(1, 3, []float32{-2, 0, 4})
+	g := FromSlice(1, 3, []float32{1, 1, 1})
+	LeakyReLUBackward(g, in, 0.5)
+	if g.Data[0] != 0.5 || g.Data[1] != 1 || g.Data[2] != 1 {
+		t.Fatalf("LeakyReLUBackward got %v", g.Data)
+	}
+}
+
+func TestArgmaxAndAccuracy(t *testing.T) {
+	m := FromSlice(3, 3, []float32{1, 5, 2, 9, 0, 1, 3, 3, 4})
+	am := Argmax(m)
+	if am[0] != 1 || am[1] != 0 || am[2] != 2 {
+		t.Fatalf("Argmax got %v", am)
+	}
+	acc := Accuracy(m, []int32{1, 0, 0})
+	if math.Abs(acc-2.0/3) > 1e-9 {
+		t.Fatalf("Accuracy got %v", acc)
+	}
+	if Accuracy(New(0, 3), nil) != 0 {
+		t.Fatal("empty accuracy must be 0")
+	}
+}
+
+func TestRNGDeterministicAndDistinct(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatal("different seeds should give different streams")
+	}
+}
+
+func TestRNGFloat32Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(200)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXavierInitBounds(t *testing.T) {
+	m := New(64, 64)
+	XavierInit(m, 64, 64, NewRNG(11))
+	bound := math.Sqrt(6.0 / 128)
+	var nonzero int
+	for _, v := range m.Data {
+		if math.Abs(float64(v)) > bound {
+			t.Fatalf("Xavier sample %v exceeds bound %v", v, bound)
+		}
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < len(m.Data)/2 {
+		t.Fatal("Xavier init left too many zeros")
+	}
+}
+
+func TestRNGNormApproxStandard(t *testing.T) {
+	r := NewRNG(12)
+	n := 20000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := float64(r.NormFloat32())
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 || math.Abs(variance-1) > 0.1 {
+		t.Fatalf("norm stats off: mean=%v var=%v", mean, variance)
+	}
+}

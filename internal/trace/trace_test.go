@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndEventsSorted(t *testing.T) {
+	tr := New()
+	base := time.Now()
+	tr.Record(StageTrain, 1, base.Add(20*time.Millisecond), base.Add(30*time.Millisecond))
+	tr.Record(StageSample, 0, base, base.Add(10*time.Millisecond))
+	ev := tr.Events()
+	if len(ev) != 2 || ev[0].Stage != StageSample || ev[1].Stage != StageTrain {
+		t.Fatalf("events %+v", ev)
+	}
+}
+
+func TestNilTracerNoop(t *testing.T) {
+	var tr *Tracer
+	tr.Record(StageTrain, 0, time.Now(), time.Now()) // must not panic
+}
+
+func TestAnalyzeOverlapAndReordering(t *testing.T) {
+	tr := New()
+	base := time.Now()
+	at := func(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+	// Two overlapping stages across [0, 100): busy 100+100, wall 100.
+	tr.Record(StageSample, 0, at(0), at(100))
+	tr.Record(StageExtract, 0, at(0), at(100))
+	// Trains out of order: batch 2 before batch 1.
+	tr.Record(StageTrain, 0, at(10), at(20))
+	tr.Record(StageTrain, 2, at(20), at(30))
+	tr.Record(StageTrain, 1, at(30), at(40))
+	a := tr.Analyze()
+	if a.Wall != 100*time.Millisecond {
+		t.Fatalf("wall %v", a.Wall)
+	}
+	if a.OverlapFactor < 2.0 {
+		t.Fatalf("overlap %.2f", a.OverlapFactor)
+	}
+	if a.OutOfOrder != 1 {
+		t.Fatalf("out-of-order %d", a.OutOfOrder)
+	}
+	if a.StageBusy[StageTrain] != 30*time.Millisecond {
+		t.Fatalf("train busy %v", a.StageBusy[StageTrain])
+	}
+	if a.String() == "" {
+		t.Fatal("empty analysis string")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := New().Analyze()
+	if a.Wall != 0 || a.OverlapFactor != 0 {
+		t.Fatalf("empty analysis %+v", a)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := New()
+	base := time.Now()
+	tr.Record(StageSample, 3, base, base.Add(time.Millisecond))
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []Event
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Batch != 3 || out[0].Stage != StageSample {
+		t.Fatalf("json round-trip %+v", out)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			now := time.Now()
+			for i := 0; i < 100; i++ {
+				tr.Record(StageExtract, g*100+i, now, now.Add(time.Microsecond))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(tr.Events()) != 800 {
+		t.Fatalf("events %d", len(tr.Events()))
+	}
+}

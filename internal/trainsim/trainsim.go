@@ -1,0 +1,575 @@
+// Package trainsim is the experiment harness: it assembles a scaled
+// dataset, a host-memory budget, the simulated SSD and page cache, and a
+// training device, runs any of the four systems (GNNDrive-GPU,
+// GNNDrive-CPU, PyG+, Ginex, MariusGNN) for a number of epochs, and
+// returns uniform per-epoch statistics. Every figure and table harness in
+// cmd/figures and the bench files is a thin loop over this package.
+//
+// Scale conventions (see DESIGN.md): datasets are 1:1000 of the paper's
+// graphs, so "32 GB" of host memory is 32 MiB here (GB -> MiB), device
+// memory likewise, and epoch times land in hundreds of milliseconds to
+// tens of seconds depending on Scale.
+package trainsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gnndrive/internal/baselines/ginex"
+	"gnndrive/internal/baselines/marius"
+	"gnndrive/internal/baselines/pygplus"
+	"gnndrive/internal/core"
+	"gnndrive/internal/device"
+	"gnndrive/internal/gen"
+	"gnndrive/internal/graph"
+	"gnndrive/internal/hostmem"
+	"gnndrive/internal/metrics"
+	"gnndrive/internal/nn"
+	"gnndrive/internal/pagecache"
+	"gnndrive/internal/sample"
+	"gnndrive/internal/ssd"
+)
+
+// GB is the scaled stand-in for one paper-gigabyte of memory.
+const GB = 1 << 20 // 1 MiB
+
+// ScratchBytes is the device scratch region appended after each dataset
+// (Ginex's persisted sampling results).
+const ScratchBytes = 8 << 20
+
+// SystemKind names a training system.
+type SystemKind int
+
+// The five system variants the paper evaluates.
+const (
+	GNNDriveGPU SystemKind = iota
+	GNNDriveCPU
+	PyGPlus
+	Ginex
+	Marius
+)
+
+// String returns the system name as the paper spells it.
+func (k SystemKind) String() string {
+	switch k {
+	case GNNDriveGPU:
+		return "GNNDrive-GPU"
+	case GNNDriveCPU:
+		return "GNNDrive-CPU"
+	case PyGPlus:
+		return "PyG+"
+	case Ginex:
+		return "Ginex"
+	case Marius:
+		return "MariusGNN"
+	}
+	return fmt.Sprintf("SystemKind(%d)", int(k))
+}
+
+// Config describes one experimental cell.
+type Config struct {
+	// Dataset is the scaled dataset spec; Dim overrides its feature
+	// dimension when non-zero (the Fig. 8 sweep).
+	Dataset gen.Spec
+	Dim     int
+
+	// HostMemoryGB is the host budget in paper-gigabytes (default 32).
+	HostMemoryGB int
+
+	Model nn.ModelKind
+	// BatchSize/Fanouts override the scaled defaults when non-zero.
+	BatchSize int
+	Fanouts   []int
+
+	// Scale stretches all modeled durations (SSD, DMA, compute). The
+	// default 2.0 makes a default GNNDrive epoch take O(seconds).
+	Scale float64
+
+	// FeatureBufferX multiplies GNNDrive's auto-sized feature buffer
+	// (Fig. 12); 0 or 1 = default.
+	FeatureBufferX float64
+
+	// RealTrain runs real float32 math (Fig. 14); otherwise modeled.
+	RealTrain bool
+	// Hidden overrides the hidden dimension (0 = the paper's 256).
+	Hidden int
+	// TrainLimit truncates the training split to this many nodes
+	// (keeps real-math runs affordable on one core).
+	TrainLimit int
+
+	// GNNDrive ablation switches (ignored by the baselines).
+	InOrder        bool
+	SyncExtraction bool
+	BufferedIO     bool
+	// GPUDirect enables the modeled GPUDirect Storage path (§4.4
+	// extension): no host staging, 4 KiB access granularity.
+	GPUDirect bool
+
+	Seed uint64
+}
+
+// DefaultScale is the default time stretch.
+const DefaultScale = 2.0
+
+func (c *Config) fill() {
+	if c.HostMemoryGB == 0 {
+		c.HostMemoryGB = 32
+	}
+	if c.Scale == 0 {
+		c.Scale = DefaultScale
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// EpochStats is the uniform per-epoch report across systems.
+type EpochStats struct {
+	Prep    time.Duration
+	Sample  time.Duration
+	Extract time.Duration
+	Train   time.Duration
+	Total   time.Duration
+
+	Batches     int
+	BytesRead   int64
+	BytesReused int64
+	Loss, Acc   float64
+}
+
+// Result is a full run.
+type Result struct {
+	System SystemKind
+	Epochs []EpochStats
+	// Windows is the utilization time series when sampling was enabled.
+	Windows []metrics.Window
+	// ValAcc per epoch (real training only, when requested).
+	ValAcc []float64
+}
+
+// AvgEpoch returns the mean wall-clock epoch time.
+func (r Result) AvgEpoch() time.Duration {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, e := range r.Epochs {
+		sum += e.Total
+	}
+	return sum / time.Duration(len(r.Epochs))
+}
+
+// AvgPrep returns the mean data-preparation time per epoch.
+func (r Result) AvgPrep() time.Duration {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, e := range r.Epochs {
+		sum += e.Prep
+	}
+	return sum / time.Duration(len(r.Epochs))
+}
+
+// ---- dataset registry ----
+
+// datasets are cached per (name, dim, scale): building the big ones takes
+// seconds and the device image is read-only across runs (Ginex's scratch
+// and Marius's prep rewrite live outside / rewrite identical bytes).
+var (
+	dsMu    sync.Mutex
+	dsCache = map[string]*graph.Dataset{}
+)
+
+// buildDataset returns the cached dataset for the config.
+func buildDataset(cfg Config) (*graph.Dataset, error) {
+	spec := cfg.Dataset
+	if cfg.Dim != 0 {
+		spec.Dim = cfg.Dim
+	}
+	key := fmt.Sprintf("%s/%d/%g", spec.Name, spec.Dim, cfg.Scale)
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if ds, ok := dsCache[key]; ok {
+		return ds, nil
+	}
+	scfg := ssd.DefaultConfig()
+	scfg.TimeScale = cfg.Scale
+	dev := ssd.New(spec.SizeBytes()+ScratchBytes, scfg)
+	ds, err := gen.Build(spec, dev, 0)
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	dsCache[key] = ds
+	return ds, nil
+}
+
+// DeviceStats returns the SSD counters of the cached dataset device for
+// the config (diagnostics).
+func DeviceStats(cfg Config) ssd.Stats {
+	cfg.fill()
+	ds, err := buildDataset(cfg)
+	if err != nil {
+		return ssd.Stats{}
+	}
+	return ds.Dev.Stats()
+}
+
+// DropDatasets clears the dataset cache (frees memory between sweeps).
+func DropDatasets() {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	for k, ds := range dsCache {
+		ds.Dev.Close()
+		delete(dsCache, k)
+	}
+}
+
+// newDevice builds the training processor for a system at the config's
+// time scale.
+func newDevice(sys SystemKind, cfg Config) *device.Device {
+	var dcfg device.Config
+	if sys == GNNDriveCPU {
+		dcfg = device.XeonCPU()
+	} else {
+		dcfg = device.RTX3090()
+	}
+	dcfg.TimeScale = cfg.Scale
+	if cfg.RealTrain {
+		// Real math takes real time; don't add modeled compute on top.
+		dcfg.Throughput = 0
+	}
+	return device.New(dcfg)
+}
+
+// RunOptions tune a Run.
+type RunOptions struct {
+	Epochs int
+	// SampleUtil enables the utilization sampler at this interval.
+	SampleUtil time.Duration
+	// EvalVal computes validation accuracy after each epoch (real mode).
+	EvalVal bool
+}
+
+// Run executes sys on cfg for opts.Epochs epochs.
+func Run(cfg Config, sys SystemKind, opts RunOptions) (Result, error) {
+	cfg.fill()
+	if opts.Epochs == 0 {
+		opts.Epochs = 1
+	}
+	ds, err := buildDataset(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.TrainLimit > 0 && cfg.TrainLimit < len(ds.TrainIdx) {
+		trimmed := *ds
+		trimmed.TrainIdx = ds.TrainIdx[:cfg.TrainLimit]
+		ds = &trimmed
+	}
+	budget := hostmem.NewBudget(int64(cfg.HostMemoryGB) * GB)
+	cache := pagecache.New(ds.Dev, budget)
+	rec := metrics.NewRecorder()
+	dev := newDevice(sys, cfg)
+	defer dev.Close()
+
+	var sampler *metrics.Sampler
+	if opts.SampleUtil > 0 {
+		// Normalizers: the paper's machine runs many worker threads; we
+		// normalize by the stage worker counts of the busiest system.
+		sampler = rec.StartSampler(opts.SampleUtil, 6, 6)
+	}
+
+	res := Result{System: sys}
+	runEpoch, closer, err := buildSystem(sys, ds, dev, budget, cache, rec, cfg)
+	if err != nil {
+		if sampler != nil {
+			sampler.Stop()
+		}
+		return res, err
+	}
+	defer closer()
+
+	for e := 0; e < opts.Epochs; e++ {
+		st, err := runEpoch(e)
+		if err != nil {
+			if sampler != nil {
+				res.Windows = sampler.Stop()
+				sampler = nil
+			}
+			return res, err
+		}
+		res.Epochs = append(res.Epochs, st)
+		if opts.EvalVal {
+			acc, err := evalVal(sys, ds, cfg)
+			if err != nil {
+				acc = 0
+			}
+			res.ValAcc = append(res.ValAcc, acc)
+		}
+	}
+	if sampler != nil {
+		res.Windows = sampler.Stop()
+	}
+	return res, nil
+}
+
+// valModel lets evalVal reach the live model of the last-built system.
+var valModel *nn.Model
+
+func evalVal(sys SystemKind, ds *graph.Dataset, cfg Config) (float64, error) {
+	if valModel == nil {
+		return 0, fmt.Errorf("trainsim: no model")
+	}
+	fan := cfg.Fanouts
+	if len(fan) == 0 {
+		fan = core.DefaultOptions(cfg.Model).Fanouts
+	}
+	return core.EvaluateModel(ds, valModel, fan, ds.ValIdx, cfg.Seed)
+}
+
+// buildSystem constructs the system and returns an epoch runner plus a
+// closer.
+func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
+	budget *hostmem.Budget, cache *pagecache.Cache, rec *metrics.Recorder,
+	cfg Config) (func(int) (EpochStats, error), func(), error) {
+	switch sys {
+	case GNNDriveGPU, GNNDriveCPU:
+		o := core.DefaultOptions(cfg.Model)
+		o.Model = cfg.Model
+		applyCommon(&o.BatchSize, &o.Fanouts, cfg)
+		o.RealTrain = cfg.RealTrain
+		o.Seed = cfg.Seed
+		o.InOrder = cfg.InOrder
+		o.SyncExtraction = cfg.SyncExtraction
+		o.BufferedIO = cfg.BufferedIO
+		o.GPUDirect = cfg.GPUDirect
+		if cfg.Hidden != 0 {
+			o.Hidden = cfg.Hidden
+		}
+		if cfg.FeatureBufferX > 0 {
+			// Fig. 12 sweep: multiples of the minimum working set
+			// (Ne x Mb), clamped to the device allowance and graph size.
+			mb, err := sample.EstimateMaxBatchNodes(ds, o.BatchSize, o.Fanouts, 4, o.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			slots := int(cfg.FeatureBufferX * float64(o.Extractors*mb))
+			if lim := int(dev.MemBytes() * 9 / 10 / ds.FeatBytes()); dev.Kind() == device.GPU && slots > lim {
+				slots = lim
+			}
+			if slots > int(ds.NumNodes) {
+				slots = int(ds.NumNodes)
+			}
+			o.FeatureSlots = slots
+		}
+		eng, err := core.New(ds, dev, budget, cache, rec, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		valModel = eng.Model()
+		return func(e int) (EpochStats, error) {
+			r, err := eng.TrainEpoch(e)
+			return EpochStats{
+				Sample: r.Sample, Extract: r.Extract, Train: r.Train,
+				Total: r.Total, Batches: r.Batches,
+				BytesRead: r.BytesRead, BytesReused: r.BytesReused,
+				Loss: r.Loss, Acc: r.Acc,
+			}, err
+		}, eng.Close, nil
+
+	case PyGPlus:
+		o := pygplus.DefaultOptions(cfg.Model)
+		o.Model = cfg.Model
+		applyCommon(&o.BatchSize, &o.Fanouts, cfg)
+		o.RealTrain = cfg.RealTrain
+		o.Seed = cfg.Seed
+		if cfg.Hidden != 0 {
+			o.Hidden = cfg.Hidden
+		}
+		o.TimeScale = cfg.Scale
+		sysm, err := pygplus.New(ds, dev, budget, cache, rec, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		valModel = sysm.Model()
+		return func(e int) (EpochStats, error) {
+			r, err := sysm.TrainEpoch(e)
+			return EpochStats{
+				Sample: r.Sample, Extract: r.Extract, Train: r.Train,
+				Total: r.Total, Batches: r.Batches,
+				BytesRead: r.BytesRead, BytesReused: r.BytesReused,
+				Loss: r.Loss, Acc: r.Acc,
+			}, err
+		}, sysm.Close, nil
+
+	case Ginex:
+		o := ginex.DefaultOptions(cfg.Model)
+		o.Model = cfg.Model
+		applyCommon(&o.BatchSize, &o.Fanouts, cfg)
+		o.RealTrain = cfg.RealTrain
+		o.Seed = cfg.Seed
+		if cfg.Hidden != 0 {
+			o.Hidden = cfg.Hidden
+		}
+		o.ScratchOff = ds.Layout.FeaturesOff + ds.Layout.FeaturesLen
+		o.ScratchLen = ScratchBytes / 2
+		sysm, err := ginex.New(ds, dev, budget, rec, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		valModel = sysm.Model()
+		return func(e int) (EpochStats, error) {
+			r, err := sysm.TrainEpoch(e)
+			return EpochStats{
+				Sample: r.Sample, Extract: r.Extract, Train: r.Train,
+				Total: r.Total, Batches: r.Batches,
+				BytesRead: r.BytesRead, BytesReused: r.BytesReused,
+				Loss: r.Loss, Acc: r.Acc,
+			}, err
+		}, sysm.Close, nil
+
+	case Marius:
+		o := marius.DefaultOptions(cfg.Model)
+		o.Model = cfg.Model
+		applyCommon(&o.BatchSize, &o.Fanouts, cfg)
+		o.RealTrain = cfg.RealTrain
+		o.Seed = cfg.Seed
+		if cfg.Hidden != 0 {
+			o.Hidden = cfg.Hidden
+		}
+		sysm, err := marius.New(ds, dev, budget, rec, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		valModel = sysm.Model()
+		return func(e int) (EpochStats, error) {
+			r, err := sysm.TrainEpoch(e)
+			return EpochStats{
+				Prep: r.Prep, Sample: r.Sample, Extract: r.Extract,
+				Train: r.Train, Total: r.Total, Batches: r.Batches,
+				BytesRead: r.BytesRead, BytesReused: r.BytesReused,
+				Loss: r.Loss, Acc: r.Acc,
+			}, err
+		}, sysm.Close, nil
+	}
+	return nil, nil, fmt.Errorf("trainsim: unknown system %v", sys)
+}
+
+func applyCommon(batch *int, fanouts *[]int, cfg Config) {
+	if cfg.BatchSize != 0 {
+		*batch = cfg.BatchSize
+	}
+	if len(cfg.Fanouts) != 0 {
+		*fanouts = cfg.Fanouts
+	}
+}
+
+// SampleOnly measures one epoch of the sample stage alone (Fig. 2's
+// "-only" bars) for systems that support it.
+func SampleOnly(cfg Config, sys SystemKind) (time.Duration, error) {
+	cfg.fill()
+	ds, err := buildDataset(cfg)
+	if err != nil {
+		return 0, err
+	}
+	budget := hostmem.NewBudget(int64(cfg.HostMemoryGB) * GB)
+	cache := pagecache.New(ds.Dev, budget)
+	rec := metrics.NewRecorder()
+	dev := newDevice(sys, cfg)
+	defer dev.Close()
+
+	switch sys {
+	case GNNDriveGPU, GNNDriveCPU:
+		o := core.DefaultOptions(cfg.Model)
+		o.Model = cfg.Model
+		applyCommon(&o.BatchSize, &o.Fanouts, cfg)
+		o.Seed = cfg.Seed
+		eng, err := core.New(ds, dev, budget, cache, rec, o)
+		if err != nil {
+			return 0, err
+		}
+		defer eng.Close()
+		return eng.SampleOnly(0)
+	case PyGPlus:
+		o := pygplus.DefaultOptions(cfg.Model)
+		o.Model = cfg.Model
+		applyCommon(&o.BatchSize, &o.Fanouts, cfg)
+		o.Seed = cfg.Seed
+		o.TimeScale = cfg.Scale
+		s, err := pygplus.New(ds, dev, budget, cache, rec, o)
+		if err != nil {
+			return 0, err
+		}
+		defer s.Close()
+		return s.SampleOnly(0)
+	case Ginex:
+		o := ginex.DefaultOptions(cfg.Model)
+		o.Model = cfg.Model
+		applyCommon(&o.BatchSize, &o.Fanouts, cfg)
+		o.Seed = cfg.Seed
+		o.ScratchOff = ds.Layout.FeaturesOff + ds.Layout.FeaturesLen
+		o.ScratchLen = ScratchBytes / 2
+		s, err := ginex.New(ds, dev, budget, rec, o)
+		if err != nil {
+			return 0, err
+		}
+		defer s.Close()
+		return s.SampleOnly(0)
+	}
+	return 0, fmt.Errorf("trainsim: %v has no sample-only mode", sys)
+}
+
+// SampleDuringAll measures the summed sample-stage time while the whole
+// pipeline runs (Fig. 2's "-all" bars).
+func SampleDuringAll(cfg Config, sys SystemKind) (time.Duration, error) {
+	res, err := Run(cfg, sys, RunOptions{Epochs: 1})
+	if err != nil {
+		return 0, err
+	}
+	return res.Epochs[0].Sample, nil
+}
+
+// RunParallel trains GNNDrive with data parallelism over `workers`
+// devices of the given config (Fig. 13) and returns the epoch wall time.
+func RunParallel(cfg Config, workers int, devCfg device.Config, epochs int) (time.Duration, error) {
+	cfg.fill()
+	ds, err := buildDataset(cfg)
+	if err != nil {
+		return 0, err
+	}
+	budget := hostmem.NewBudget(int64(cfg.HostMemoryGB) * GB)
+	cache := pagecache.New(ds.Dev, budget)
+	rec := metrics.NewRecorder()
+
+	devCfg.TimeScale = cfg.Scale
+	devices := make([]*device.Device, workers)
+	for i := range devices {
+		devices[i] = device.New(devCfg)
+		defer devices[i].Close()
+	}
+	o := core.DefaultOptions(cfg.Model)
+	o.Model = cfg.Model
+	applyCommon(&o.BatchSize, &o.Fanouts, cfg)
+	o.Seed = cfg.Seed
+	pcfg := core.DefaultParallelConfig()
+	pcfg.TimeScale = cfg.Scale
+	p, err := core.NewParallel(ds, devices, budget, cache, rec, o, pcfg)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Close()
+	if epochs == 0 {
+		epochs = 1
+	}
+	var sum time.Duration
+	for e := 0; e < epochs; e++ {
+		total, _, err := p.TrainEpoch(e)
+		if err != nil {
+			return 0, err
+		}
+		sum += total
+	}
+	return sum / time.Duration(epochs), nil
+}

@@ -1,0 +1,214 @@
+package trainsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gnndrive/internal/device"
+	"gnndrive/internal/gen"
+	"gnndrive/internal/hostmem"
+	"gnndrive/internal/nn"
+)
+
+// tinyCfg keeps modeled time near zero so tests are fast.
+func tinyCfg() Config {
+	return Config{
+		Dataset:      gen.Tiny(),
+		Model:        nn.GraphSAGE,
+		HostMemoryGB: 64,
+		BatchSize:    50,
+		Fanouts:      []int{4, 4},
+		Scale:        0.01,
+	}
+}
+
+func TestRunAllSystemsOneEpoch(t *testing.T) {
+	defer DropDatasets()
+	for _, sys := range []SystemKind{GNNDriveGPU, GNNDriveCPU, PyGPlus, Ginex, Marius} {
+		res, err := Run(tinyCfg(), sys, RunOptions{Epochs: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+		if len(res.Epochs) != 1 || res.Epochs[0].Batches == 0 {
+			t.Fatalf("%v: no work done: %+v", sys, res.Epochs)
+		}
+		if res.Epochs[0].Total <= 0 {
+			t.Fatalf("%v: zero epoch time", sys)
+		}
+		if sys == Marius && res.Epochs[0].Prep == 0 {
+			t.Fatal("marius must report data preparation")
+		}
+	}
+}
+
+func TestDatasetCacheReuse(t *testing.T) {
+	defer DropDatasets()
+	cfg := tinyCfg()
+	a, err := buildDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same config must reuse the cached dataset")
+	}
+	cfg.Dim = 64
+	c, err := buildDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a || c.Dim != 64 {
+		t.Fatal("dim override must build a distinct dataset")
+	}
+}
+
+func TestTrainLimitTruncates(t *testing.T) {
+	defer DropDatasets()
+	cfg := tinyCfg()
+	cfg.TrainLimit = 100
+	res, err := Run(cfg, GNNDriveGPU, RunOptions{Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs[0].Batches != 2 {
+		t.Fatalf("batches %d want 2 (100 nodes / 50 batch)", res.Epochs[0].Batches)
+	}
+}
+
+func TestMariusOOMClassified(t *testing.T) {
+	defer DropDatasets()
+	cfg := tinyCfg()
+	cfg.HostMemoryGB = 1 // 1 scaled GB...
+	cfg.Dim = 512        // ...against a 4 MB feature table: prep cannot fit
+	_, err := Run(cfg, Marius, RunOptions{Epochs: 1})
+	if !errors.Is(err, hostmem.ErrOOM) {
+		t.Fatalf("want OOM, got %v", err)
+	}
+}
+
+func TestSampleOnlySupported(t *testing.T) {
+	defer DropDatasets()
+	for _, sys := range []SystemKind{GNNDriveGPU, PyGPlus, Ginex} {
+		d, err := SampleOnly(tinyCfg(), sys)
+		if err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+		if d <= 0 {
+			t.Fatalf("%v: non-positive sample time", sys)
+		}
+	}
+	if _, err := SampleOnly(tinyCfg(), Marius); err == nil {
+		t.Fatal("marius has no sample-only mode")
+	}
+}
+
+func TestRunParallelSpeedups(t *testing.T) {
+	defer DropDatasets()
+	cfg := tinyCfg()
+	cfg.HostMemoryGB = 256
+	devCfg := device.TeslaK80()
+	one, err := RunParallel(cfg, 1, devCfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := RunParallel(cfg, 2, devCfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one <= 0 || two <= 0 {
+		t.Fatal("non-positive epoch times")
+	}
+}
+
+func TestRealTrainEvalVal(t *testing.T) {
+	defer DropDatasets()
+	cfg := tinyCfg()
+	cfg.RealTrain = true
+	cfg.Hidden = 24
+	res, err := Run(cfg, GNNDriveGPU, RunOptions{Epochs: 2, EvalVal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ValAcc) != 2 {
+		t.Fatalf("val accs %v", res.ValAcc)
+	}
+	if res.ValAcc[1] <= 0.1 {
+		t.Fatalf("val acc %v suspiciously low", res.ValAcc[1])
+	}
+	if res.Epochs[1].Loss >= res.Epochs[0].Loss {
+		t.Fatalf("loss did not improve: %v -> %v", res.Epochs[0].Loss, res.Epochs[1].Loss)
+	}
+}
+
+func TestUtilizationWindows(t *testing.T) {
+	defer DropDatasets()
+	cfg := tinyCfg()
+	cfg.Scale = 1 // long enough to catch windows
+	res, err := Run(cfg, GNNDriveGPU, RunOptions{Epochs: 1, SampleUtil: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) == 0 {
+		t.Fatal("no utilization windows collected")
+	}
+}
+
+func TestSystemKindString(t *testing.T) {
+	names := map[SystemKind]string{
+		GNNDriveGPU: "GNNDrive-GPU", GNNDriveCPU: "GNNDrive-CPU",
+		PyGPlus: "PyG+", Ginex: "Ginex", Marius: "MariusGNN",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d: %s", k, k.String())
+		}
+	}
+}
+
+func TestAvgEpochAndPrep(t *testing.T) {
+	r := Result{Epochs: []EpochStats{
+		{Total: 2 * time.Second, Prep: time.Second},
+		{Total: 4 * time.Second, Prep: 3 * time.Second},
+	}}
+	if r.AvgEpoch() != 3*time.Second || r.AvgPrep() != 2*time.Second {
+		t.Fatalf("avg %v prep %v", r.AvgEpoch(), r.AvgPrep())
+	}
+	var empty Result
+	if empty.AvgEpoch() != 0 || empty.AvgPrep() != 0 {
+		t.Fatal("empty result must average to zero")
+	}
+}
+
+func TestFeatureBufferXRuns(t *testing.T) {
+	defer DropDatasets()
+	for _, x := range []float64{1, 2, 8} {
+		cfg := tinyCfg()
+		cfg.FeatureBufferX = x
+		res, err := Run(cfg, GNNDriveGPU, RunOptions{Epochs: 1})
+		if err != nil {
+			t.Fatalf("x=%v: %v", x, err)
+		}
+		if res.Epochs[0].Batches == 0 {
+			t.Fatalf("x=%v: no batches", x)
+		}
+	}
+}
+
+func TestAblationSwitchesRun(t *testing.T) {
+	defer DropDatasets()
+	for name, mut := range map[string]func(*Config){
+		"inorder":  func(c *Config) { c.InOrder = true },
+		"sync":     func(c *Config) { c.SyncExtraction = true },
+		"buffered": func(c *Config) { c.BufferedIO = true },
+	} {
+		cfg := tinyCfg()
+		mut(&cfg)
+		if _, err := Run(cfg, GNNDriveGPU, RunOptions{Epochs: 1}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

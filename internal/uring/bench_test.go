@@ -1,0 +1,49 @@
+package uring
+
+import (
+	"testing"
+
+	"gnndrive/internal/ssd"
+)
+
+// BenchmarkSubmitWait measures the ring round-trip on an instant device
+// (pure ring overhead, no modeled latency).
+func BenchmarkSubmitWait(b *testing.B) {
+	dev := ssd.New(1<<20, ssd.InstantConfig())
+	defer dev.Close()
+	r := NewRing(dev, 64)
+	buf := make([]byte, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.SubmitRead(buf, int64(i%1024)*512, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		r.WaitCQE()
+	}
+}
+
+// BenchmarkDeepPipeline keeps 64 requests in flight continuously.
+func BenchmarkDeepPipeline(b *testing.B) {
+	dev := ssd.New(1<<20, ssd.InstantConfig())
+	defer dev.Close()
+	r := NewRing(dev, 64)
+	bufs := make([][]byte, 64)
+	for i := range bufs {
+		bufs[i] = make([]byte, 512)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	submitted, collected := 0, 0
+	for collected < b.N {
+		if submitted < b.N && r.Inflight() < 64 {
+			if err := r.SubmitRead(bufs[submitted%64], int64(submitted%1024)*512, uint64(submitted)); err != nil {
+				b.Fatal(err)
+			}
+			submitted++
+			continue
+		}
+		r.WaitCQE()
+		collected++
+	}
+}
