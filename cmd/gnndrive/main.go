@@ -14,6 +14,7 @@ import (
 	"log"
 	"time"
 
+	"gnndrive/internal/faults"
 	"gnndrive/internal/gen"
 	"gnndrive/internal/nn"
 	"gnndrive/internal/trainsim"
@@ -34,6 +35,10 @@ func main() {
 	limit := flag.Int("train-limit", 0, "truncate the training split to N nodes")
 	hidden := flag.Int("hidden", 0, "override hidden dimension")
 	seed := flag.Uint64("seed", 1, "random seed")
+	faultTransient := flag.Float64("fault-transient", 0, "inject transient read errors at this rate (0..1)")
+	faultShort := flag.Float64("fault-short", 0, "inject short reads at this rate (0..1)")
+	faultStraggler := flag.Float64("fault-straggler", 0, "inject latency stragglers at this rate (0..1)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection schedule seed")
 	flag.Parse()
 
 	spec, err := gen.ByName(*dataset)
@@ -53,6 +58,14 @@ func main() {
 		BatchSize: *batch, Scale: *scale, RealTrain: *real,
 		Hidden: *hidden, Seed: *seed, InOrder: *inorder, TrainLimit: *limit,
 	}
+	if *faultTransient > 0 || *faultShort > 0 || *faultStraggler > 0 {
+		cfg.Faults = &faults.Config{
+			Seed:          *faultSeed,
+			TransientRate: *faultTransient,
+			ShortReadRate: *faultShort,
+			StragglerRate: *faultStraggler,
+		}
+	}
 	fmt.Printf("training %s on %s with %s (%d scaled-GB host memory)\n", kind, spec.Name, sys, *mem)
 	res, err := trainsim.Run(cfg, sys, trainsim.RunOptions{Epochs: *epochs, EvalVal: *real})
 	if err != nil {
@@ -64,6 +77,10 @@ func main() {
 			e.Sample.Round(time.Millisecond), e.Extract.Round(time.Millisecond),
 			e.Train.Round(time.Millisecond), e.Batches,
 			float64(e.BytesRead)/1e6, float64(e.BytesReused)/1e6)
+		if cfg.Faults != nil {
+			fmt.Printf(" retries=%d fallbacks=%d escalations=%d",
+				e.Retries, e.Fallbacks, e.Escalations)
+		}
 		if *real {
 			fmt.Printf(" loss=%.4f acc=%.3f", e.Loss, e.Acc)
 			if i < len(res.ValAcc) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -50,6 +51,13 @@ type Options struct {
 	StagingSlots int
 	// MaxJointRead caps a joint direct read's byte length (§4.4).
 	MaxJointRead int
+	// RetryBudget is the per-read retry budget for transient storage
+	// errors before the error escalates and aborts the epoch (0 = the
+	// default 3; negative disables retries).
+	RetryBudget int
+	// RetryBackoff is the base delay of the retry backoff (exponential
+	// with jitter, capped; 0 = the default 100µs).
+	RetryBackoff time.Duration
 
 	// Shuffle randomizes mini-batch target order every epoch.
 	Shuffle bool
@@ -153,6 +161,14 @@ func (o *Options) fillDefaults() {
 	}
 	if o.MaxJointRead == 0 {
 		o.MaxJointRead = d.MaxJointRead
+	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 3
+	} else if o.RetryBudget < 0 {
+		o.RetryBudget = 0
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 100 * time.Microsecond
 	}
 	if o.LR == 0 {
 		o.LR = d.LR
@@ -415,13 +431,21 @@ func (e *Engine) release() {
 // TrainEpoch runs one full pass over the training set through the
 // four-stage pipeline and returns its timing breakdown.
 func (e *Engine) TrainEpoch(epoch int) (EpochResult, error) {
-	return e.trainEpochSegment(epoch, e.ds.TrainIdx, nil)
+	return e.trainEpochSegment(context.Background(), epoch, e.ds.TrainIdx, nil)
+}
+
+// RunEpochCtx is TrainEpoch with cancellation: when ctx is cancelled (or
+// a permanent storage error escalates) the four stages tear down
+// promptly, leaving no goroutine, staging slot, or feature-buffer
+// reference behind, and the cause is returned.
+func (e *Engine) RunEpochCtx(ctx context.Context, epoch int) (EpochResult, error) {
+	return e.trainEpochSegment(ctx, epoch, e.ds.TrainIdx, nil)
 }
 
 // trainEpochSegment trains on the given target nodes; stepSync, when
 // non-nil, is invoked by the trainer after every mini-batch (multi-device
 // gradient synchronization).
-func (e *Engine) trainEpochSegment(epoch int, targets []int64, stepSync func(step int)) (EpochResult, error) {
+func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int64, stepSync func(step int)) (EpochResult, error) {
 	if e.closed {
 		return EpochResult{}, errors.New("core: engine closed")
 	}
@@ -438,9 +462,31 @@ func (e *Engine) trainEpochSegment(epoch int, targets []int64, stepSync func(ste
 	trainQ := make(chan *trainItem, e.opts.TrainQueueCap)
 	releaseQ := make(chan *sample.Batch, e.opts.TrainQueueCap+2)
 
+	// runCtx is the pipeline's life line: the first stage error or a
+	// caller cancellation cancels it, and the condition-variable waits in
+	// the feature buffer and staging pool are interrupted so every stage
+	// observes the teardown promptly instead of wedging.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Capture the pointers: the kick runs on its own goroutine and must not
+	// race with Close nil-ing the engine fields after the epoch returns.
+	fb, staging := e.fb, e.staging
+	stopKick := context.AfterFunc(runCtx, func() {
+		fb.Interrupt()
+		if staging != nil {
+			staging.Interrupt()
+		}
+	})
+	defer stopKick()
+
 	var firstErr errutil.FirstError
-	fail := firstErr.Set
-	failed := firstErr.Failed
+	fail := func(err error) {
+		if err != nil {
+			firstErr.Set(err)
+			cancel()
+		}
+	}
+	failed := func() bool { return firstErr.Failed() || runCtx.Err() != nil }
 
 	// Sample stage: a pool of samplers pulling batch indexes; they finish
 	// at different paces, so batches enter the extracting queue out of
@@ -470,7 +516,11 @@ func (e *Engine) trainEpochSegment(epoch int, targets []int64, stepSync func(ste
 					fail(err)
 					return
 				}
-				extractQ <- b
+				select {
+				case extractQ <- b:
+				case <-runCtx.Done():
+					return
+				}
 			}
 		}(s)
 	}
@@ -491,16 +541,28 @@ func (e *Engine) trainEpochSegment(epoch int, targets []int64, stepSync func(ste
 					continue
 				}
 				t0 := time.Now()
-				item, bytesRead, bytesReused, err := x.extractBatch(b)
+				item, st, err := x.extractBatch(runCtx, b)
 				col.AddExtract(time.Since(t0))
 				e.opts.Tracer.Record(trace.StageExtract, b.ID, t0, time.Now())
+				col.AddRetries(st.retries)
+				col.AddFallbacks(st.fallbacks)
+				col.AddEscalations(st.escalations)
+				e.rec.AddRetries(st.retries)
+				e.rec.AddFallbacks(st.fallbacks)
+				e.rec.AddEscalations(st.escalations)
 				if err != nil {
 					fail(err)
 					continue
 				}
-				col.AddExtracted(int64(len(item.res.ToLoad)), bytesRead)
-				col.AddReused(bytesReused)
-				trainQ <- item
+				col.AddExtracted(int64(len(item.res.ToLoad)), st.bytesRead)
+				col.AddReused(st.bytesReused)
+				select {
+				case trainQ <- item:
+				case <-runCtx.Done():
+					// The trainer is gone or draining; the batch will never
+					// reach the releaser, so drop our references here.
+					e.fb.Release(b.Nodes)
+				}
 			}
 		}()
 	}
@@ -578,7 +640,12 @@ func (e *Engine) trainEpochSegment(epoch int, targets []int64, stepSync func(ste
 		res.Loss = lossSum / float64(res.Batches)
 		res.Acc = accSum / float64(res.Batches)
 	}
-	return res, firstErr.Get()
+	err := firstErr.Get()
+	if err == nil {
+		// Caller cancellation with no stage error still fails the epoch.
+		err = ctx.Err()
+	}
+	return res, err
 }
 
 // workFor builds the device-model work description of one batch.

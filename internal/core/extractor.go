@@ -1,12 +1,17 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"gnndrive/internal/errutil"
+	"gnndrive/internal/faults"
 	"gnndrive/internal/graph"
 	"gnndrive/internal/sample"
+	"gnndrive/internal/ssd"
 	"gnndrive/internal/uring"
 )
 
@@ -21,29 +26,56 @@ type trainItem struct {
 	res   *Reservation
 }
 
+// extractStats reports one batch's extraction side effects.
+type extractStats struct {
+	bytesRead   int64
+	bytesReused int64
+	retries     int64 // reads resubmitted after a transient error
+	fallbacks   int64 // direct reads degraded to buffered
+	escalations int64 // reads given up on (budget exhausted / permanent)
+}
+
+// retryableRead classifies storage errors: transient faults and short
+// reads clear on retry; media errors, closed devices, and everything else
+// escalate immediately.
+var retryableRead = errutil.RetryableVia(faults.ErrTransient, faults.ErrShortRead)
+
 // extractor performs asynchronous two-phase feature extraction for one
 // mini-batch at a time (§4.2, Algorithm 1). One extractor owns one
 // io_uring ring, handling all of a mini-batch's I/O in a single thread.
 type extractor struct {
-	eng  *Engine
-	ring *uring.Ring
+	eng    *Engine
+	ring   *uring.Ring
+	policy errutil.Policy
 	// scratch reused across batches
 	loadNodes []int64
 }
 
 func newExtractor(eng *Engine) *extractor {
-	return &extractor{eng: eng, ring: uring.NewRing(eng.ds.Dev, eng.opts.RingDepth)}
+	return &extractor{
+		eng:  eng,
+		ring: uring.NewRing(eng.ds.Dev, eng.opts.RingDepth),
+		policy: errutil.Policy{
+			MaxAttempts: eng.opts.RetryBudget + 1,
+			BaseDelay:   eng.opts.RetryBackoff,
+			Seed:        eng.opts.Seed,
+			Retryable:   retryableRead,
+		},
+	}
 }
 
 // extractBatch reserves feature-buffer slots for the batch, loads the
 // missing vectors from SSD asynchronously, overlaps each node's
 // host-to-device transfer with the remaining loads, and waits for nodes
-// other extractors are bringing in. It returns the bytes read and reused.
-func (x *extractor) extractBatch(b *sample.Batch) (*trainItem, int64, int64, error) {
+// other extractors are bringing in. On any error — including ctx
+// cancellation — the reservation's references are rolled back so the
+// feature buffer ends the epoch with zero refcounts.
+func (x *extractor) extractBatch(ctx context.Context, b *sample.Batch) (*trainItem, extractStats, error) {
 	eng := x.eng
-	res, err := eng.fb.Reserve(b.Nodes)
+	var st extractStats
+	res, err := eng.fb.ReserveCtx(ctx, b.Nodes)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, st, err
 	}
 
 	x.loadNodes = x.loadNodes[:0]
@@ -64,91 +96,180 @@ func (x *extractor) extractBatch(b *sample.Batch) (*trainItem, int64, int64, err
 		plan = BuildReadPlan(eng.ds.Layout.FeaturesOff, featBytes, eng.ds.Dev.SectorSize(),
 			eng.opts.MaxJointRead, x.loadNodes, positions)
 	}
-	bytesRead := PlanBytes(plan)
-	bytesReused := int64(len(b.Nodes)-len(res.ToLoad)) * int64(featBytes)
+	st.bytesRead = PlanBytes(plan)
+	st.bytesReused = int64(len(b.Nodes)-len(res.ToLoad)) * int64(featBytes)
 
-	if err := x.runPlan(b, res, plan); err != nil {
-		return nil, 0, 0, err
+	if err := x.runPlan(ctx, b, res, plan, &st); err != nil {
+		eng.fb.Release(b.Nodes)
+		return nil, st, err
 	}
 
-	// Re-examine the wait list: nodes another extractor was loading.
-	eng.fb.WaitValid(res.Wait)
-	return &trainItem{batch: b, res: res}, bytesRead, bytesReused, nil
+	// Re-examine the wait list: nodes another extractor was loading. If
+	// that extractor failed, cancellation unblocks us here.
+	if err := eng.fb.WaitValidCtx(ctx, res.Wait); err != nil {
+		eng.fb.Release(b.Nodes)
+		return nil, st, err
+	}
+	return &trainItem{batch: b, res: res}, st, nil
 }
 
 // runPlan issues the plan's reads and transfers. Asynchronous mode keeps
 // up to RingDepth reads in flight and launches each completed read's
 // device transfer immediately (phases 4 and 5 of Fig. 4 overlap);
 // synchronous mode (ablation) performs one blocking read at a time.
-func (x *extractor) runPlan(b *sample.Batch, res *Reservation, plan []ReadOp) error {
+//
+// Fault tolerance: a read that completes with a transient error is
+// resubmitted after a jittered exponential backoff, up to the per-op
+// retry budget; a direct read rejected for alignment degrades to a
+// buffered read (§4.4's ladder); anything else escalates as the plan's
+// error. On error or cancellation every in-flight read is still drained
+// so no staging slot leaks.
+func (x *extractor) runPlan(ctx context.Context, b *sample.Batch, res *Reservation, plan []ReadOp, st *extractStats) error {
 	if x.eng.opts.SyncExtraction {
-		return x.runPlanSync(b, res, plan)
+		return x.runPlanSync(ctx, b, res, plan, st)
 	}
 	eng := x.eng
 	opSlot := make([]int32, len(plan))
+	attempts := make([]int, len(plan))
+	buffered := make([]bool, len(plan))
 	var xferWG sync.WaitGroup
 	var firstErr error
-	submitted, collected := 0, 0
-	for collected < len(plan) {
-		if submitted < len(plan) && firstErr == nil && x.ring.Inflight() < x.ring.Depth() {
+	budget := eng.opts.RetryBudget
+
+	// submit issues op's read on its already-assigned staging slot,
+	// degrading to a buffered read when direct I/O rejects the alignment.
+	submit := func(op int) error {
+		sbuf := eng.staging.Buf(opSlot[op])[:plan[op].Len]
+		if buffered[op] || eng.opts.BufferedIO {
+			return x.ring.SubmitBufferedRead(sbuf, plan[op].DevOff, uint64(op))
+		}
+		err := x.ring.SubmitRead(sbuf, plan[op].DevOff, uint64(op))
+		if errors.Is(err, uring.ErrUnaligned) {
+			buffered[op] = true
+			st.fallbacks++
+			return x.ring.SubmitBufferedRead(sbuf, plan[op].DevOff, uint64(op))
+		}
+		return err
+	}
+
+	next := 0     // next op to submit for the first time
+	inflight := 0 // reads currently owned by the device
+	for {
+		if firstErr == nil {
+			if err := ctx.Err(); err != nil {
+				firstErr = err
+			}
+		}
+		// Submit while healthy, work remains, and the ring has room.
+		for firstErr == nil && next < len(plan) && inflight < x.ring.Depth() {
 			slot, ok := eng.staging.TryAcquire()
-			if !ok && x.ring.Inflight() == 0 {
-				// Nothing in flight to wait on: block for a slot.
-				slot, ok = eng.staging.Acquire(), true
-			}
-			if ok {
-				op := plan[submitted]
-				opSlot[submitted] = slot
+			if !ok {
+				if inflight > 0 {
+					break // a completion will free a slot
+				}
 				var err error
-				if eng.opts.BufferedIO {
-					err = x.ring.SubmitBufferedRead(eng.staging.Buf(slot)[:op.Len], op.DevOff, uint64(submitted))
-				} else {
-					err = x.ring.SubmitRead(eng.staging.Buf(slot)[:op.Len], op.DevOff, uint64(submitted))
-				}
+				slot, err = eng.staging.AcquireCtx(ctx)
 				if err != nil {
-					eng.staging.Release(slot)
 					firstErr = err
-					submitted = len(plan) // stop submitting
-				} else {
-					submitted++
+					break
 				}
-				continue
 			}
+			opSlot[next] = slot
+			if err := submit(next); err != nil {
+				eng.staging.Release(slot)
+				firstErr = err
+				break
+			}
+			next++
+			inflight++
+		}
+		if inflight == 0 {
+			if firstErr != nil || next >= len(plan) {
+				break
+			}
+			continue
 		}
 		// Collect one completion; its transfer starts before the
 		// remaining loads finish.
 		cqe := x.ring.WaitCQE()
-		collected++
-		op := plan[cqe.User]
-		slot := opSlot[cqe.User]
-		if cqe.Err != nil {
+		inflight--
+		op := int(cqe.User)
+		slot := opSlot[op]
+		switch {
+		case cqe.Err == nil:
+			x.transferOp(b, res, plan[op], slot, &xferWG)
+		case firstErr == nil && retryableRead(cqe.Err) && attempts[op] < budget:
+			attempts[op]++
+			st.retries++
+			x.backoff(ctx, attempts[op])
+			if err := submit(op); err != nil {
+				eng.staging.Release(slot)
+				firstErr = err
+			} else {
+				inflight++
+			}
+		default:
 			eng.staging.Release(slot)
 			if firstErr == nil {
-				firstErr = cqe.Err
+				st.escalations++
+				firstErr = fmt.Errorf("extract: read [%d,%d) failed after %d attempts: %w",
+					plan[op].DevOff, plan[op].DevOff+int64(plan[op].Len), attempts[op]+1, cqe.Err)
 			}
-			continue
 		}
-		x.transferOp(b, res, op, slot, &xferWG)
 	}
 	xferWG.Wait()
 	return firstErr
 }
 
-func (x *extractor) runPlanSync(b *sample.Batch, res *Reservation, plan []ReadOp) error {
+// backoff sleeps the policy's jittered exponential delay before a retry,
+// returning early on cancellation.
+func (x *extractor) backoff(ctx context.Context, attempt int) {
+	d := x.policy.Delay(attempt)
+	if d <= 0 {
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+	case <-timer.C:
+	}
+}
+
+func (x *extractor) runPlanSync(ctx context.Context, b *sample.Batch, res *Reservation, plan []ReadOp, st *extractStats) error {
 	eng := x.eng
 	var xferWG sync.WaitGroup
+	policy := x.policy
+	policy.OnRetry = func(int, error) { st.retries++ }
+	direct := !eng.opts.BufferedIO
 	for _, op := range plan {
-		slot := eng.staging.Acquire()
-		var waited time.Duration
-		var err error
-		if eng.opts.BufferedIO {
-			waited, err = eng.ds.Dev.ReadAt(eng.staging.Buf(slot)[:op.Len], op.DevOff)
-		} else {
-			waited, err = eng.ds.Dev.ReadDirect(eng.staging.Buf(slot)[:op.Len], op.DevOff)
+		slot, err := eng.staging.AcquireCtx(ctx)
+		if err != nil {
+			xferWG.Wait()
+			return err
 		}
-		eng.rec.AddIOWait(waited)
+		err = errutil.Retry(ctx, policy, func() error {
+			var waited time.Duration
+			var rerr error
+			if direct {
+				waited, rerr = eng.ds.Dev.ReadDirect(eng.staging.Buf(slot)[:op.Len], op.DevOff)
+				if errors.Is(rerr, ssd.ErrUnaligned) {
+					// Degradation ladder: retry this and all later ops
+					// through the buffered path.
+					direct = false
+					st.fallbacks++
+					waited, rerr = eng.ds.Dev.ReadAt(eng.staging.Buf(slot)[:op.Len], op.DevOff)
+				}
+			} else {
+				waited, rerr = eng.ds.Dev.ReadAt(eng.staging.Buf(slot)[:op.Len], op.DevOff)
+			}
+			eng.rec.AddIOWait(waited)
+			return rerr
+		})
 		if err != nil {
 			eng.staging.Release(slot)
+			st.escalations++
+			xferWG.Wait()
 			return err
 		}
 		x.transferOp(b, res, op, slot, &xferWG)

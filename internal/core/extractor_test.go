@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -33,12 +34,12 @@ func TestExtractBatchLoadsCorrectFeatures(t *testing.T) {
 	e := newExtractorEngine(t)
 	x := newExtractor(e)
 	nodes := []int64{3, 77, 1500, 42}
-	item, bytesRead, bytesReused, err := x.extractBatch(buildBatchOf(0, nodes...))
+	item, st, err := x.extractBatch(context.Background(), buildBatchOf(0, nodes...))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bytesRead == 0 || bytesReused != 0 {
-		t.Fatalf("read=%d reused=%d", bytesRead, bytesReused)
+	if st.bytesRead == 0 || st.bytesReused != 0 {
+		t.Fatalf("read=%d reused=%d", st.bytesRead, st.bytesReused)
 	}
 	for i, v := range nodes {
 		if !e.fb.Valid(v) {
@@ -59,20 +60,20 @@ func TestExtractBatchReusesSecondTime(t *testing.T) {
 	e := newExtractorEngine(t)
 	x := newExtractor(e)
 	nodes := []int64{10, 11, 12}
-	item1, read1, _, err := x.extractBatch(buildBatchOf(0, nodes...))
+	item1, st1, err := x.extractBatch(context.Background(), buildBatchOf(0, nodes...))
 	if err != nil {
 		t.Fatal(err)
 	}
 	e.fb.Release(item1.batch.Nodes)
-	_, read2, reused2, err := x.extractBatch(buildBatchOf(1, nodes...))
+	_, st2, err := x.extractBatch(context.Background(), buildBatchOf(1, nodes...))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if read1 == 0 {
+	if st1.bytesRead == 0 {
 		t.Fatal("first extraction read nothing")
 	}
-	if read2 != 0 || reused2 != int64(len(nodes))*e.ds.FeatBytes() {
-		t.Fatalf("second extraction: read=%d reused=%d", read2, reused2)
+	if st2.bytesRead != 0 || st2.bytesReused != int64(len(nodes))*e.ds.FeatBytes() {
+		t.Fatalf("second extraction: read=%d reused=%d", st2.bytesRead, st2.bytesReused)
 	}
 }
 
@@ -87,7 +88,7 @@ func TestConcurrentExtractorsShareNodes(t *testing.T) {
 			defer wg.Done()
 			x := newExtractor(e)
 			for r := 0; r < 10; r++ {
-				item, _, _, err := x.extractBatch(buildBatchOf(w*100+r, shared...))
+				item, _, err := x.extractBatch(context.Background(), buildBatchOf(w*100+r, shared...))
 				if err != nil {
 					errs <- err
 					return
@@ -135,7 +136,7 @@ func TestSyncAndAsyncExtractionAgree(t *testing.T) {
 		}
 		defer e.Close()
 		x := newExtractor(e)
-		item, _, _, err := x.extractBatch(buildBatchOf(0, nodes...))
+		item, _, err := x.extractBatch(context.Background(), buildBatchOf(0, nodes...))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +169,7 @@ func TestBufferedExtractionMatchesDirect(t *testing.T) {
 		}
 		defer e.Close()
 		x := newExtractor(e)
-		item, _, _, err := x.extractBatch(buildBatchOf(0, nodes...))
+		item, _, err := x.extractBatch(context.Background(), buildBatchOf(0, nodes...))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -115,6 +116,13 @@ type Reservation struct {
 // Release undoes it after training. Blocks while the standby list is
 // empty, waiting for the releaser.
 func (fb *FeatureBuffer) Reserve(nodes []int64) (*Reservation, error) {
+	return fb.ReserveCtx(context.Background(), nodes)
+}
+
+// ReserveCtx is Reserve with cancellation: a cancelled ctx aborts the
+// standby wait and rolls back every reference already taken for this
+// batch, so a torn-down extractor leaks no refcounts.
+func (fb *FeatureBuffer) ReserveCtx(ctx context.Context, nodes []int64) (*Reservation, error) {
 	if len(nodes) > fb.slots {
 		return nil, fmt.Errorf("%w: batch of %d nodes, %d slots", ErrBufferTooSmall, len(nodes), fb.slots)
 	}
@@ -142,8 +150,10 @@ func (fb *FeatureBuffer) Reserve(nodes []int64) (*Reservation, error) {
 		default:
 			// Not buffered: take the LRU standby slot, evicting whatever
 			// retired node still maps there (deferred invalidation, §4.2).
-			slot, err := fb.takeStandbyLocked(deadline)
+			slot, err := fb.takeStandbyLocked(ctx, deadline)
 			if err != nil {
+				// Roll back the references this partial reservation took.
+				fb.releaseLocked(nodes[:i])
 				return nil, err
 			}
 			if prev := fb.reverse[slot]; prev >= 0 {
@@ -164,9 +174,13 @@ func (fb *FeatureBuffer) Reserve(nodes []int64) (*Reservation, error) {
 }
 
 // takeStandbyLocked pops the LRU standby slot, waiting for releases while
-// the list is empty. Caller holds fb.mu.
-func (fb *FeatureBuffer) takeStandbyLocked(deadline time.Time) (int32, error) {
+// the list is empty. The wait aborts when ctx is cancelled (paired with
+// Interrupt for prompt wake-up) or the deadline passes. Caller holds fb.mu.
+func (fb *FeatureBuffer) takeStandbyLocked(ctx context.Context, deadline time.Time) (int32, error) {
 	for fb.standby.empty() {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
 		fb.waiters++
 		// Timed wait: cond has no native timeout, so poke the condition
 		// from a timer if we're the first waiter.
@@ -203,33 +217,64 @@ func (fb *FeatureBuffer) MarkValid(node int64) {
 // WaitValid blocks until every listed node's valid bit is set — the
 // wait-list re-examination at the end of Algorithm 1.
 func (fb *FeatureBuffer) WaitValid(nodes []int64) {
+	_ = fb.WaitValidCtx(context.Background(), nodes)
+}
+
+// WaitValidCtx is WaitValid with cancellation: it returns ctx.Err() when
+// the context is cancelled mid-wait (the loading extractor may have
+// failed, so the valid bit would never arrive). Pair with Interrupt for
+// prompt wake-up.
+func (fb *FeatureBuffer) WaitValidCtx(ctx context.Context, nodes []int64) error {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
 	for _, node := range nodes {
 		for !fb.entries[node].valid {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fb.cond.Wait()
 		}
 	}
+	return nil
+}
+
+// Interrupt wakes every goroutine blocked in ReserveCtx or WaitValidCtx
+// so it can observe a cancelled context.
+func (fb *FeatureBuffer) Interrupt() {
+	fb.mu.Lock()
+	fb.cond.Broadcast()
+	fb.mu.Unlock()
 }
 
 // Release decrements the nodes' reference counts after training; slots
 // whose count reaches zero retire to the standby tail (most-recently
-// retired), keeping their data for inter-batch reuse.
+// retired), keeping their data for inter-batch reuse. A node released
+// while still invalid (its extraction was aborted) is unmapped entirely:
+// its slot returns to standby with no stale reverse mapping, so a later
+// reservation of the node loads it fresh.
 func (fb *FeatureBuffer) Release(nodes []int64) {
 	fb.mu.Lock()
+	fb.releaseLocked(nodes)
+	fb.mu.Unlock()
+	fb.cond.Broadcast()
+}
+
+func (fb *FeatureBuffer) releaseLocked(nodes []int64) {
 	for _, node := range nodes {
 		e := &fb.entries[node]
 		if e.ref <= 0 {
-			fb.mu.Unlock()
 			panic(fmt.Sprintf("core: release of unreferenced node %d", node))
 		}
 		e.ref--
 		if e.ref == 0 {
-			fb.standby.pushTail(e.slot)
+			slot := e.slot
+			if !e.valid {
+				fb.reverse[slot] = -1
+				e.slot = -1
+			}
+			fb.standby.pushTail(slot)
 		}
 	}
-	fb.mu.Unlock()
-	fb.cond.Broadcast()
 }
 
 // RefCount reports a node's current reference count (tests/inspection).
@@ -251,6 +296,18 @@ func (fb *FeatureBuffer) StandbyLen() int {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
 	return fb.standby.length
+}
+
+// TotalRefs sums every node's reference count (leak checks: it must be
+// zero after an epoch completes, fails, or is cancelled).
+func (fb *FeatureBuffer) TotalRefs() int64 {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	var sum int64
+	for i := range fb.entries {
+		sum += int64(fb.entries[i].ref)
+	}
+	return sum
 }
 
 // Stats summarizes buffer effectiveness.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -169,6 +170,13 @@ func (p *Parallel) allReduceTime() time.Duration {
 // concurrently with per-step gradient synchronization. It returns the
 // wall-clock epoch time and per-worker results.
 func (p *Parallel) TrainEpoch(epoch int) (time.Duration, []EpochResult, error) {
+	return p.TrainEpochCtx(context.Background(), epoch)
+}
+
+// TrainEpochCtx is TrainEpoch with cancellation. A failing worker (or a
+// cancelled ctx) cancels its siblings and interrupts the step barrier so
+// surviving workers cannot wedge waiting for a dead peer.
+func (p *Parallel) TrainEpochCtx(ctx context.Context, epoch int) (time.Duration, []EpochResult, error) {
 	ds := p.engines[0].ds
 	bs := p.engines[0].opts.BatchSize
 	w := len(p.engines)
@@ -177,6 +185,12 @@ func (p *Parallel) TrainEpoch(epoch int) (time.Duration, []EpochResult, error) {
 		return 0, nil, fmt.Errorf("core: training set too small for %d workers of batch %d", w, bs)
 	}
 	segLen := batchesPer * bs
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	p.barrier.reset()
+	stopKick := context.AfterFunc(runCtx, p.barrier.interrupt)
+	defer stopKick()
 
 	results := make([]EpochResult, w)
 	errs := make([]error, w)
@@ -187,7 +201,10 @@ func (p *Parallel) TrainEpoch(epoch int) (time.Duration, []EpochResult, error) {
 		go func(i int, eng *Engine) {
 			defer wg.Done()
 			seg := ds.TrainIdx[i*segLen : (i+1)*segLen]
-			results[i], errs[i] = eng.trainEpochSegment(epoch, seg, p.syncFn(i))
+			results[i], errs[i] = eng.trainEpochSegment(runCtx, epoch, seg, p.syncFn(i))
+			if errs[i] != nil {
+				cancel()
+			}
 		}(i, eng)
 	}
 	wg.Wait()
@@ -239,13 +256,16 @@ func (p *Parallel) averageGradients() {
 }
 
 // stepBarrier is a cyclic barrier with an optional critical action run by
-// the last arriver before everyone is released.
+// the last arriver before everyone is released. interrupt permanently
+// releases all current and future waiters (epoch teardown: a dead worker
+// will never arrive).
 type stepBarrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   int
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    int
+	broken bool
 }
 
 func newStepBarrier(n int) *stepBarrier {
@@ -255,8 +275,13 @@ func newStepBarrier(n int) *stepBarrier {
 }
 
 // await blocks until n parties arrive; the last runs action (may be nil).
+// A broken barrier releases immediately without running the action.
 func (b *stepBarrier) await(action func()) {
 	b.mu.Lock()
+	if b.broken {
+		b.mu.Unlock()
+		return
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
@@ -269,8 +294,27 @@ func (b *stepBarrier) await(action func()) {
 		b.cond.Broadcast()
 		return
 	}
-	for gen == b.gen {
+	for gen == b.gen && !b.broken {
 		b.cond.Wait()
 	}
+	b.mu.Unlock()
+}
+
+// interrupt breaks the barrier, releasing every waiter now and forever.
+func (b *stepBarrier) interrupt() {
+	b.mu.Lock()
+	b.broken = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// reset re-arms a broken barrier for the next epoch. Only safe while no
+// worker is between epochs (TrainEpochCtx starts after the previous
+// epoch's workers have all returned).
+func (b *stepBarrier) reset() {
+	b.mu.Lock()
+	b.broken = false
+	b.count = 0
+	b.gen++
 	b.mu.Unlock()
 }

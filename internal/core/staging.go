@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -76,17 +77,42 @@ func (s *Staging) Slots() int { return s.slots }
 
 // Acquire blocks until a slot is free and returns its index.
 func (s *Staging) Acquire() int32 {
+	slot, err := s.AcquireCtx(context.Background())
+	if err != nil {
+		panic("core: Acquire on closed staging buffer")
+	}
+	return slot
+}
+
+// AcquireCtx blocks until a slot is free, ctx is cancelled, or the pool
+// is closed. A cancelled ctx must be paired with an Interrupt (the epoch
+// teardown does this) to guarantee prompt wake-up.
+func (s *Staging) AcquireCtx(ctx context.Context) (int32, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for len(s.free) == 0 && !s.closed {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
 		s.cond.Wait()
 	}
 	if s.closed {
-		panic("core: Acquire on closed staging buffer")
+		return -1, fmt.Errorf("core: staging buffer closed")
+	}
+	if err := ctx.Err(); err != nil {
+		return -1, err
 	}
 	slot := s.free[len(s.free)-1]
 	s.free = s.free[:len(s.free)-1]
-	return slot
+	return slot, nil
+}
+
+// Interrupt wakes every goroutine blocked in AcquireCtx so it can observe
+// a cancelled context.
+func (s *Staging) Interrupt() {
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // TryAcquire returns a slot if one is free.

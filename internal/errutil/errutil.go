@@ -1,7 +1,13 @@
 // Package errutil holds tiny error helpers shared by the pipelines.
 package errutil
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
 
 // FirstError records the first error Set on it; later errors are dropped.
 // Safe for concurrent use (unlike atomic.Value, it tolerates mixed
@@ -32,3 +38,126 @@ func (f *FirstError) Get() error {
 
 // Failed reports whether an error has been recorded.
 func (f *FirstError) Failed() bool { return f.Get() != nil }
+
+// Policy bounds a retry loop: exponential backoff with jitter, a total
+// attempt budget, and a transient-vs-permanent classifier.
+type Policy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (0 means 3; 1 means no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (0 means 100µs).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 means 10ms).
+	MaxDelay time.Duration
+	// Multiplier grows the delay per attempt (0 means 2).
+	Multiplier float64
+	// Jitter is the fraction of the delay randomized away, in [0, 1]
+	// (0 means 0.5): delay is uniform in [d*(1-Jitter), d].
+	Jitter float64
+	// Seed makes the jitter deterministic; 0 means 1.
+	Seed uint64
+	// Retryable classifies errors; nil retries everything. Use
+	// RetryableVia for an errors.Is allowlist.
+	Retryable func(error) bool
+	// OnRetry, when non-nil, observes each retry about to happen
+	// (attempt is 1-based: the attempt that just failed).
+	OnRetry func(attempt int, err error)
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 100 * time.Microsecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 10 * time.Millisecond
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Delay returns the jittered backoff before retry number attempt
+// (1-based). It is deterministic in (Seed, attempt) so concurrent
+// retriers sharing a policy de-synchronize without shared state.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	u := splitmixUnit(p.Seed ^ uint64(attempt)*0x9e3779b97f4a7c15)
+	return time.Duration(d * (1 - p.Jitter*u))
+}
+
+// RetryableVia builds a classifier that retries only errors matching one
+// of the targets under errors.Is.
+func RetryableVia(targets ...error) func(error) bool {
+	return func(err error) bool {
+		for _, t := range targets {
+			if errors.Is(err, t) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Retry runs fn until it succeeds, permanently fails, exhausts the
+// attempt budget, or ctx is cancelled. The returned error preserves the
+// underlying cause for errors.Is; on budget exhaustion it is annotated
+// with the attempt count. Cancellation during a backoff sleep returns
+// ctx.Err() promptly.
+func Retry(ctx context.Context, p Policy, fn func() error) error {
+	p = p.withDefaults()
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if p.Retryable != nil && !p.Retryable(err) {
+			return err
+		}
+		if attempt >= p.MaxAttempts {
+			return fmt.Errorf("gave up after %d attempts: %w", attempt, err)
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		timer := time.NewTimer(p.Delay(attempt))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// splitmixUnit hashes x to a uniform float64 in [0, 1).
+func splitmixUnit(x uint64) float64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) * (1.0 / (1 << 53))
+}

@@ -1,0 +1,134 @@
+package errutil
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errFlaky = errors.New("flaky")
+var errFatal = errors.New("fatal")
+
+func fastPolicy() Policy {
+	return Policy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+}
+
+func TestRetrySucceedsAfterTransients(t *testing.T) {
+	calls := 0
+	retries := 0
+	p := fastPolicy()
+	p.OnRetry = func(attempt int, err error) {
+		retries++
+		if !errors.Is(err, errFlaky) {
+			t.Fatalf("OnRetry saw %v", err)
+		}
+	}
+	err := Retry(context.Background(), p, func() error {
+		calls++
+		if calls < 3 {
+			return errFlaky
+		}
+		return nil
+	})
+	if err != nil || calls != 3 || retries != 2 {
+		t.Fatalf("err=%v calls=%d retries=%d", err, calls, retries)
+	}
+}
+
+func TestRetryGivesUpAndWraps(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), fastPolicy(), func() error {
+		calls++
+		return errFlaky
+	})
+	if calls != 3 {
+		t.Fatalf("calls %d, want 3", calls)
+	}
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("cause lost: %v", err)
+	}
+	if err.Error() == errFlaky.Error() {
+		t.Fatal("give-up error not annotated with attempt count")
+	}
+}
+
+func TestRetryNonRetryableReturnsImmediately(t *testing.T) {
+	calls := 0
+	p := fastPolicy()
+	p.Retryable = RetryableVia(errFlaky)
+	err := Retry(context.Background(), p, func() error {
+		calls++
+		return errFatal
+	})
+	if calls != 1 || !errors.Is(err, errFatal) {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetryCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := Retry(ctx, fastPolicy(), func() error { called = true; return nil })
+	if !errors.Is(err, context.Canceled) || called {
+		t.Fatalf("err=%v called=%v", err, called)
+	}
+}
+
+func TestRetryCancelledDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(ctx, p, func() error { return errFlaky })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Retry did not return promptly after cancellation mid-backoff")
+	}
+}
+
+func TestDelayGrowsAndIsCapped(t *testing.T) {
+	p := Policy{BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond,
+		Multiplier: 2, Jitter: 0.5, Seed: 1}
+	prevMax := time.Duration(0)
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := p.Delay(attempt)
+		// Jitter keeps delay within [max/2, max] of the un-jittered value.
+		unjittered := time.Millisecond << (attempt - 1)
+		if unjittered > p.MaxDelay {
+			unjittered = p.MaxDelay
+		}
+		if d > unjittered || d < unjittered/2 {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, unjittered/2, unjittered)
+		}
+		if d > p.MaxDelay {
+			t.Fatalf("attempt %d: delay %v exceeds cap", attempt, d)
+		}
+		if unjittered > prevMax {
+			prevMax = unjittered
+		}
+	}
+	// Determinism: same (Seed, attempt) → same delay.
+	if p.Delay(3) != p.Delay(3) {
+		t.Fatal("Delay not deterministic")
+	}
+}
+
+func TestRetryableVia(t *testing.T) {
+	r := RetryableVia(errFlaky)
+	if !r(errFlaky) || r(errFatal) || r(nil) {
+		t.Fatal("classifier wrong")
+	}
+	wrapped := errors.Join(errors.New("outer"), errFlaky)
+	if !r(wrapped) {
+		t.Fatal("wrapped error not matched via errors.Is")
+	}
+}

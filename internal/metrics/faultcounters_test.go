@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderFaultCounters(t *testing.T) {
+	r := NewRecorder()
+	r.AddRetries(3)
+	r.AddFallbacks(2)
+	r.AddEscalations(1)
+	r.AddRetries(4)
+	if r.Retries() != 7 || r.Fallbacks() != 2 || r.Escalations() != 1 {
+		t.Fatalf("retries=%d fallbacks=%d escalations=%d",
+			r.Retries(), r.Fallbacks(), r.Escalations())
+	}
+}
+
+func TestBreakdownCollectorFaultCounters(t *testing.T) {
+	var c BreakdownCollector
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.AddRetries(1)
+				c.AddFallbacks(2)
+				c.AddEscalations(3)
+			}
+		}()
+	}
+	wg.Wait()
+	b := c.Snapshot(time.Second)
+	if b.Retries != 800 || b.Fallbacks != 1600 || b.Escalations != 2400 {
+		t.Fatalf("snapshot %+v", b)
+	}
+}

@@ -19,9 +19,16 @@ import (
 type Recorder struct {
 	cpuBusy atomic.Int64 // nanos of useful CPU work
 	ioWait  atomic.Int64 // nanos blocked on synchronous I/O
+	// Fault-tolerance counters: reads retried after a transient storage
+	// error, direct→buffered degradations, and errors escalated after the
+	// retry budget ran out (or that were never retryable).
+	retries     atomic.Int64
+	fallbacks   atomic.Int64
+	escalations atomic.Int64
 	// gpuBusy is a provider because device busy time lives in the device
-	// model; nil means "no GPU".
-	gpuBusy func() int64
+	// model; nil means "no GPU". Atomic: the engine installs it while a
+	// previously started sampler may already be reading.
+	gpuBusy atomic.Pointer[func() int64]
 }
 
 // NewRecorder creates an empty recorder.
@@ -29,7 +36,15 @@ func NewRecorder() *Recorder { return &Recorder{} }
 
 // SetGPUProvider installs a cumulative-busy-nanos source for GPU
 // utilization sampling.
-func (r *Recorder) SetGPUProvider(f func() int64) { r.gpuBusy = f }
+func (r *Recorder) SetGPUProvider(f func() int64) { r.gpuBusy.Store(&f) }
+
+// gpuProvider returns the installed GPU-busy source, or nil.
+func (r *Recorder) gpuProvider() func() int64 {
+	if p := r.gpuBusy.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // AddCPU accounts useful CPU time.
 func (r *Recorder) AddCPU(d time.Duration) {
@@ -50,6 +65,25 @@ func (r *Recorder) CPUBusy() time.Duration { return time.Duration(r.cpuBusy.Load
 
 // IOWait returns cumulative I/O-wait time.
 func (r *Recorder) IOWait() time.Duration { return time.Duration(r.ioWait.Load()) }
+
+// AddRetries accounts reads resubmitted after transient errors.
+func (r *Recorder) AddRetries(n int64) { r.retries.Add(n) }
+
+// AddFallbacks accounts direct→buffered read degradations.
+func (r *Recorder) AddFallbacks(n int64) { r.fallbacks.Add(n) }
+
+// AddEscalations accounts errors given up on (budget exhausted or
+// permanent).
+func (r *Recorder) AddEscalations(n int64) { r.escalations.Add(n) }
+
+// Retries returns cumulative retried reads.
+func (r *Recorder) Retries() int64 { return r.retries.Load() }
+
+// Fallbacks returns cumulative direct→buffered degradations.
+func (r *Recorder) Fallbacks() int64 { return r.fallbacks.Load() }
+
+// Escalations returns cumulative escalated errors.
+func (r *Recorder) Escalations() int64 { return r.escalations.Load() }
 
 // Window is one sampling interval of the utilization time series.
 type Window struct {
@@ -100,8 +134,8 @@ func (s *Sampler) run() {
 	lastCPU := s.rec.cpuBusy.Load()
 	lastIO := s.rec.ioWait.Load()
 	var lastGPU int64
-	if s.rec.gpuBusy != nil {
-		lastGPU = s.rec.gpuBusy()
+	if gb := s.rec.gpuProvider(); gb != nil {
+		lastGPU = gb()
 	}
 	lastT := start
 	ticker := time.NewTicker(s.interval)
@@ -118,15 +152,16 @@ func (s *Sampler) run() {
 			cpu := s.rec.cpuBusy.Load()
 			io := s.rec.ioWait.Load()
 			var gpu int64
-			if s.rec.gpuBusy != nil {
-				gpu = s.rec.gpuBusy()
+			gb := s.rec.gpuProvider()
+			if gb != nil {
+				gpu = gb()
 			}
 			w := Window{
 				At:          now.Sub(start),
 				CPUUtil:     clamp01(float64(cpu-lastCPU) / 1e9 / dt / s.cpuN),
 				IOWaitRatio: clamp01(float64(io-lastIO) / 1e9 / dt / s.ioN),
 			}
-			if s.rec.gpuBusy != nil {
+			if gb != nil {
 				w.GPUUtil = clamp01(float64(gpu-lastGPU) / 1e9 / dt)
 			}
 			s.mu.Lock()
@@ -171,6 +206,12 @@ type Breakdown struct {
 	NodesExtracted int64
 	BytesRead      int64
 	BytesReused    int64 // feature bytes served from the feature buffer
+
+	// Fault tolerance: reads retried after transient storage errors,
+	// direct→buffered degradations, and errors escalated to the caller.
+	Retries     int64
+	Fallbacks   int64
+	Escalations int64
 }
 
 // atomicDuration supports concurrent stage accumulation.
@@ -186,6 +227,9 @@ type BreakdownCollector struct {
 	nodesExtracted                        atomic.Int64
 	bytesRead                             atomic.Int64
 	bytesReused                           atomic.Int64
+	retries                               atomic.Int64
+	fallbacks                             atomic.Int64
+	escalations                           atomic.Int64
 }
 
 // AddPrep adds data-preparation time.
@@ -215,6 +259,15 @@ func (c *BreakdownCollector) AddExtracted(nodes int64, bytes int64) {
 // AddReused counts feature bytes served without I/O.
 func (c *BreakdownCollector) AddReused(bytes int64) { c.bytesReused.Add(bytes) }
 
+// AddRetries counts reads resubmitted after transient errors.
+func (c *BreakdownCollector) AddRetries(n int64) { c.retries.Add(n) }
+
+// AddFallbacks counts direct→buffered read degradations.
+func (c *BreakdownCollector) AddFallbacks(n int64) { c.fallbacks.Add(n) }
+
+// AddEscalations counts errors given up on.
+func (c *BreakdownCollector) AddEscalations(n int64) { c.escalations.Add(n) }
+
 // Snapshot finalizes the breakdown with the epoch wall-clock total.
 func (c *BreakdownCollector) Snapshot(total time.Duration) Breakdown {
 	return Breakdown{
@@ -228,5 +281,8 @@ func (c *BreakdownCollector) Snapshot(total time.Duration) Breakdown {
 		NodesExtracted: c.nodesExtracted.Load(),
 		BytesRead:      c.bytesRead.Load(),
 		BytesReused:    c.bytesReused.Load(),
+		Retries:        c.retries.Load(),
+		Fallbacks:      c.fallbacks.Load(),
+		Escalations:    c.escalations.Load(),
 	}
 }

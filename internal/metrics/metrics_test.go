@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -38,8 +39,8 @@ func TestRecorderConcurrent(t *testing.T) {
 
 func TestSamplerProducesWindows(t *testing.T) {
 	r := NewRecorder()
-	var gpu int64
-	r.SetGPUProvider(func() int64 { return gpu })
+	var gpu atomic.Int64
+	r.SetGPUProvider(gpu.Load)
 	s := r.StartSampler(5*time.Millisecond, 2, 2)
 	stop := make(chan struct{})
 	go func() {
@@ -49,7 +50,7 @@ func TestSamplerProducesWindows(t *testing.T) {
 				return
 			default:
 				r.AddCPU(2 * time.Millisecond)
-				gpu += int64(time.Millisecond)
+				gpu.Add(int64(time.Millisecond))
 				time.Sleep(2 * time.Millisecond)
 			}
 		}

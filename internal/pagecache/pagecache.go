@@ -10,14 +10,24 @@ package pagecache
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gnndrive/internal/errutil"
+	"gnndrive/internal/faults"
 	"gnndrive/internal/hostmem"
 	"gnndrive/internal/ssd"
 )
+
+// faultPolicy retries page fault-ins that hit a transient device error or
+// a short read, so sample-stage topology reads survive the same injected
+// failures the extractor retries; media errors stay permanent.
+var faultPolicy = errutil.Policy{
+	Retryable: errutil.RetryableVia(faults.ErrTransient, faults.ErrShortRead),
+}
 
 // PageSize is the cache granularity, as on Linux.
 const PageSize = 4096
@@ -37,6 +47,9 @@ type page struct {
 // Stats are cumulative cache counters.
 type Stats struct {
 	Hits, Misses, Evictions int64
+	// Retries counts page fault-ins re-issued after a transient device
+	// error.
+	Retries int64
 }
 
 // Cache is a shared LRU page cache in front of one simulated device.
@@ -49,7 +62,7 @@ type Cache struct {
 	lru    *list.List // front = most recently used
 	nextID int32
 
-	hits, misses, evictions atomic.Int64
+	hits, misses, evictions, retries atomic.Int64
 }
 
 // New creates a cache over dev whose size is bounded by budget.CachePool().
@@ -137,7 +150,14 @@ func (c *Cache) getPage(f *File, pageNo int64) (*page, time.Duration, error) {
 	if devOff+n > c.dev.Capacity() {
 		n = c.dev.Capacity() - devOff
 	}
-	waited, err := c.dev.ReadAt(pg.data[:n], devOff)
+	var waited time.Duration
+	policy := faultPolicy
+	policy.OnRetry = func(int, error) { c.retries.Add(1) }
+	err := errutil.Retry(context.Background(), policy, func() error {
+		w, rerr := c.dev.ReadAt(pg.data[:n], devOff)
+		waited += w
+		return rerr
+	})
 	closeLoad := pg.loading
 	c.mu.Lock()
 	pg.loading = nil
@@ -193,5 +213,6 @@ func (c *Cache) DropAll() {
 
 // Stats returns a snapshot of cumulative counters.
 func (c *Cache) Stats() Stats {
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Evictions: c.evictions.Load()}
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Evictions: c.evictions.Load(), Retries: c.retries.Load()}
 }

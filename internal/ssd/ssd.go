@@ -19,11 +19,21 @@
 package ssd
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gnndrive/internal/faults"
 )
+
+// ErrClosed is returned for requests submitted after Close.
+var ErrClosed = errors.New("ssd: device closed")
+
+// ErrUnaligned is returned by ReadDirect when the offset or length
+// violates the sector alignment; callers can degrade to buffered I/O.
+var ErrUnaligned = errors.New("ssd: direct read not sector-aligned")
 
 // Config describes the simulated device.
 type Config struct {
@@ -39,6 +49,11 @@ type Config struct {
 	// TimeScale multiplies every modeled duration; <1 speeds the
 	// simulation up uniformly. 0 means 1.0.
 	TimeScale float64
+	// Faults, when non-nil, attaches a fault-injection schedule at
+	// construction (equivalent to SetInjector(faults.NewInjector(*Faults))
+	// right after New), so call sites that build devices from a Config
+	// need no changes to run under injected failures.
+	Faults *faults.Config
 }
 
 // DefaultConfig models a SATA SSD (PM883-like: ~90us random read, ~520MB/s
@@ -79,6 +94,7 @@ type Request struct {
 type Stats struct {
 	Reads        int64
 	BytesRead    int64
+	Faults       int64         // requests completed with an injected error
 	BusyTime     time.Duration // summed channel service time
 	QueueTime    time.Duration // summed wait before service
 	TotalLatency time.Duration
@@ -92,12 +108,19 @@ type Device struct {
 
 	reads        atomic.Int64
 	bytesRead    atomic.Int64
+	faults       atomic.Int64
 	busyNanos    atomic.Int64
 	queueNanos   atomic.Int64
 	latencyNanos atomic.Int64
 
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	inj atomic.Pointer[faults.Injector]
+
+	// closeMu orders Submit's channel sends before Close's channel close:
+	// senders hold the read side, Close takes the write side, so a request
+	// can never race onto a closed queue.
+	closeMu sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
 }
 
 type channel struct {
@@ -118,6 +141,9 @@ func New(capacity int64, cfg Config) *Device {
 		cfg.TimeScale = 1
 	}
 	d := &Device{cfg: cfg, image: make([]byte, capacity)}
+	if cfg.Faults != nil {
+		d.inj.Store(faults.NewInjector(*cfg.Faults))
+	}
 	d.channels = make([]*channel, cfg.Channels)
 	for i := range d.channels {
 		c := &channel{dev: d, queue: make(chan *Request, 4096)}
@@ -134,11 +160,24 @@ func (d *Device) Capacity() int64 { return int64(len(d.image)) }
 // SectorSize returns the direct-I/O granularity.
 func (d *Device) SectorSize() int { return d.cfg.SectorSize }
 
-// Close stops the channel goroutines. Outstanding requests drain first.
+// SetInjector attaches (or, with nil, detaches) a fault injector. Reads
+// already queued keep the schedule they were decided under; new requests
+// consult the new injector.
+func (d *Device) SetInjector(in *faults.Injector) { d.inj.Store(in) }
+
+// Injector returns the attached fault injector, or nil.
+func (d *Device) Injector() *faults.Injector { return d.inj.Load() }
+
+// Close stops the channel goroutines. Outstanding requests drain first;
+// requests submitted afterwards complete with ErrClosed.
 func (d *Device) Close() {
-	if d.closed.Swap(true) {
+	d.closeMu.Lock()
+	if d.closed {
+		d.closeMu.Unlock()
 		return
 	}
+	d.closed = true
+	d.closeMu.Unlock()
 	for _, c := range d.channels {
 		close(c.queue)
 	}
@@ -191,6 +230,7 @@ func (d *Device) serviceTime(n int) time.Duration {
 // Submit enqueues an asynchronous read. The request's Done callback fires
 // on completion. Requests are striped across channels by offset so
 // sequential streams still engage all channels sector-interleaved.
+// Submitting to a closed device completes the request with ErrClosed.
 func (d *Device) Submit(req *Request) {
 	if err := d.check(req.Buf, req.Off); err != nil {
 		req.Err = err
@@ -199,9 +239,19 @@ func (d *Device) Submit(req *Request) {
 		}
 		return
 	}
+	d.closeMu.RLock()
+	if d.closed {
+		d.closeMu.RUnlock()
+		req.Err = ErrClosed
+		if req.Done != nil {
+			req.Done(req)
+		}
+		return
+	}
 	req.submitted = time.Now()
 	c := d.channels[(req.Off/int64(d.cfg.SectorSize))%int64(len(d.channels))]
 	c.queue <- req
+	d.closeMu.RUnlock()
 }
 
 func (d *Device) check(p []byte, off int64) error {
@@ -227,7 +277,7 @@ func (d *Device) ReadAt(p []byte, off int64) (time.Duration, error) {
 func (d *Device) ReadDirect(p []byte, off int64) (time.Duration, error) {
 	ss := int64(d.cfg.SectorSize)
 	if off%ss != 0 || int64(len(p))%ss != 0 {
-		return 0, fmt.Errorf("ssd: direct read [%d,%d) not %d-aligned", off, off+int64(len(p)), ss)
+		return 0, fmt.Errorf("%w: [%d,%d) not %d-aligned", ErrUnaligned, off, off+int64(len(p)), ss)
 	}
 	return d.ReadAt(p, off)
 }
@@ -237,6 +287,7 @@ func (d *Device) Stats() Stats {
 	return Stats{
 		Reads:        d.reads.Load(),
 		BytesRead:    d.bytesRead.Load(),
+		Faults:       d.faults.Load(),
 		BusyTime:     time.Duration(d.busyNanos.Load()),
 		QueueTime:    time.Duration(d.queueNanos.Load()),
 		TotalLatency: time.Duration(d.latencyNanos.Load()),
@@ -254,6 +305,12 @@ func (c *channel) run() {
 	for req := range c.queue {
 		now := time.Now()
 		svc := c.dev.serviceTime(len(req.Buf))
+		var dec faults.Decision
+		if inj := c.dev.inj.Load(); inj != nil {
+			dec = inj.Decide(req.Off, len(req.Buf))
+			// Straggler latency is a modeled duration like any other.
+			svc += time.Duration(float64(dec.Delay) * c.dev.cfg.TimeScale)
+		}
 		start := now
 		if c.busyUntil.After(now) {
 			start = c.busyUntil
@@ -263,10 +320,17 @@ func (c *channel) run() {
 		if wait := time.Until(finish); wait > sleepSlack {
 			time.Sleep(wait)
 		}
-		copy(req.Buf, c.dev.image[req.Off:req.Off+int64(len(req.Buf))])
+		filled := len(req.Buf)
+		if dec.Err != nil {
+			// Short reads deliver a prefix; other faults deliver nothing.
+			filled = dec.Bytes
+			req.Err = dec.Err
+			c.dev.faults.Add(1)
+		}
+		copy(req.Buf[:filled], c.dev.image[req.Off:req.Off+int64(filled)])
 		req.Latency = time.Since(req.submitted)
 		c.dev.reads.Add(1)
-		c.dev.bytesRead.Add(int64(len(req.Buf)))
+		c.dev.bytesRead.Add(int64(filled))
 		c.dev.busyNanos.Add(int64(svc))
 		if q := req.Latency - svc; q > 0 {
 			c.dev.queueNanos.Add(int64(q))

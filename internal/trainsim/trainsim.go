@@ -21,6 +21,7 @@ import (
 	"gnndrive/internal/baselines/pygplus"
 	"gnndrive/internal/core"
 	"gnndrive/internal/device"
+	"gnndrive/internal/faults"
 	"gnndrive/internal/gen"
 	"gnndrive/internal/graph"
 	"gnndrive/internal/hostmem"
@@ -106,6 +107,12 @@ type Config struct {
 	// extension): no host staging, 4 KiB access granularity.
 	GPUDirect bool
 
+	// Faults, when non-nil, attaches a storage fault-injection schedule to
+	// the dataset device for the duration of the run (detached afterwards:
+	// the device is cached across runs). GNNDrive's extract path retries
+	// transient errors; the baselines surface them.
+	Faults *faults.Config
+
 	Seed uint64
 }
 
@@ -136,6 +143,12 @@ type EpochStats struct {
 	BytesRead   int64
 	BytesReused int64
 	Loss, Acc   float64
+
+	// Fault tolerance (GNNDrive systems): retried reads, direct→buffered
+	// degradations, and escalated errors for the epoch.
+	Retries     int64
+	Fallbacks   int64
+	Escalations int64
 }
 
 // Result is a full run.
@@ -268,6 +281,10 @@ func Run(cfg Config, sys SystemKind, opts RunOptions) (Result, error) {
 		trimmed.TrainIdx = ds.TrainIdx[:cfg.TrainLimit]
 		ds = &trimmed
 	}
+	if cfg.Faults != nil {
+		ds.Dev.SetInjector(faults.NewInjector(*cfg.Faults))
+		defer ds.Dev.SetInjector(nil)
+	}
 	budget := hostmem.NewBudget(int64(cfg.HostMemoryGB) * GB)
 	cache := pagecache.New(ds.Dev, budget)
 	rec := metrics.NewRecorder()
@@ -376,6 +393,8 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 				Total: r.Total, Batches: r.Batches,
 				BytesRead: r.BytesRead, BytesReused: r.BytesReused,
 				Loss: r.Loss, Acc: r.Acc,
+				Retries: r.Retries, Fallbacks: r.Fallbacks,
+				Escalations: r.Escalations,
 			}, err
 		}, eng.Close, nil
 

@@ -8,6 +8,7 @@ package uring
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -16,6 +17,11 @@ import (
 
 // ErrClosed is returned when operating on a closed ring.
 var ErrClosed = errors.New("uring: ring closed")
+
+// ErrUnaligned is returned by SubmitRead when the offset or length
+// violates the direct-I/O sector alignment; callers can degrade to a
+// buffered read (§4.4's fallback ladder).
+var ErrUnaligned = errors.New("uring: direct read not sector-aligned")
 
 // CQE is a completion-queue event.
 type CQE struct {
@@ -75,7 +81,7 @@ func (r *Ring) submit(p []byte, off int64, user uint64, direct bool) error {
 	if direct {
 		ss := int64(r.dev.SectorSize())
 		if off%ss != 0 || int64(len(p))%ss != 0 {
-			return errors.New("uring: direct read not sector-aligned")
+			return fmt.Errorf("%w: [%d,%d)", ErrUnaligned, off, off+int64(len(p)))
 		}
 	}
 	r.slots <- struct{}{}
