@@ -1,0 +1,31 @@
+// benchjson converts `go test -bench` text output (stdin) into a
+// name-keyed JSON object (stdout), the format of the repo's BENCH_*.json
+// artifacts:
+//
+//	go test ./internal/... -run xxx -bench . -benchtime 100x | benchjson > BENCH_2.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gnndrive/internal/benchfmt"
+)
+
+func main() {
+	results, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	out, err := benchfmt.MarshalJSON(results)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(out)
+}

@@ -1,0 +1,133 @@
+// Package benchfmt parses the standard `go test -bench` text output into
+// structured results, so CI can publish machine-readable benchmark
+// artifacts (BENCH_2.json) and sessions can diff runs without scraping.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. Metrics that did not appear on the line
+// (e.g. B/op without -benchmem) are NaN-free: Present reports them.
+type Result struct {
+	// Name is the full benchmark name including the -N GOMAXPROCS
+	// suffix, e.g. "BenchmarkReserveReleaseParallel-8".
+	Name  string
+	Iters int64
+	// NsPerOp, BytesPerOp, AllocsPerOp are the standard metrics.
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+	// HasMem reports whether B/op and allocs/op were present.
+	HasMem bool
+}
+
+// Parse reads `go test -bench` output and returns every benchmark line
+// in order. Non-benchmark lines (goos/pkg headers, PASS, ok) are
+// skipped. A line that starts with "Benchmark" but does not parse is an
+// error — silent drops would make a CI artifact lie.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	// Shortest valid line: name, iters, value, unit.
+	if len(fields) < 4 {
+		// A bare "BenchmarkFoo" line (printed before the result when -v
+		// interleaves) is not a result row.
+		return Result{}, false, nil
+	}
+	res := Result{Name: fields[0]}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, fmt.Errorf("benchfmt: bad iteration count in %q: %v", line, err)
+	}
+	res.Iters = iters
+	// Remaining fields are value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("benchfmt: bad value in %q: %v", line, err)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+			res.HasMem = true
+		case "allocs/op":
+			res.AllocsPerOp = v
+			res.HasMem = true
+		}
+	}
+	return res, true, nil
+}
+
+// jsonEntry is the serialized per-benchmark record.
+type jsonEntry struct {
+	NsPerOp     float64  `json:"ns_op"`
+	BytesPerOp  *float64 `json:"b_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_op,omitempty"`
+	Iters       int64    `json:"iters"`
+}
+
+// MarshalJSON renders results as a name-keyed JSON object with stable
+// (sorted) key order. Duplicate names (e.g. -count > 1) keep the last
+// run's numbers.
+func MarshalJSON(results []Result) ([]byte, error) {
+	m := make(map[string]jsonEntry, len(results))
+	names := make([]string, 0, len(results))
+	for _, r := range results {
+		if _, dup := m[r.Name]; !dup {
+			names = append(names, r.Name)
+		}
+		e := jsonEntry{NsPerOp: r.NsPerOp, Iters: r.Iters}
+		if r.HasMem {
+			b, a := r.BytesPerOp, r.AllocsPerOp
+			e.BytesPerOp, e.AllocsPerOp = &b, &a
+		}
+		m[r.Name] = e
+	}
+	sort.Strings(names)
+	var buf strings.Builder
+	buf.WriteString("{\n")
+	for i, name := range names {
+		body, err := json.Marshal(m[name])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&buf, "  %q: %s", name, body)
+		if i < len(names)-1 {
+			buf.WriteString(",")
+		}
+		buf.WriteString("\n")
+	}
+	buf.WriteString("}\n")
+	return []byte(buf.String()), nil
+}

@@ -1,0 +1,82 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: gnndrive/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkReserveReleaseParallel     	  175557	      6400 ns/op	       6 B/op	       0 allocs/op
+BenchmarkReserveReleaseParallel-8   	  215346	      5366 ns/op	       6 B/op	       0 allocs/op
+BenchmarkBuildReadPlan              	   12345	     98765 ns/op
+PASS
+ok  	gnndrive/internal/core	6.965s
+`
+
+func TestParseStandardOutput(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rs))
+	}
+	r := rs[1]
+	if r.Name != "BenchmarkReserveReleaseParallel-8" || r.Iters != 215346 {
+		t.Fatalf("row 1: %+v", r)
+	}
+	if r.NsPerOp != 5366 || r.BytesPerOp != 6 || r.AllocsPerOp != 0 || !r.HasMem {
+		t.Fatalf("row 1 metrics: %+v", r)
+	}
+	if rs[2].HasMem {
+		t.Fatalf("row 2 should have no mem metrics: %+v", rs[2])
+	}
+}
+
+func TestParseRejectsMalformedBenchmarkLine(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkX   notanumber   12 ns/op\n"))
+	if err == nil {
+		t.Fatal("malformed line must error, not be dropped")
+	}
+}
+
+func TestParseSkipsBareNameLines(t *testing.T) {
+	rs, err := Parse(strings.NewReader("BenchmarkX\nBenchmarkY-4   10   5.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Name != "BenchmarkY-4" {
+		t.Fatalf("results: %+v", rs)
+	}
+}
+
+func TestMarshalJSONRoundTrips(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := MarshalJSON(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]struct {
+		NsPerOp     float64  `json:"ns_op"`
+		BytesPerOp  *float64 `json:"b_op"`
+		AllocsPerOp *float64 `json:"allocs_op"`
+		Iters       int64    `json:"iters"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, raw)
+	}
+	e, ok := m["BenchmarkReserveReleaseParallel-8"]
+	if !ok || e.NsPerOp != 5366 || e.BytesPerOp == nil || *e.AllocsPerOp != 0 {
+		t.Fatalf("entry: %+v", e)
+	}
+	if noMem := m["BenchmarkBuildReadPlan"]; noMem.BytesPerOp != nil {
+		t.Fatalf("b_op should be omitted without -benchmem: %+v", noMem)
+	}
+}

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
 
+	"gnndrive/internal/device"
 	"gnndrive/internal/hostmem"
+	"gnndrive/internal/sample"
 )
 
 // BenchmarkFeatureBufferReserveRelease measures the mapping-table hot
@@ -38,6 +42,111 @@ func BenchmarkFeatureBufferReserveRelease(b *testing.B) {
 		}
 		fb.Release(uniq)
 	}
+}
+
+// BenchmarkReserveReleaseParallel measures the mapping-table hot path
+// under extractor-style concurrency: each worker repeatedly reserves and
+// releases its own already-buffered node set. With the paper's
+// concurrency model these batches share no state, so the buffer metadata
+// must not serialize them. Parallelism is 4x GOMAXPROCS because that is
+// how the engine deploys extractors: oversubscribed relative to cores,
+// with most of them blocked in I/O at any instant, so the buffer sees
+// many more concurrent reservations than there are running CPUs. Run
+// with -cpu 1,2,4,8 to see scaling.
+func BenchmarkReserveReleaseParallel(b *testing.B) {
+	const (
+		numNodes = 1 << 16
+		slots    = 1 << 13
+		batch    = 256
+	)
+	fb := NewFeatureBuffer(numNodes, 4, slots)
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.SetParallelism(4)
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(ctr.Add(1) - 1)
+		nodes := make([]int64, batch)
+		for i := range nodes {
+			nodes[i] = int64((id*batch + i) % (slots - batch))
+		}
+		// Warm: the first reservation loads, later ones purely reuse.
+		res, err := fb.Reserve(nodes)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for _, pos := range res.ToLoad {
+			fb.MarkValid(nodes[pos])
+		}
+		fb.Release(nodes)
+		for pb.Next() {
+			r, err := fb.Reserve(nodes)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			for _, pos := range r.ToLoad {
+				fb.MarkValid(nodes[pos])
+			}
+			fb.Release(nodes)
+			PutReservation(r)
+		}
+	})
+}
+
+// BenchmarkEndToEndExtract runs whole extractBatch calls (reserve, plan,
+// async ring reads, decode, mark valid, release) on concurrent extractors
+// with a mix of worker-private and shared hot nodes. Run with
+// -cpu 1,2,4,8 to see extractor scaling.
+func BenchmarkEndToEndExtract(b *testing.B) {
+	rig := newRig(b, device.InstantConfig(), 256<<20)
+	opts := testOpts()
+	opts.Extractors = 8
+	opts.RingDepth = 16
+	e, err := New(rig.ds, rig.dev, rig.budget, rig.cache, rig.rec, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	const (
+		privateNodes = 96
+		hotNodes     = 32
+		window       = 4096
+	)
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(ctr.Add(1) - 1)
+		x := newExtractor(e)
+		nodes := make([]int64, 0, privateNodes+hotNodes)
+		bt := &sample.Batch{NumTargets: 1,
+			Layers: []sample.Layer{{Src: []int32{0}, Dst: []int32{0}}}}
+		base := int64(1000 + id*window)
+		round := int64(0)
+		for pb.Next() {
+			nodes = nodes[:0]
+			off := base + (round*privateNodes)%window
+			for i := int64(0); i < privateNodes; i++ {
+				nodes = append(nodes, (off+i)%int64(e.ds.NumNodes))
+			}
+			for i := int64(0); i < hotNodes; i++ {
+				nodes = append(nodes, i)
+			}
+			round++
+			bt.ID = int(round)
+			bt.Nodes = nodes
+			item, _, err := x.extractBatch(context.Background(), bt)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			e.fb.Release(bt.Nodes)
+			// Recycle like the engine's trainer does.
+			PutReservation(item.res)
+			putTrainItem(item)
+		}
+	})
 }
 
 // BenchmarkBuildReadPlan measures the §4.4 joint-read planner on a

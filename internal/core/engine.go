@@ -211,6 +211,15 @@ type Engine struct {
 	model *nn.Model
 	opt   *nn.Adam
 
+	// batchPool recycles sampled batches through the pipeline: the sample
+	// stage takes, the release stage returns. Steady-state epochs sample
+	// into pre-grown node and edge arrays instead of allocating.
+	batchPool sync.Pool
+	// trainX and trainLabels are the trainer's gather scratch (the train
+	// stage is a single goroutine).
+	trainX      *tensor.Matrix
+	trainLabels []int32
+
 	pinned     int64 // host bytes pinned outside staging
 	fbOnCPU    bool
 	ownFB      bool
@@ -428,6 +437,22 @@ func (e *Engine) release() {
 	}
 }
 
+// getBatch takes a recycled batch from the pool (or a fresh one).
+func (e *Engine) getBatch() *sample.Batch {
+	if b, ok := e.batchPool.Get().(*sample.Batch); ok {
+		return b
+	}
+	return &sample.Batch{}
+}
+
+// putBatch returns a batch whose feature-buffer references have been
+// dropped; its storage is reused by a later SampleBatchInto.
+func (e *Engine) putBatch(b *sample.Batch) {
+	if b != nil {
+		e.batchPool.Put(b)
+	}
+}
+
 // TrainEpoch runs one full pass over the training set through the
 // four-stage pipeline and returns its timing breakdown.
 func (e *Engine) TrainEpoch(epoch int) (EpochResult, error) {
@@ -506,19 +531,22 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 					return
 				}
 				t0 := time.Now()
-				b, ioWait, err := smp.SampleBatch(i, plan.Batches[i])
+				b := e.getBatch()
+				ioWait, err := smp.SampleBatchInto(b, i, plan.Batches[i])
 				d := time.Since(t0)
 				col.AddSample(d)
 				e.opts.Tracer.Record(trace.StageSample, i, t0, time.Now())
 				e.rec.AddIOWait(ioWait)
 				e.rec.AddCPU(d - ioWait)
 				if err != nil {
+					e.putBatch(b)
 					fail(err)
 					return
 				}
 				select {
 				case extractQ <- b:
 				case <-runCtx.Done():
+					e.putBatch(b)
 					return
 				}
 			}
@@ -538,6 +566,7 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 			x := newExtractor(e)
 			for b := range extractQ {
 				if failed() {
+					e.putBatch(b)
 					continue
 				}
 				t0 := time.Now()
@@ -551,6 +580,7 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 				e.rec.AddFallbacks(st.fallbacks)
 				e.rec.AddEscalations(st.escalations)
 				if err != nil {
+					e.putBatch(b)
 					fail(err)
 					continue
 				}
@@ -562,6 +592,9 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 					// The trainer is gone or draining; the batch will never
 					// reach the releaser, so drop our references here.
 					e.fb.Release(b.Nodes)
+					PutReservation(item.res)
+					putTrainItem(item)
+					e.putBatch(b)
 				}
 			}
 		}()
@@ -581,7 +614,10 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 		step := 0
 		for item := range trainQ {
 			if failed() {
-				releaseQ <- item.batch
+				b := item.batch
+				PutReservation(item.res)
+				putTrainItem(item)
+				releaseQ <- b
 				continue
 			}
 			t0 := time.Now()
@@ -611,7 +647,13 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 			col.AddBatch()
 			e.opts.Tracer.Record(trace.StageTrain, item.batch.ID, t0, time.Now())
 			step++
-			releaseQ <- item.batch
+			// The reservation's alias list was consumed by the backward
+			// pass (or the device model); recycle it before handing the
+			// node list to the releaser.
+			b := item.batch
+			PutReservation(item.res)
+			putTrainItem(item)
+			releaseQ <- b
 		}
 		close(releaseQ)
 	}()
@@ -626,6 +668,7 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 			e.fb.Release(b.Nodes)
 			col.AddRelease(time.Since(t0))
 			e.opts.Tracer.Record(trace.StageRelease, b.ID, t0, time.Now())
+			e.putBatch(b)
 		}
 	}()
 
@@ -667,14 +710,20 @@ func (e *Engine) workFor(b *sample.Batch) device.Work {
 // gradients accumulated for the optimizer (after any gradient sync).
 func (e *Engine) trainRealBackward(item *trainItem) (float32, float64) {
 	b := item.batch
-	x := tensor.New(len(b.Nodes), e.ds.Dim)
+	e.trainX = tensor.EnsureShape(e.trainX, len(b.Nodes), e.ds.Dim)
+	x := e.trainX
 	for i := range b.Nodes {
 		copy(x.Row(i), e.fb.SlotData(item.res.Alias[i]))
 	}
-	labels := make([]int32, b.NumTargets)
+	if cap(e.trainLabels) < b.NumTargets {
+		e.trainLabels = make([]int32, b.NumTargets)
+	}
+	labels := e.trainLabels[:b.NumTargets]
 	for i := 0; i < b.NumTargets; i++ {
 		labels[i] = e.ds.Labels[b.Nodes[i]]
 	}
+	// Loss consumes x during the forward+backward pass; nothing retains
+	// it afterwards, so the scratch is safe to reuse next batch.
 	return e.model.Loss(b, x, labels)
 }
 

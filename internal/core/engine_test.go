@@ -22,7 +22,7 @@ type testRig struct {
 	rec    *metrics.Recorder
 }
 
-func newRig(t *testing.T, devCfg device.Config, budgetBytes int64) *testRig {
+func newRig(t testing.TB, devCfg device.Config, budgetBytes int64) *testRig {
 	t.Helper()
 	ds, err := gen.BuildStandalone(gen.Tiny(), ssd.InstantConfig())
 	if err != nil {
@@ -96,14 +96,11 @@ func TestExtractedFeaturesMatchDisk(t *testing.T) {
 	fb := e.FeatureBuffer()
 	checked := 0
 	for v := int64(0); v < rig.ds.NumNodes && checked < 200; v++ {
-		fb.mu.Lock()
-		ent := fb.entries[v]
-		fb.mu.Unlock()
-		if !ent.valid {
+		if !fb.Valid(v) {
 			continue
 		}
 		want := rig.ds.ReadFeatureRaw(v, nil)
-		got := fb.SlotData(ent.slot)
+		got := fb.SlotData(fb.entries[v].slot.Load())
 		for j := range want {
 			if want[j] != got[j] {
 				t.Fatalf("node %d dim %d: buffer %v disk %v", v, j, got[j], want[j])

@@ -26,6 +26,21 @@ type trainItem struct {
 	res   *Reservation
 }
 
+// trainItemPool recycles trainItems between the trainer (producer of
+// free items) and the extractors.
+var trainItemPool = sync.Pool{New: func() any { return new(trainItem) }}
+
+func getTrainItem(b *sample.Batch, res *Reservation) *trainItem {
+	it := trainItemPool.Get().(*trainItem)
+	it.batch, it.res = b, res
+	return it
+}
+
+func putTrainItem(it *trainItem) {
+	it.batch, it.res = nil, nil
+	trainItemPool.Put(it)
+}
+
 // extractStats reports one batch's extraction side effects.
 type extractStats struct {
 	bytesRead   int64
@@ -47,8 +62,17 @@ type extractor struct {
 	eng    *Engine
 	ring   *uring.Ring
 	policy errutil.Policy
-	// scratch reused across batches
+	// scratch reused across batches: the steady-state extract path reuses
+	// these instead of allocating per batch
 	loadNodes []int64
+	positions []int32
+	plan      []ReadOp
+	opSlot    []int32
+	attempts  []int
+	buffered  []bool
+	// xferWG tracks the batch's in-flight device transfers; runPlan waits
+	// it back to zero before returning, so one per extractor suffices.
+	xferWG sync.WaitGroup
 }
 
 func newExtractor(eng *Engine) *extractor {
@@ -78,29 +102,33 @@ func (x *extractor) extractBatch(ctx context.Context, b *sample.Batch) (*trainIt
 		return nil, st, err
 	}
 
+	// The planner sorts nodes and positions in place, so res.ToLoad is
+	// copied into extractor-owned scratch rather than aliased.
 	x.loadNodes = x.loadNodes[:0]
+	x.positions = x.positions[:0]
 	for _, pos := range res.ToLoad {
 		x.loadNodes = append(x.loadNodes, b.Nodes[pos])
+		x.positions = append(x.positions, pos)
 	}
-	positions := append([]int32(nil), res.ToLoad...)
 	featBytes := int(eng.ds.FeatBytes())
-	var plan []ReadOp
 	switch {
 	case eng.opts.BufferedIO:
-		plan = buildExactPlan(eng.ds, x.loadNodes, positions)
+		x.plan = buildExactPlanInto(x.plan[:0], eng.ds, x.loadNodes, x.positions)
 	case eng.opts.GPUDirect:
 		// GDS reads go straight to device memory at 4 KiB granularity.
-		plan = BuildReadPlan(eng.ds.Layout.FeaturesOff, featBytes, gdsGranularity,
-			2*gdsGranularity, x.loadNodes, positions)
+		x.plan = BuildReadPlanInto(x.plan[:0], eng.ds.Layout.FeaturesOff, featBytes, gdsGranularity,
+			2*gdsGranularity, x.loadNodes, x.positions)
 	default:
-		plan = BuildReadPlan(eng.ds.Layout.FeaturesOff, featBytes, eng.ds.Dev.SectorSize(),
-			eng.opts.MaxJointRead, x.loadNodes, positions)
+		x.plan = BuildReadPlanInto(x.plan[:0], eng.ds.Layout.FeaturesOff, featBytes, eng.ds.Dev.SectorSize(),
+			eng.opts.MaxJointRead, x.loadNodes, x.positions)
 	}
+	plan := x.plan
 	st.bytesRead = PlanBytes(plan)
 	st.bytesReused = int64(len(b.Nodes)-len(res.ToLoad)) * int64(featBytes)
 
 	if err := x.runPlan(ctx, b, res, plan, &st); err != nil {
 		eng.fb.Release(b.Nodes)
+		PutReservation(res)
 		return nil, st, err
 	}
 
@@ -108,9 +136,10 @@ func (x *extractor) extractBatch(ctx context.Context, b *sample.Batch) (*trainIt
 	// that extractor failed, cancellation unblocks us here.
 	if err := eng.fb.WaitValidCtx(ctx, res.Wait); err != nil {
 		eng.fb.Release(b.Nodes)
+		PutReservation(res)
 		return nil, st, err
 	}
-	return &trainItem{batch: b, res: res}, st, nil
+	return getTrainItem(b, res), st, nil
 }
 
 // runPlan issues the plan's reads and transfers. Asynchronous mode keeps
@@ -129,10 +158,8 @@ func (x *extractor) runPlan(ctx context.Context, b *sample.Batch, res *Reservati
 		return x.runPlanSync(ctx, b, res, plan, st)
 	}
 	eng := x.eng
-	opSlot := make([]int32, len(plan))
-	attempts := make([]int, len(plan))
-	buffered := make([]bool, len(plan))
-	var xferWG sync.WaitGroup
+	opSlot, attempts, buffered := x.planScratch(len(plan))
+	xferWG := &x.xferWG
 	var firstErr error
 	budget := eng.opts.RetryBudget
 
@@ -197,7 +224,7 @@ func (x *extractor) runPlan(ctx context.Context, b *sample.Batch, res *Reservati
 		slot := opSlot[op]
 		switch {
 		case cqe.Err == nil:
-			x.transferOp(b, res, plan[op], slot, &xferWG)
+			x.transferOp(b, res, plan[op], slot, xferWG)
 		case firstErr == nil && retryableRead(cqe.Err) && attempts[op] < budget:
 			attempts[op]++
 			st.retries++
@@ -238,7 +265,7 @@ func (x *extractor) backoff(ctx context.Context, attempt int) {
 
 func (x *extractor) runPlanSync(ctx context.Context, b *sample.Batch, res *Reservation, plan []ReadOp, st *extractStats) error {
 	eng := x.eng
-	var xferWG sync.WaitGroup
+	xferWG := &x.xferWG
 	policy := x.policy
 	policy.OnRetry = func(int, error) { st.retries++ }
 	direct := !eng.opts.BufferedIO
@@ -272,10 +299,65 @@ func (x *extractor) runPlanSync(ctx context.Context, b *sample.Batch, res *Reser
 			xferWG.Wait()
 			return err
 		}
-		x.transferOp(b, res, op, slot, &xferWG)
+		x.transferOp(b, res, op, slot, xferWG)
 	}
 	xferWG.Wait()
 	return nil
+}
+
+// planScratch resizes the per-op bookkeeping slices for a new plan,
+// reusing the extractor's backing arrays. attempts and buffered are
+// per-batch state and start zeroed.
+func (x *extractor) planScratch(n int) (opSlot []int32, attempts []int, buffered []bool) {
+	if cap(x.opSlot) < n {
+		x.opSlot = make([]int32, n)
+		x.attempts = make([]int, n)
+		x.buffered = make([]bool, n)
+	} else {
+		x.opSlot = x.opSlot[:n]
+		x.attempts = x.attempts[:n]
+		x.buffered = x.buffered[:n]
+		for i := 0; i < n; i++ {
+			x.attempts[i] = 0
+			x.buffered[i] = false
+		}
+	}
+	return x.opSlot, x.attempts, x.buffered
+}
+
+// xferDone is a pooled completion record for the modeled-GPU transfer
+// path: it snapshots the node IDs that become valid when the async copy
+// fires, plus everything the completion needs. fn is created once per
+// record and captures only the record pointer, so reusing a record costs
+// no closure allocation.
+type xferDone struct {
+	eng   *Engine
+	nodes []int64
+	slot  int32
+	wg    *sync.WaitGroup
+	fn    func()
+}
+
+func (d *xferDone) run() {
+	for _, n := range d.nodes {
+		d.eng.fb.MarkValid(n)
+	}
+	d.eng.staging.Release(d.slot)
+	wg := d.wg
+	d.eng, d.wg = nil, nil
+	xferDonePool.Put(d)
+	wg.Done()
+}
+
+var xferDonePool sync.Pool
+
+func getXferDone() *xferDone {
+	if d, ok := xferDonePool.Get().(*xferDone); ok {
+		return d
+	}
+	d := &xferDone{}
+	d.fn = d.run
+	return d
 }
 
 // transferOp decodes the read's feature vectors into their feature-buffer
@@ -286,49 +368,43 @@ func (x *extractor) transferOp(b *sample.Batch, res *Reservation, op ReadOp, slo
 	eng := x.eng
 	featBytes := int(eng.ds.FeatBytes())
 	buf := eng.staging.Buf(slot)
-	nodes := make([]int64, len(op.Nodes))
-	for i, rn := range op.Nodes {
-		nodes[i] = b.Nodes[rn.Pos]
+	for _, rn := range op.Nodes {
 		dst := eng.fb.SlotData(res.Alias[rn.Pos])
 		graph.DecodeFeature(buf[rn.BufOff:rn.BufOff+featBytes], dst[:0])
 	}
-	finish := func() {
-		for _, n := range nodes {
-			eng.fb.MarkValid(n)
+	if !eng.opts.GPUDirect && eng.dev.Kind() == deviceGPUKind {
+		// The async completion runs after this batch's op.Nodes scratch may
+		// have been reused, so snapshot the node IDs into a pooled record.
+		d := getXferDone()
+		d.eng, d.slot, d.wg = eng, slot, wg
+		d.nodes = d.nodes[:0]
+		for _, rn := range op.Nodes {
+			d.nodes = append(d.nodes, b.Nodes[rn.Pos])
 		}
-		eng.staging.Release(slot)
-	}
-	if eng.opts.GPUDirect {
-		// GDS: the read already landed in device memory; no host-to-
-		// device phase exists.
-		finish()
+		wg.Add(1)
+		eng.dev.CopyAsync(int64(len(op.Nodes)*featBytes), d.fn)
 		return
 	}
-	if eng.dev.Kind() == deviceGPUKind {
-		wg.Add(1)
-		eng.dev.CopyAsync(int64(len(op.Nodes)*featBytes), func() {
-			finish()
-			wg.Done()
-		})
-	} else {
-		finish()
+	// GDS reads already landed in device memory; CPU training reads from
+	// host memory directly. Either way there is no host-to-device phase.
+	for _, rn := range op.Nodes {
+		eng.fb.MarkValid(b.Nodes[rn.Pos])
 	}
+	eng.staging.Release(slot)
 }
 
-// buildExactPlan is the buffered-I/O fallback of §4.4: one exact-size read
-// per node, no alignment redundancy (and no joint extraction).
-func buildExactPlan(ds *graph.Dataset, nodes []int64, positions []int32) []ReadOp {
+// buildExactPlanInto is the buffered-I/O fallback of §4.4: one exact-size
+// read per node, no alignment redundancy (and no joint extraction).
+// Appends into dst, reusing its backing arrays like BuildReadPlanInto.
+func buildExactPlanInto(dst []ReadOp, ds *graph.Dataset, nodes []int64, positions []int32) []ReadOp {
 	if len(nodes) != len(positions) {
 		panic(fmt.Sprintf("core: %d nodes vs %d positions", len(nodes), len(positions)))
 	}
 	featBytes := int(ds.FeatBytes())
-	plan := make([]ReadOp, len(nodes))
 	for i, v := range nodes {
-		plan[i] = ReadOp{
-			DevOff: ds.FeatureOff(v),
-			Len:    featBytes,
-			Nodes:  []ReadNode{{Pos: positions[i], BufOff: 0}},
-		}
+		dst = appendOp(dst, ds.FeatureOff(v), featBytes)
+		op := &dst[len(dst)-1]
+		op.Nodes = append(op.Nodes, ReadNode{Pos: positions[i], BufOff: 0})
 	}
-	return plan
+	return dst
 }

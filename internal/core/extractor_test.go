@@ -189,7 +189,7 @@ func TestBufferedExtractionMatchesDirect(t *testing.T) {
 
 func TestBuildExactPlanOneReadPerNode(t *testing.T) {
 	rig := newRig(t, device.InstantConfig(), 64<<20)
-	plan := buildExactPlan(rig.ds, []int64{4, 9}, []int32{0, 1})
+	plan := buildExactPlanInto(nil, rig.ds, []int64{4, 9}, []int32{0, 1})
 	if len(plan) != 2 {
 		t.Fatalf("%d ops", len(plan))
 	}

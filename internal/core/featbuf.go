@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,35 +30,76 @@ const reserveTimeout = 30 * time.Second
 // mapEntry is one node's row in the mapping table (Fig. 6): the buffer
 // slot holding (or receiving) its feature vector, a reference count, and
 // a valid bit. Slot -1 means "not applicable".
+//
+// Concurrency: the refcount doubles as the entry's ownership word, so the
+// whole reserve/release hot path runs without a mutex:
+//
+//   - ref ≥ 1: the mapping is pinned. Extractors sharing the node CAS the
+//     count up (tryAttach); slot cannot change while anyone holds a pin.
+//   - ref == 0 and valid: retired. A reservation protects it back with a
+//     single CAS 0→1; the losing racer re-reads and retries.
+//   - ref == -1: a transient exclusive claim. Installing a miss, evicting
+//     a retired node, and unmapping an aborted load all CAS 0→-1 first,
+//     mutate slot/valid, then publish the final refcount. Claims are a
+//     handful of instructions; racers spin past them.
+//
+// Every CAS that wins re-validates slot (and valid) afterwards: observing
+// the refcount value a claimant published happens-after the claimant's
+// slot/valid writes, so a reservation that raced an eviction sees slot=-1
+// and backs off instead of aliasing a recycled slot. The valid bit is
+// published seqlock-style: MarkValid stores it under the stripe lock (for
+// the condition-variable handshake only) but every reader loads it
+// lock-free; the atomic store/load pair carries the happens-before edge
+// from the extractor's feature writes to the consumer's reads.
 type mapEntry struct {
-	slot  int32
-	ref   int32
-	valid bool
+	slot  atomic.Int32
+	ref   atomic.Int32
+	valid atomic.Bool
+}
+
+// fbStripe carries the per-stripe condition variable backing WaitValid.
+// The mutex exists solely for the MarkValid/WaitValid handshake — the
+// mapping table itself is maintained with atomics, never under stripe
+// locks. Padded so neighboring stripes do not share a cache line.
+type fbStripe struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	_    [40]byte
 }
 
 // FeatureBuffer is GNNDrive's device-side feature store plus its host-side
-// metadata. All metadata operations take the buffer mutex; feature rows
-// themselves are written and read lock-free because a slot is never
-// reassigned while referenced.
+// metadata. Mapping-table operations take only the owning node's stripe
+// lock (or no lock at all for refcount pins of already-referenced nodes);
+// the standby free-list and reverse mapping sit behind a single short
+// mutex that Reserve and Release acquire once per batch, not per slot.
+// Feature rows themselves are written and read lock-free because a slot
+// is never reassigned while referenced.
 type FeatureBuffer struct {
 	dim   int
 	slots int
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	stripes    []fbStripe
+	stripeMask uint64
 
 	entries []mapEntry
-	reverse []int64 // slot -> node, -1 when empty
-	standby standbyList
 	data    []float32 // slots x dim backing store
 
-	waiters int
+	// sb guards the standby list and the slot→node reverse mapping.
+	// Lock order: a stripe lock may not be acquired while holding sb.mu
+	// is allowed (sb→stripe); the reverse (stripe→sb) is forbidden.
+	sb struct {
+		mu      sync.Mutex
+		cond    *sync.Cond
+		list    standbyList
+		reverse []int64 // slot -> node, -1 when empty
+	}
 
 	// stats
 	reuseHits    atomic.Int64
 	loads        atomic.Int64
 	sharedWaits  atomic.Int64
 	slotRecycles atomic.Int64
+	standbyWaits atomic.Int64
 }
 
 // NewFeatureBuffer creates a buffer of the given slot count for a graph of
@@ -70,22 +112,45 @@ func NewFeatureBuffer(numNodes int64, dim, slots int) *FeatureBuffer {
 		dim:     dim,
 		slots:   slots,
 		entries: make([]mapEntry, numNodes),
-		reverse: make([]int64, slots),
 		data:    make([]float32, int64(slots)*int64(dim)),
 	}
-	fb.cond = sync.NewCond(&fb.mu)
+	fb.stripes = make([]fbStripe, stripeCount())
+	fb.stripeMask = uint64(len(fb.stripes) - 1)
+	for i := range fb.stripes {
+		fb.stripes[i].cond = sync.NewCond(&fb.stripes[i].mu)
+	}
 	for i := range fb.entries {
-		fb.entries[i].slot = -1
+		fb.entries[i].slot.Store(-1)
 	}
-	for i := range fb.reverse {
-		fb.reverse[i] = -1
+	fb.sb.cond = sync.NewCond(&fb.sb.mu)
+	fb.sb.reverse = make([]int64, slots)
+	for i := range fb.sb.reverse {
+		fb.sb.reverse[i] = -1
 	}
-	fb.standby.init(slots)
+	fb.sb.list.init(slots)
 	// All slots start free: push them in index order.
 	for s := 0; s < slots; s++ {
-		fb.standby.pushTail(int32(s))
+		fb.sb.list.pushTail(int32(s))
 	}
 	return fb
+}
+
+// stripeCount picks a power-of-two stripe count wide enough that the
+// configured parallelism rarely collides.
+func stripeCount() int {
+	n := runtime.GOMAXPROCS(0) * 8
+	p := 16
+	for p < n && p < 256 {
+		p <<= 1
+	}
+	return p
+}
+
+// stripeOf returns the lock stripe owning a node's mapping entry.
+// Fibonacci hashing spreads both dense and strided node-ID patterns.
+func (fb *FeatureBuffer) stripeOf(node int64) *fbStripe {
+	h := uint64(node) * 0x9E3779B97F4A7C15
+	return &fb.stripes[(h>>32)&fb.stripeMask]
 }
 
 // Slots returns the buffer capacity in feature vectors.
@@ -109,6 +174,61 @@ type Reservation struct {
 	Alias  []int32
 	ToLoad []int32
 	Wait   []int64
+
+	// batch-scoped scratch, reused through the reservation pool
+	missPos  []int32
+	missSlot []int32
+	spare    []int32
+
+	// per-batch stat deltas, flushed to the shared counters once per
+	// reserve so the hot loop never touches a shared cache line
+	hits, loads, waits int64
+}
+
+// reservationPool recycles Reservation objects (and their slices) so the
+// steady-state reserve path allocates nothing.
+var reservationPool = sync.Pool{New: func() any { return new(Reservation) }}
+
+func getReservation(n int) *Reservation {
+	res := reservationPool.Get().(*Reservation)
+	if cap(res.Alias) < n {
+		res.Alias = make([]int32, n)
+	} else {
+		res.Alias = res.Alias[:n]
+	}
+	res.ToLoad = res.ToLoad[:0]
+	res.Wait = res.Wait[:0]
+	res.missPos = res.missPos[:0]
+	res.missSlot = res.missSlot[:0]
+	res.spare = res.spare[:0]
+	res.hits, res.loads, res.waits = 0, 0, 0
+	return res
+}
+
+// PutReservation recycles a reservation obtained from Reserve/ReserveCtx.
+// Callers may only recycle after the batch's references are released and
+// no alias is read again; it is never required (unrecycled reservations
+// are garbage collected).
+func PutReservation(res *Reservation) {
+	if res != nil {
+		reservationPool.Put(res)
+	}
+}
+
+// releaseScratch batches a Release's standby-list work so the list mutex
+// is taken once per batch.
+type releaseScratch struct {
+	retire []int32 // valid slots retiring to the standby tail
+	unmap  []int32 // aborted (invalid) slots returning unmapped
+}
+
+var releaseScratchPool = sync.Pool{New: func() any { return new(releaseScratch) }}
+
+func getReleaseScratch() *releaseScratch {
+	sc := releaseScratchPool.Get().(*releaseScratch)
+	sc.retire = sc.retire[:0]
+	sc.unmap = sc.unmap[:0]
+	return sc
 }
 
 // Reserve implements Algorithm 1's reuse scan and slot allocation for the
@@ -122,96 +242,261 @@ func (fb *FeatureBuffer) Reserve(nodes []int64) (*Reservation, error) {
 // ReserveCtx is Reserve with cancellation: a cancelled ctx aborts the
 // standby wait and rolls back every reference already taken for this
 // batch, so a torn-down extractor leaks no refcounts.
+//
+// The scan runs in three passes, none of which takes a per-node lock.
+// Classification attaches to every already-buffered node — a CAS pin when
+// the node is referenced by a concurrent batch, a CAS protect when it is
+// retired — and collects the misses. Allocation then takes every missing
+// slot in a single standby-list acquisition (blocking there, with nothing
+// but the classification pins held, when the list runs dry). Installation
+// claims and publishes the new mappings, diverting to the pin/wait path
+// any miss a concurrent extractor won in the meantime.
 func (fb *FeatureBuffer) ReserveCtx(ctx context.Context, nodes []int64) (*Reservation, error) {
 	if len(nodes) > fb.slots {
 		return nil, fmt.Errorf("%w: batch of %d nodes, %d slots", ErrBufferTooSmall, len(nodes), fb.slots)
 	}
-	res := &Reservation{Alias: make([]int32, len(nodes))}
-	fb.mu.Lock()
-	defer fb.mu.Unlock()
-	deadline := time.Now().Add(reserveTimeout)
+	res := getReservation(len(nodes))
 	for i, node := range nodes {
-		e := &fb.entries[node]
-		switch {
-		case e.valid:
-			// Data already in the buffer; pull the slot off standby if it
-			// had retired (ref 0) so it cannot be recycled.
-			if e.ref == 0 {
-				fb.standby.remove(e.slot)
-			}
-			res.Alias[i] = e.slot
-			fb.reuseHits.Add(1)
-		case e.ref > 0:
-			// Another extractor is loading it right now: alias its slot
-			// and confirm readiness at the end of extraction.
-			res.Wait = append(res.Wait, node)
-			res.Alias[i] = e.slot
-			fb.sharedWaits.Add(1)
-		default:
-			// Not buffered: take the LRU standby slot, evicting whatever
-			// retired node still maps there (deferred invalidation, §4.2).
-			slot, err := fb.takeStandbyLocked(ctx, deadline)
-			if err != nil {
-				// Roll back the references this partial reservation took.
-				fb.releaseLocked(nodes[:i])
-				return nil, err
-			}
-			if prev := fb.reverse[slot]; prev >= 0 {
-				fb.entries[prev].slot = -1
-				fb.entries[prev].valid = false
-				fb.slotRecycles.Add(1)
-			}
-			e.slot = slot
-			e.valid = false
-			fb.reverse[slot] = node
-			res.Alias[i] = slot
-			res.ToLoad = append(res.ToLoad, int32(i))
-			fb.loads.Add(1)
+		if !fb.tryAttach(&fb.entries[node], int32(i), node, res) {
+			res.missPos = append(res.missPos, int32(i))
 		}
-		e.ref++
+	}
+	if len(res.missPos) > 0 {
+		if err := fb.allocSlots(ctx, nodes, res); err != nil {
+			fb.rollbackClassified(nodes, res)
+			PutReservation(res)
+			return nil, err
+		}
+		fb.installMisses(nodes, res)
+	}
+	if res.hits != 0 {
+		fb.reuseHits.Add(res.hits)
+	}
+	if res.loads != 0 {
+		fb.loads.Add(res.loads)
+	}
+	if res.waits != 0 {
+		fb.sharedWaits.Add(res.waits)
 	}
 	return res, nil
 }
 
-// takeStandbyLocked pops the LRU standby slot, waiting for releases while
-// the list is empty. The wait aborts when ctx is cancelled (paired with
-// Interrupt for prompt wake-up) or the deadline passes. Caller holds fb.mu.
-func (fb *FeatureBuffer) takeStandbyLocked(ctx context.Context, deadline time.Time) (int32, error) {
-	for fb.standby.empty() {
-		if err := ctx.Err(); err != nil {
-			return -1, err
+// tryAttach takes a reference on a node that is already mapped: a CAS pin
+// when concurrent batches reference it, a CAS protect when it is retired
+// on standby (the slot stays on the list — deletion is lazy; allocation
+// skips referenced slots and the next release re-queues them). Returns
+// false iff the node is unmapped (a miss). A winning CAS re-validates
+// slot: -1 means the race went to an eviction or abort, so the pin is
+// undone and classification retries.
+func (fb *FeatureBuffer) tryAttach(e *mapEntry, pos int32, node int64, res *Reservation) bool {
+	for {
+		r := e.ref.Load()
+		if r < 0 {
+			// Exclusive claim in progress (install/evict/abort): it
+			// resolves in a few instructions.
+			runtime.Gosched()
+			continue
 		}
-		fb.waiters++
-		// Timed wait: cond has no native timeout, so poke the condition
-		// from a timer if we're the first waiter.
-		done := make(chan struct{})
-		timer := time.AfterFunc(time.Until(deadline), func() {
-			fb.mu.Lock()
-			fb.cond.Broadcast()
-			fb.mu.Unlock()
-			close(done)
-		})
-		fb.cond.Wait()
-		timer.Stop()
-		fb.waiters--
-		select {
-		case <-done:
-			if fb.standby.empty() {
-				return -1, fmt.Errorf("%w: waited %v for a standby slot; increase FeatureSlots or reduce extractors", ErrBufferTooSmall, reserveTimeout)
+		if r > 0 {
+			if !e.ref.CompareAndSwap(r, r+1) {
+				continue
 			}
-		default:
+			s := e.slot.Load()
+			if s < 0 {
+				// Pinned on top of a racer that itself lost to an
+				// eviction; unwind like it will.
+				e.ref.Add(-1)
+				continue
+			}
+			res.Alias[pos] = s
+			if e.valid.Load() {
+				res.hits++
+			} else {
+				res.Wait = append(res.Wait, node)
+				res.waits++
+			}
+			return true
+		}
+		// r == 0: retired (protectable) or unmapped (miss).
+		if !e.valid.Load() {
+			return false
+		}
+		if !e.ref.CompareAndSwap(0, 1) {
+			continue
+		}
+		s := e.slot.Load()
+		if s < 0 {
+			// Lost the retired slot to an eviction after the valid check.
+			e.ref.Add(-1)
+			continue
+		}
+		res.Alias[pos] = s
+		if e.valid.Load() {
+			res.hits++
+		} else {
+			// The mapping's load aborted between our checks (release of a
+			// failed batch); reload into the surviving slot.
+			res.ToLoad = append(res.ToLoad, pos)
+			res.loads++
+		}
+		return true
+	}
+}
+
+// allocSlots pops one standby slot per classified miss in a single
+// standby-lock acquisition, evicting whatever retired node each slot
+// still maps (deferred invalidation, §4.2) and recording the slot's new
+// destination in the reverse mapping. Referenced slots found on the list
+// (lazily deleted by a protecting reservation) are skipped; their release
+// re-queues them. Blocks when the list runs dry; on cancellation or
+// timeout every slot already taken is pushed back.
+func (fb *FeatureBuffer) allocSlots(ctx context.Context, nodes []int64, res *Reservation) error {
+	need := len(res.missPos)
+	deadline := time.Now().Add(reserveTimeout)
+	sb := &fb.sb
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	for len(res.missSlot) < need {
+		if sb.list.empty() {
+			if err := fb.waitStandbyLocked(ctx, deadline); err != nil {
+				for i := len(res.missSlot) - 1; i >= 0; i-- {
+					s := res.missSlot[i]
+					sb.reverse[s] = -1
+					sb.list.pushHead(s)
+				}
+				res.missSlot = res.missSlot[:0]
+				return err
+			}
+			continue
+		}
+		s := sb.list.popHead()
+		if prev := sb.reverse[s]; prev >= 0 {
+			pe := &fb.entries[prev]
+			if !pe.ref.CompareAndSwap(0, -1) {
+				// The slot retired, went on standby, and was then
+				// re-referenced without leaving the list (lazy deletion).
+				// Drop it; the owner's release pushes it back.
+				continue
+			}
+			if got := pe.slot.Load(); got != s {
+				panic(fmt.Sprintf("core: standby slot %d maps node %d at slot %d", s, prev, got))
+			}
+			pe.slot.Store(-1)
+			pe.valid.Store(false)
+			pe.ref.Store(0)
+			fb.slotRecycles.Add(1)
+		}
+		sb.reverse[s] = nodes[res.missPos[len(res.missSlot)]]
+		res.missSlot = append(res.missSlot, s)
+	}
+	return nil
+}
+
+// waitStandbyLocked blocks on the standby cond until a release pushes a
+// slot, ctx is cancelled (paired with Interrupt for prompt wake-up), or
+// the deadline passes. Caller holds fb.sb.mu.
+func (fb *FeatureBuffer) waitStandbyLocked(ctx context.Context, deadline time.Time) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	fb.standbyWaits.Add(1)
+	// Timed wait: cond has no native timeout, so poke the condition from a
+	// timer.
+	done := make(chan struct{})
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		fb.sb.mu.Lock()
+		fb.sb.cond.Broadcast()
+		fb.sb.mu.Unlock()
+		close(done)
+	})
+	fb.sb.cond.Wait()
+	timer.Stop()
+	select {
+	case <-done:
+		if fb.sb.list.empty() {
+			return fmt.Errorf("%w: waited %v for a standby slot; increase FeatureSlots or reduce extractors", ErrBufferTooSmall, reserveTimeout)
+		}
+	default:
+	}
+	return ctx.Err()
+}
+
+// installMisses claims each miss node's entry and publishes the allocated
+// slot. A miss that a concurrent extractor installed (or installed,
+// loaded, and retired) in the window since classification is attached to
+// instead, and its unused slot returns to the standby head. A claim that
+// finds a surviving mapping (an aborted load whose releaser lost the
+// unmap race) adopts the old slot and reloads in place.
+func (fb *FeatureBuffer) installMisses(nodes []int64, res *Reservation) {
+	for k, pos := range res.missPos {
+		node := nodes[pos]
+		s := res.missSlot[k]
+		e := &fb.entries[node]
+		for {
+			if fb.tryAttach(e, pos, node, res) {
+				res.spare = append(res.spare, s)
+				break
+			}
+			if !e.ref.CompareAndSwap(0, -1) {
+				continue
+			}
+			if old := e.slot.Load(); old >= 0 {
+				res.Alias[pos] = old
+				if e.valid.Load() {
+					res.hits++
+				} else {
+					res.ToLoad = append(res.ToLoad, pos)
+					res.loads++
+				}
+				e.ref.Store(1)
+				res.spare = append(res.spare, s)
+			} else {
+				e.slot.Store(s)
+				e.ref.Store(1)
+				res.Alias[pos] = s
+				res.ToLoad = append(res.ToLoad, pos)
+				res.loads++
+			}
+			break
 		}
 	}
-	return fb.standby.popHead(), nil
+	if len(res.spare) > 0 {
+		sb := &fb.sb
+		sb.mu.Lock()
+		for i := len(res.spare) - 1; i >= 0; i-- {
+			s := res.spare[i]
+			sb.reverse[s] = -1
+			sb.list.pushHead(s)
+		}
+		sb.mu.Unlock()
+		sb.cond.Broadcast()
+	}
+}
+
+// rollbackClassified drops the references classification took (reuse,
+// protect, and wait pins) when allocation fails; miss positions never
+// took a reference. The reservation is dead afterwards.
+func (fb *FeatureBuffer) rollbackClassified(nodes []int64, res *Reservation) {
+	sc := getReleaseScratch()
+	mi := 0
+	for i := range nodes {
+		if mi < len(res.missPos) && res.missPos[mi] == int32(i) {
+			mi++
+			continue
+		}
+		fb.releaseOne(nodes[i], sc)
+	}
+	fb.flushRelease(sc)
 }
 
 // MarkValid publishes a node's data as extracted (valid bit = 1) and
 // wakes extractors waiting on shared nodes.
 func (fb *FeatureBuffer) MarkValid(node int64) {
-	fb.mu.Lock()
-	fb.entries[node].valid = true
-	fb.mu.Unlock()
-	fb.cond.Broadcast()
+	st := fb.stripeOf(node)
+	st.mu.Lock()
+	fb.entries[node].valid.Store(true)
+	st.mu.Unlock()
+	st.cond.Broadcast()
 }
 
 // WaitValid blocks until every listed node's valid bit is set — the
@@ -223,17 +508,24 @@ func (fb *FeatureBuffer) WaitValid(nodes []int64) {
 // WaitValidCtx is WaitValid with cancellation: it returns ctx.Err() when
 // the context is cancelled mid-wait (the loading extractor may have
 // failed, so the valid bit would never arrive). Pair with Interrupt for
-// prompt wake-up.
+// prompt wake-up. Already-valid nodes are confirmed with a lock-free
+// load; only still-loading nodes park on their stripe's cond.
 func (fb *FeatureBuffer) WaitValidCtx(ctx context.Context, nodes []int64) error {
-	fb.mu.Lock()
-	defer fb.mu.Unlock()
 	for _, node := range nodes {
-		for !fb.entries[node].valid {
+		e := &fb.entries[node]
+		if e.valid.Load() {
+			continue
+		}
+		st := fb.stripeOf(node)
+		st.mu.Lock()
+		for !e.valid.Load() {
 			if err := ctx.Err(); err != nil {
+				st.mu.Unlock()
 				return err
 			}
-			fb.cond.Wait()
+			st.cond.Wait()
 		}
+		st.mu.Unlock()
 	}
 	return nil
 }
@@ -241,9 +533,15 @@ func (fb *FeatureBuffer) WaitValidCtx(ctx context.Context, nodes []int64) error 
 // Interrupt wakes every goroutine blocked in ReserveCtx or WaitValidCtx
 // so it can observe a cancelled context.
 func (fb *FeatureBuffer) Interrupt() {
-	fb.mu.Lock()
-	fb.cond.Broadcast()
-	fb.mu.Unlock()
+	fb.sb.mu.Lock()
+	fb.sb.cond.Broadcast()
+	fb.sb.mu.Unlock()
+	for i := range fb.stripes {
+		st := &fb.stripes[i]
+		st.mu.Lock()
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}
 }
 
 // Release decrements the nodes' reference counts after training; slots
@@ -251,61 +549,104 @@ func (fb *FeatureBuffer) Interrupt() {
 // retired), keeping their data for inter-batch reuse. A node released
 // while still invalid (its extraction was aborted) is unmapped entirely:
 // its slot returns to standby with no stale reverse mapping, so a later
-// reservation of the node loads it fresh.
+// reservation of the node loads it fresh. The standby list is touched in
+// one batched acquisition at the end.
 func (fb *FeatureBuffer) Release(nodes []int64) {
-	fb.mu.Lock()
-	fb.releaseLocked(nodes)
-	fb.mu.Unlock()
-	fb.cond.Broadcast()
+	sc := getReleaseScratch()
+	for _, node := range nodes {
+		fb.releaseOne(node, sc)
+	}
+	fb.flushRelease(sc)
 }
 
-func (fb *FeatureBuffer) releaseLocked(nodes []int64) {
-	for _, node := range nodes {
-		e := &fb.entries[node]
-		if e.ref <= 0 {
-			panic(fmt.Sprintf("core: release of unreferenced node %d", node))
-		}
-		e.ref--
-		if e.ref == 0 {
-			slot := e.slot
-			if !e.valid {
-				fb.reverse[slot] = -1
-				e.slot = -1
-			}
-			fb.standby.pushTail(slot)
+// releaseOne drops one reference, entirely lock-free. The slot is read
+// before the decrement (stable while the caller still holds the
+// reference). A node whose count hits zero retires when valid; when
+// invalid — its load aborted — the mapping is unmapped under a CAS claim
+// so the slot returns to standby without stale state. Losing that claim
+// means a concurrent reservation already adopted the mapping, which then
+// owns it.
+func (fb *FeatureBuffer) releaseOne(node int64, sc *releaseScratch) {
+	e := &fb.entries[node]
+	slot := e.slot.Load()
+	r := e.ref.Add(-1)
+	if r < 0 {
+		panic(fmt.Sprintf("core: release of unreferenced node %d", node))
+	}
+	if r > 0 {
+		return
+	}
+	if e.valid.Load() {
+		sc.retire = append(sc.retire, slot)
+		return
+	}
+	if e.ref.CompareAndSwap(0, -1) {
+		if e.valid.Load() {
+			e.ref.Store(0)
+			sc.retire = append(sc.retire, slot)
+		} else {
+			e.slot.Store(-1)
+			e.ref.Store(0)
+			sc.unmap = append(sc.unmap, slot)
 		}
 	}
 }
 
+// flushRelease queues the batch's retired slots on the standby list in
+// one lock acquisition and wakes blocked reservers. A retiring slot that
+// never left the list (lazy deletion) moves to the tail so the LRU order
+// matches eager removal exactly; a slot that raced onto the list through
+// an interleaved retire/protect cycle is equally benign, because
+// allocation re-validates the owner's refcount before evicting.
+func (fb *FeatureBuffer) flushRelease(sc *releaseScratch) {
+	if len(sc.retire)+len(sc.unmap) > 0 {
+		sb := &fb.sb
+		sb.mu.Lock()
+		for _, s := range sc.retire {
+			if sb.list.inList[s] {
+				sb.list.moveToTail(s)
+			} else {
+				sb.list.pushTail(s)
+			}
+		}
+		for _, s := range sc.unmap {
+			sb.reverse[s] = -1
+			if !sb.list.inList[s] {
+				sb.list.pushTail(s)
+			}
+		}
+		sb.mu.Unlock()
+		sb.cond.Broadcast()
+	}
+	releaseScratchPool.Put(sc)
+}
+
 // RefCount reports a node's current reference count (tests/inspection).
 func (fb *FeatureBuffer) RefCount(node int64) int32 {
-	fb.mu.Lock()
-	defer fb.mu.Unlock()
-	return fb.entries[node].ref
+	return fb.entries[node].ref.Load()
 }
 
 // Valid reports whether a node's data is currently valid in the buffer.
 func (fb *FeatureBuffer) Valid(node int64) bool {
-	fb.mu.Lock()
-	defer fb.mu.Unlock()
-	return fb.entries[node].valid
+	return fb.entries[node].valid.Load()
 }
 
-// StandbyLen returns the number of standby slots (tests/inspection).
+// StandbyLen returns the number of standby slots (tests/inspection). With
+// lazy deletion a just-re-referenced slot may still be counted until an
+// allocation skips it or its release moves it; at quiescence the count is
+// exact.
 func (fb *FeatureBuffer) StandbyLen() int {
-	fb.mu.Lock()
-	defer fb.mu.Unlock()
-	return fb.standby.length
+	fb.sb.mu.Lock()
+	defer fb.sb.mu.Unlock()
+	return fb.sb.list.length
 }
 
 // TotalRefs sums every node's reference count (leak checks: it must be
 // zero after an epoch completes, fails, or is cancelled).
 func (fb *FeatureBuffer) TotalRefs() int64 {
-	fb.mu.Lock()
-	defer fb.mu.Unlock()
 	var sum int64
 	for i := range fb.entries {
-		sum += int64(fb.entries[i].ref)
+		sum += int64(fb.entries[i].ref.Load())
 	}
 	return sum
 }
@@ -316,6 +657,7 @@ type FeatureBufferStats struct {
 	Loads        int64 // nodes loaded from storage
 	SharedWaits  int64 // nodes awaited from a concurrent extractor
 	SlotRecycles int64 // retired nodes evicted on slot reuse
+	StandbyWaits int64 // reservations that blocked waiting for a free slot
 }
 
 // Stats returns a snapshot of the buffer counters.
@@ -325,6 +667,7 @@ func (fb *FeatureBuffer) Stats() FeatureBufferStats {
 		Loads:        fb.loads.Load(),
 		SharedWaits:  fb.sharedWaits.Load(),
 		SlotRecycles: fb.slotRecycles.Load(),
+		StandbyWaits: fb.standbyWaits.Load(),
 	}
 }
 
@@ -361,6 +704,42 @@ func (l *standbyList) pushTail(s int32) {
 	}
 	l.tail = s
 	l.length++
+}
+
+func (l *standbyList) pushHead(s int32) {
+	if l.inList[s] {
+		panic(fmt.Sprintf("core: slot %d already on standby", s))
+	}
+	l.inList[s] = true
+	l.prev[s] = -1
+	l.next[s] = l.head
+	if l.head >= 0 {
+		l.prev[l.head] = s
+	} else {
+		l.tail = s
+	}
+	l.head = s
+	l.length++
+}
+
+// moveToTail re-queues a member slot as most-recently retired. Hot on the
+// release path (every lazily-listed slot that retires again), so it
+// unlinks and relinks directly instead of going through remove/pushTail.
+func (l *standbyList) moveToTail(s int32) {
+	if l.tail == s {
+		return
+	}
+	p, n := l.prev[s], l.next[s]
+	if p >= 0 {
+		l.next[p] = n
+	} else {
+		l.head = n
+	}
+	l.prev[n] = p // n >= 0: s is not the tail
+	l.prev[s] = l.tail
+	l.next[s] = -1
+	l.next[l.tail] = s
+	l.tail = s
 }
 
 func (l *standbyList) popHead() int32 {

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFeatureBufferParallelStress hammers a deliberately tight buffer
+// with many extractor-shaped workers whose batches alias a hot node set,
+// forcing the striped mapping table through every transition at once:
+// concurrent pins of the same entry, reuse of retired entries, lazy
+// standby deletion, eviction claims racing protects, and shared-load
+// waits. After every epoch barrier the buffer must account for every
+// slot and hold zero references.
+func TestFeatureBufferParallelStress(t *testing.T) {
+	const (
+		numNodes = 1 << 14
+		dim      = 4
+		workers  = 16
+		hot      = 8  // nodes every worker touches every round
+		private  = 16 // per-worker rotating window nodes
+		rounds   = 40
+		epochs   = 4
+	)
+	// Liveness floor (§4.2): every worker must be able to hold a full
+	// batch at once. Keep barely above it so eviction is constant.
+	const slots = workers*(hot+private) + 8
+	fb := NewFeatureBuffer(numNodes, dim, slots)
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				nodes := make([]int64, 0, hot+private)
+				for r := 0; r < rounds; r++ {
+					nodes = nodes[:0]
+					for i := 0; i < hot; i++ {
+						nodes = append(nodes, int64(i))
+					}
+					base := int64(100 + w*997 + r*31)
+					for i := 0; i < private; i++ {
+						nodes = append(nodes, 8+(base+int64(i)*7)%(numNodes-8))
+					}
+					res, err := fb.Reserve(nodes)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for _, pos := range res.ToLoad {
+						fb.MarkValid(nodes[pos])
+					}
+					// Everyone sharing a node must observe it valid.
+					fb.WaitValid(res.Wait)
+					for i, v := range nodes {
+						if !fb.Valid(v) {
+							t.Errorf("node %d invalid while pinned", v)
+							return
+						}
+						if fb.RefCount(v) < 1 {
+							t.Errorf("node %d refcount %d while pinned", v, fb.RefCount(v))
+							return
+						}
+						_ = res.Alias[i]
+					}
+					fb.Release(nodes)
+					PutReservation(res)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		// Epoch barrier: all references dropped, every slot accounted for.
+		if refs := fb.TotalRefs(); refs != 0 {
+			t.Fatalf("epoch %d: %d references leaked", epoch, refs)
+		}
+		if got := fb.StandbyLen(); got != slots {
+			t.Fatalf("epoch %d: standby %d want %d slots", epoch, got, slots)
+		}
+	}
+	st := fb.Stats()
+	if st.Loads == 0 || st.ReuseHits == 0 {
+		t.Fatalf("stress exercised nothing: %+v", st)
+	}
+	if st.SlotRecycles == 0 {
+		t.Fatalf("buffer too large to force eviction: %+v", st)
+	}
+}

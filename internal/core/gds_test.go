@@ -37,14 +37,11 @@ func TestGPUDirectExtractionCorrectAndStagingFree(t *testing.T) {
 	fb := e.FeatureBuffer()
 	checked := 0
 	for v := int64(0); v < rig.ds.NumNodes && checked < 50; v++ {
-		fb.mu.Lock()
-		ent := fb.entries[v]
-		fb.mu.Unlock()
-		if !ent.valid {
+		if !fb.Valid(v) {
 			continue
 		}
 		want := rig.ds.ReadFeatureRaw(v, nil)
-		got := fb.SlotData(ent.slot)
+		got := fb.SlotData(fb.entries[v].slot.Load())
 		for j := range want {
 			if got[j] != want[j] {
 				t.Fatalf("node %d dim %d mismatch", v, j)

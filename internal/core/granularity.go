@@ -35,11 +35,20 @@ type ReadOp struct {
 // nodes[i] is the node ID at batch position positions[i]; both slices are
 // reordered in place (sorted by node ID).
 func BuildReadPlan(featuresOff int64, featBytes, sector, maxRead int, nodes []int64, positions []int32) []ReadOp {
+	return BuildReadPlanInto(nil, featuresOff, featBytes, sector, maxRead, nodes, positions)
+}
+
+// BuildReadPlanInto is BuildReadPlan appending into dst, reusing dst's
+// backing array and each recycled op's Nodes slice so a per-batch caller
+// (the extractor) plans with zero steady-state allocations. Pass the
+// previous batch's plan resliced to length zero; pass nil for a fresh
+// plan.
+func BuildReadPlanInto(dst []ReadOp, featuresOff int64, featBytes, sector, maxRead int, nodes []int64, positions []int32) []ReadOp {
 	if len(nodes) != len(positions) {
 		panic(fmt.Sprintf("core: %d nodes vs %d positions", len(nodes), len(positions)))
 	}
 	if len(nodes) == 0 {
-		return nil
+		return dst
 	}
 	if sector <= 0 {
 		sector = 512
@@ -53,8 +62,8 @@ func BuildReadPlan(featuresOff int64, featBytes, sector, maxRead int, nodes []in
 	sort.Sort(&nodePosSorter{nodes: nodes, positions: positions})
 
 	ss := int64(sector)
-	var plan []ReadOp
-	var cur *ReadOp
+	plan := dst
+	have := false // plan has a current op to extend
 	for i, v := range nodes {
 		start := featuresOff + v*int64(featBytes)
 		end := start + int64(featBytes)
@@ -62,7 +71,8 @@ func BuildReadPlan(featuresOff int64, featBytes, sector, maxRead int, nodes []in
 		aEnd := (end + ss - 1) / ss * ss
 		// Extend the current op if this node's window overlaps or abuts
 		// it and the combined op stays within maxRead.
-		if cur != nil {
+		if have {
+			cur := &plan[len(plan)-1]
 			curEnd := cur.DevOff + int64(cur.Len)
 			if aStart <= curEnd && aEnd-cur.DevOff <= int64(maxRead) {
 				if aEnd > curEnd {
@@ -72,11 +82,27 @@ func BuildReadPlan(featuresOff int64, featBytes, sector, maxRead int, nodes []in
 				continue
 			}
 		}
-		plan = append(plan, ReadOp{DevOff: aStart, Len: int(aEnd - aStart)})
-		cur = &plan[len(plan)-1]
+		plan = appendOp(plan, aStart, int(aEnd-aStart))
+		cur := &plan[len(plan)-1]
 		cur.Nodes = append(cur.Nodes, ReadNode{Pos: positions[i], BufOff: int(start - aStart)})
+		have = true
 	}
 	return plan
+}
+
+// appendOp extends the plan by one op. When the backing array already has
+// room, the recycled element keeps its Nodes capacity from the previous
+// batch; only genuine growth allocates.
+func appendOp(plan []ReadOp, devOff int64, length int) []ReadOp {
+	if len(plan) < cap(plan) {
+		plan = plan[:len(plan)+1]
+		op := &plan[len(plan)-1]
+		op.DevOff = devOff
+		op.Len = length
+		op.Nodes = op.Nodes[:0]
+		return plan
+	}
+	return append(plan, ReadOp{DevOff: devOff, Len: length})
 }
 
 // PlanBytes sums the bytes a plan reads (including redundant alignment

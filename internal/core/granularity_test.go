@@ -210,3 +210,52 @@ func TestStagingBadReleasePanics(t *testing.T) {
 	}()
 	s.Release(9)
 }
+
+func TestBuildReadPlanIntoDirtyScratchMatchesFresh(t *testing.T) {
+	// The extractor reuses one plan slice (and the recycled ReadOps' Nodes
+	// slices) across batches; plans built into dirty scratch must be
+	// identical to freshly allocated ones.
+	f := func(seed uint64, nRaw uint8, featRaw uint8, maxRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		featBytes := int(featRaw)*3 + 1
+		maxRead := (int(maxRaw%8) + 1) * 4096
+		rng := seed
+		var scratch []ReadOp
+		for round := 0; round < 3; round++ {
+			nodes := make([]int64, n)
+			positions := make([]int32, n)
+			seen := map[int64]bool{}
+			for i := 0; i < n; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				v := int64(rng % 5000)
+				for seen[v] {
+					v = (v + 1) % 5000
+				}
+				seen[v] = true
+				nodes[i] = v
+				positions[i] = int32(i)
+			}
+			fresh := BuildReadPlan(0, featBytes, 512, maxRead,
+				append([]int64(nil), nodes...), append([]int32(nil), positions...))
+			scratch = BuildReadPlanInto(scratch[:0], 0, featBytes, 512, maxRead, nodes, positions)
+			if len(scratch) != len(fresh) {
+				return false
+			}
+			for i := range fresh {
+				a, b := fresh[i], scratch[i]
+				if a.DevOff != b.DevOff || a.Len != b.Len || len(a.Nodes) != len(b.Nodes) {
+					return false
+				}
+				for j := range a.Nodes {
+					if a.Nodes[j] != b.Nodes[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,9 +7,11 @@ import (
 )
 
 // meanAggregate computes per-dst means of src rows along e (self-loop
-// included in e), returning the [n x dim] aggregate.
-func meanAggregate(e *edges, x *tensor.Matrix) *tensor.Matrix {
-	agg := tensor.New(e.n, x.Cols)
+// included in e), returning the [n x dim] aggregate. dst is reused when
+// its capacity suffices (pass nil to allocate).
+func meanAggregate(dst *tensor.Matrix, e *edges, x *tensor.Matrix) *tensor.Matrix {
+	agg := tensor.EnsureShape(dst, e.n, x.Cols)
+	agg.Zero()
 	for i := range e.src {
 		d := agg.Row(int(e.dst[i]))
 		s := x.Row(int(e.src[i]))
@@ -43,12 +45,19 @@ func meanAggregateBackward(e *edges, dagg *tensor.Matrix, dx *tensor.Matrix) {
 
 // sageConv is GraphSAGE with mean aggregator:
 // out = x·Wself + mean_{u in N(v) ∪ {v}}(x_u)·Wneigh + b.
+//
+// The out/tmp/gw/dx/dagg matrices are per-conv scratch reused across
+// mini-batches, which is safe because Model is documented as not safe
+// for concurrent use; each batch's values are consumed before the next
+// forward/backward overwrites them.
 type sageConv struct {
 	wSelf, wNeigh, bias *Param
 	// forward cache
 	e   *edges
 	x   *tensor.Matrix
 	agg *tensor.Matrix
+	// scratch
+	out, tmp, gw, dx, dagg *tensor.Matrix
 }
 
 func newSAGEConv(name string, in, out int, rng *tensor.RNG) *sageConv {
@@ -63,24 +72,29 @@ func (c *sageConv) params() []*Param { return []*Param{c.wSelf, c.wNeigh, c.bias
 
 func (c *sageConv) forward(e *edges, x *tensor.Matrix) *tensor.Matrix {
 	c.e, c.x = e, x
-	c.agg = meanAggregate(e, x)
-	out := tensor.MatMul(x, c.wSelf.W)
-	out.Add(tensor.MatMul(c.agg, c.wNeigh.W))
-	out.AddRowVector(c.bias.W.Data)
-	return out
+	c.agg = meanAggregate(c.agg, e, x)
+	c.out = tensor.EnsureShape(c.out, x.Rows, c.wSelf.W.Cols)
+	tensor.MatMulInto(c.out, x, c.wSelf.W)
+	c.tmp = tensor.EnsureShape(c.tmp, x.Rows, c.wNeigh.W.Cols)
+	tensor.MatMulInto(c.tmp, c.agg, c.wNeigh.W)
+	c.out.Add(c.tmp)
+	c.out.AddRowVector(c.bias.W.Data)
+	return c.out
 }
 
 func (c *sageConv) backward(dout *tensor.Matrix) *tensor.Matrix {
-	c.wSelf.G.Add(tensor.MatMulT1(c.x, dout))
-	c.wNeigh.G.Add(tensor.MatMulT1(c.agg, dout))
-	bg := dout.ColSums()
-	for j, v := range bg {
-		c.bias.G.Data[j] += v
-	}
-	dx := tensor.MatMulT2(dout, c.wSelf.W)
-	dagg := tensor.MatMulT2(dout, c.wNeigh.W)
-	meanAggregateBackward(c.e, dagg, dx)
-	return dx
+	c.gw = tensor.EnsureShape(c.gw, c.x.Cols, dout.Cols)
+	tensor.MatMulT1Into(c.gw, c.x, dout)
+	c.wSelf.G.Add(c.gw)
+	tensor.MatMulT1Into(c.gw, c.agg, dout)
+	c.wNeigh.G.Add(c.gw)
+	dout.ColSumsInto(c.bias.G.Data)
+	c.dx = tensor.EnsureShape(c.dx, dout.Rows, c.wSelf.W.Rows)
+	tensor.MatMulT2Into(c.dx, dout, c.wSelf.W)
+	c.dagg = tensor.EnsureShape(c.dagg, dout.Rows, c.wNeigh.W.Rows)
+	tensor.MatMulT2Into(c.dagg, dout, c.wNeigh.W)
+	meanAggregateBackward(c.e, c.dagg, c.dx)
+	return c.dx
 }
 
 // gcnConv is a GCN layer with mean-normalized aggregation over
@@ -90,6 +104,8 @@ type gcnConv struct {
 	e       *edges
 	x       *tensor.Matrix
 	agg     *tensor.Matrix
+	// scratch, reused across batches (Model is not concurrent-safe)
+	out, gw, dx, dagg *tensor.Matrix
 }
 
 func newGCNConv(name string, in, out int, rng *tensor.RNG) *gcnConv {
@@ -103,22 +119,24 @@ func (c *gcnConv) params() []*Param { return []*Param{c.w, c.bias} }
 
 func (c *gcnConv) forward(e *edges, x *tensor.Matrix) *tensor.Matrix {
 	c.e, c.x = e, x
-	c.agg = meanAggregate(e, x)
-	out := tensor.MatMul(c.agg, c.w.W)
-	out.AddRowVector(c.bias.W.Data)
-	return out
+	c.agg = meanAggregate(c.agg, e, x)
+	c.out = tensor.EnsureShape(c.out, c.agg.Rows, c.w.W.Cols)
+	tensor.MatMulInto(c.out, c.agg, c.w.W)
+	c.out.AddRowVector(c.bias.W.Data)
+	return c.out
 }
 
 func (c *gcnConv) backward(dout *tensor.Matrix) *tensor.Matrix {
-	c.w.G.Add(tensor.MatMulT1(c.agg, dout))
-	bg := dout.ColSums()
-	for j, v := range bg {
-		c.bias.G.Data[j] += v
-	}
-	dagg := tensor.MatMulT2(dout, c.w.W)
-	dx := tensor.New(c.x.Rows, c.x.Cols)
-	meanAggregateBackward(c.e, dagg, dx)
-	return dx
+	c.gw = tensor.EnsureShape(c.gw, c.agg.Cols, dout.Cols)
+	tensor.MatMulT1Into(c.gw, c.agg, dout)
+	c.w.G.Add(c.gw)
+	dout.ColSumsInto(c.bias.G.Data)
+	c.dagg = tensor.EnsureShape(c.dagg, dout.Rows, c.w.W.Rows)
+	tensor.MatMulT2Into(c.dagg, dout, c.w.W)
+	c.dx = tensor.EnsureShape(c.dx, c.x.Rows, c.x.Cols)
+	c.dx.Zero()
+	meanAggregateBackward(c.e, c.dagg, c.dx)
+	return c.dx
 }
 
 // gatConv is a single-head graph attention layer:

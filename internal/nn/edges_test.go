@@ -81,7 +81,7 @@ func TestMeanAggregateConstantProperty(t *testing.T) {
 		e := buildEdges(b)
 		x := tensor.New(n, 3)
 		x.Fill(2.5)
-		agg := meanAggregate(e, x)
+		agg := meanAggregate(nil, e, x)
 		for _, v := range agg.Data {
 			if v < 2.4999 || v > 2.5001 {
 				return false
@@ -118,7 +118,7 @@ func TestMeanAggregateAdjointProperty(t *testing.T) {
 			x.Data[i] = rng.NormFloat32()
 			y.Data[i] = rng.NormFloat32()
 		}
-		ax := meanAggregate(e, x)
+		ax := meanAggregate(nil, e, x)
 		var lhs float64
 		for i := range ax.Data {
 			lhs += float64(ax.Data[i]) * float64(y.Data[i])

@@ -30,3 +30,26 @@ func BenchmarkSampleBatch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSampleBatchInto is the same workload through the recycling
+// path the engine uses: one batch reused across all iterations.
+func BenchmarkSampleBatchInto(b *testing.B) {
+	ds, err := gen.BuildStandalone(gen.Tiny(), ssd.InstantConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ds.Dev.Close()
+	s := New(graph.NewRawReader(ds), []int{3, 3, 3}, tensor.NewRNG(1))
+	targets := make([]int64, 50)
+	for i := range targets {
+		targets[i] = int64(i * 7)
+	}
+	bt := &Batch{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SampleBatchInto(bt, i, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

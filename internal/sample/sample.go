@@ -43,6 +43,17 @@ func (b *Batch) NumEdges() int64 {
 	return n
 }
 
+// Reset empties the batch for reuse, keeping the Nodes and per-layer
+// edge-list capacity so a recycled batch samples without reallocating.
+func (b *Batch) Reset() {
+	b.ID = 0
+	b.NumTargets = 0
+	b.Nodes = b.Nodes[:0]
+	// Truncate Layers but keep the backing array: SampleBatchInto reslices
+	// into it and reuses each Layer's Src/Dst capacity.
+	b.Layers = b.Layers[:0]
+}
+
 // Sampler draws k-hop neighborhoods through a NeighborReader.
 // A Sampler is not safe for concurrent use; give each goroutine its own
 // (they can share the reader only if the reader is itself per-goroutine).
@@ -52,6 +63,14 @@ type Sampler struct {
 	rng     *tensor.RNG
 	policy  Policy
 	scratch []int32
+	// index is the node-ID -> batch-position map, cleared and reused
+	// across batches so the steady state allocates nothing. Go maps keep
+	// their bucket array across clear(), so after the first few batches
+	// lookups stop growing it.
+	index map[int64]int32
+	// expansion is the clamped per-target node-count estimate used to
+	// presize fresh batches.
+	expansion int
 }
 
 // New creates a sampler with per-hop fanouts (e.g. 10,10,10) and the
@@ -65,17 +84,56 @@ func New(reader graph.NeighborReader, fanouts []int, rng *tensor.RNG) *Sampler {
 			panic(fmt.Sprintf("sample: fanout %d", f))
 		}
 	}
-	return &Sampler{reader: reader, fanouts: fanouts, rng: rng, policy: UniformPolicy{}}
+	// Worst-case unique nodes per target is the fanout-product series
+	// 1 + f_k(1 + f_{k-1}(1 + ...)); dedup makes real batches much
+	// smaller, so clamp the estimate to a sane presizing range.
+	expansion := 1
+	for i := len(fanouts) - 1; i >= 0; i-- {
+		expansion = 1 + fanouts[i]*expansion
+		if expansion > 256 {
+			expansion = 256
+			break
+		}
+	}
+	if expansion < 8 {
+		expansion = 8
+	}
+	return &Sampler{reader: reader, fanouts: fanouts, rng: rng,
+		policy: UniformPolicy{}, expansion: expansion}
 }
 
-// SampleBatch samples the k-hop neighborhood of targets and returns the
-// batch plus the time spent blocked on topology I/O.
+// SampleBatch samples the k-hop neighborhood of targets into a fresh
+// batch and returns it plus the time spent blocked on topology I/O.
 func (s *Sampler) SampleBatch(id int, targets []int64) (*Batch, time.Duration, error) {
-	b := &Batch{ID: id, NumTargets: len(targets)}
-	index := make(map[int64]int32, len(targets)*8)
+	b := &Batch{
+		Nodes:  make([]int64, 0, len(targets)*s.expansion),
+		Layers: make([]Layer, 0, len(s.fanouts)),
+	}
+	ioWait, err := s.SampleBatchInto(b, id, targets)
+	if err != nil {
+		return nil, ioWait, err
+	}
+	return b, ioWait, nil
+}
+
+// SampleBatchInto samples the k-hop neighborhood of targets into b,
+// reusing b's node and edge-list capacity (b is Reset first). The engine
+// recycles batches through a pool so the steady-state sampling path
+// allocates only when a batch outgrows every predecessor. On error b is
+// left in an unspecified state and must be Reset before reuse.
+func (s *Sampler) SampleBatchInto(b *Batch, id int, targets []int64) (time.Duration, error) {
+	b.Reset()
+	b.ID = id
+	b.NumTargets = len(targets)
+	if s.index == nil {
+		s.index = make(map[int64]int32, len(targets)*s.expansion)
+	} else {
+		clear(s.index)
+	}
+	index := s.index
 	for _, t := range targets {
 		if _, dup := index[t]; dup {
-			return nil, 0, fmt.Errorf("sample: duplicate target %d", t)
+			return 0, fmt.Errorf("sample: duplicate target %d", t)
 		}
 		index[t] = int32(len(b.Nodes))
 		b.Nodes = append(b.Nodes, t)
@@ -83,14 +141,23 @@ func (s *Sampler) SampleBatch(id int, targets []int64) (*Batch, time.Duration, e
 	var ioWait time.Duration
 	frontierLo, frontierHi := 0, len(b.Nodes)
 	for _, fanout := range s.fanouts {
-		layer := Layer{}
+		// Reslice into the batch's layer array when capacity allows, so a
+		// recycled batch reuses each hop's Src/Dst backing arrays.
+		if cap(b.Layers) > len(b.Layers) {
+			b.Layers = b.Layers[:len(b.Layers)+1]
+		} else {
+			b.Layers = append(b.Layers, Layer{})
+		}
+		layer := &b.Layers[len(b.Layers)-1]
+		layer.Src = layer.Src[:0]
+		layer.Dst = layer.Dst[:0]
 		for vi := frontierLo; vi < frontierHi; vi++ {
 			v := b.Nodes[vi]
 			ns, w, err := s.reader.Neighbors(v, s.scratch)
 			s.scratch = ns[:0]
 			ioWait += w
 			if err != nil {
-				return nil, ioWait, err
+				return ioWait, err
 			}
 			picked := s.policy.Pick(v, ns, fanout, s.rng)
 			// Every frontier node aggregates itself too (self-loop), so
@@ -108,10 +175,9 @@ func (s *Sampler) SampleBatch(id int, targets []int64) (*Batch, time.Duration, e
 				layer.Dst = append(layer.Dst, int32(vi))
 			}
 		}
-		b.Layers = append(b.Layers, layer)
 		frontierLo, frontierHi = frontierHi, len(b.Nodes)
 	}
-	return b, ioWait, nil
+	return ioWait, nil
 }
 
 // Plan is an epoch's mini-batch schedule: target node ID chunks in a

@@ -166,6 +166,74 @@ func TestDeterministicWithSameSeed(t *testing.T) {
 	}
 }
 
+func TestSampleBatchIntoReusedBatchMatchesFresh(t *testing.T) {
+	ds := tinyDataset(t)
+	// Two samplers with identical seeds: one allocates fresh batches, the
+	// other reuses a single batch (pre-dirtied) across all rounds. Every
+	// round must produce identical subgraphs.
+	fresh := New(graph.NewRawReader(ds), []int{4, 3}, tensor.NewRNG(77))
+	reused := New(graph.NewRawReader(ds), []int{4, 3}, tensor.NewRNG(77))
+	b := &Batch{}
+	for round := 0; round < 8; round++ {
+		targets := []int64{int64(round * 11), int64(round*11 + 5), int64(round*11 + 9)}
+		want, _, err := fresh.SampleBatch(round, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reused.SampleBatchInto(b, round, targets); err != nil {
+			t.Fatal(err)
+		}
+		if b.ID != want.ID || b.NumTargets != want.NumTargets {
+			t.Fatalf("round %d meta: got %d/%d want %d/%d", round, b.ID, b.NumTargets, want.ID, want.NumTargets)
+		}
+		if len(b.Nodes) != len(want.Nodes) {
+			t.Fatalf("round %d node count %d want %d", round, len(b.Nodes), len(want.Nodes))
+		}
+		for i := range want.Nodes {
+			if b.Nodes[i] != want.Nodes[i] {
+				t.Fatalf("round %d node %d: %d want %d", round, i, b.Nodes[i], want.Nodes[i])
+			}
+		}
+		if len(b.Layers) != len(want.Layers) {
+			t.Fatalf("round %d layers %d want %d", round, len(b.Layers), len(want.Layers))
+		}
+		for li := range want.Layers {
+			g, w := b.Layers[li], want.Layers[li]
+			if len(g.Src) != len(w.Src) {
+				t.Fatalf("round %d layer %d edges %d want %d", round, li, len(g.Src), len(w.Src))
+			}
+			for i := range w.Src {
+				if g.Src[i] != w.Src[i] || g.Dst[i] != w.Dst[i] {
+					t.Fatalf("round %d layer %d edge %d differs", round, li, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleBatchIntoSteadyStateDoesNotGrow(t *testing.T) {
+	ds := tinyDataset(t)
+	s := New(graph.NewRawReader(ds), []int{3, 3}, tensor.NewRNG(9))
+	b := &Batch{}
+	targets := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	// Warm: let batch and sampler scratch reach their high-water marks.
+	for i := 0; i < 20; i++ {
+		if _, err := s.SampleBatchInto(b, i, targets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := s.SampleBatchInto(b, 0, targets); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The raw reader itself may allocate on occasional growth; the sampler
+	// must not add steady-state allocations of its own.
+	if allocs > 1 {
+		t.Fatalf("steady-state SampleBatchInto allocates %.1f/op", allocs)
+	}
+}
+
 func TestNewPlanCoversAllTargets(t *testing.T) {
 	f := func(seed uint64, nRaw uint16, bsRaw uint8) bool {
 		n := int(nRaw%500) + 1

@@ -21,6 +21,21 @@ func MatMul(a, b *Matrix) *Matrix {
 	return out
 }
 
+// MatMulInto computes out = a*b into caller-owned storage (out must be
+// MxN and may hold stale data; it is zeroed first). Layers that run every
+// mini-batch use this with a reusable scratch matrix to keep the training
+// hot path allocation-free.
+func MatMulInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulInto inner dims %d vs %d", a.Cols, b.Rows))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto out %v want %dx%d", out, a.Rows, b.Cols))
+	}
+	out.Zero()
+	matMulInto(out, a, b)
+}
+
 func matMulInto(out, a, b *Matrix) {
 	flops := a.Rows * a.Cols * b.Cols
 	workers := runtime.GOMAXPROCS(0)
@@ -69,10 +84,21 @@ func matMulRange(out, a, b *Matrix, lo, hi int) {
 // MatMulT1 returns aᵀ*b: a is KxM, b is KxN, result is MxN.
 // Used for weight gradients (Xᵀ·dY).
 func MatMulT1(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	MatMulT1Into(out, a, b)
+	return out
+}
+
+// MatMulT1Into computes out = aᵀ*b into caller-owned storage (out must
+// be MxN and may hold stale data; it is zeroed first).
+func MatMulT1Into(out, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulT1 outer dims %d vs %d", a.Rows, b.Rows))
 	}
-	out := New(a.Cols, b.Cols)
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT1Into out %v want %dx%d", out, a.Cols, b.Cols))
+	}
+	out.Zero()
 	n := b.Cols
 	for k := 0; k < a.Rows; k++ {
 		arow := a.Row(k)
@@ -87,21 +113,31 @@ func MatMulT1(a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
 }
 
 // MatMulT2 returns a*bᵀ: a is MxK, b is NxK, result is MxN.
 // Used for input gradients (dY·Wᵀ).
 func MatMulT2(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	MatMulT2Into(out, a, b)
+	return out
+}
+
+// MatMulT2Into computes out = a*bᵀ into caller-owned storage. Every
+// element of out is overwritten, so stale contents are fine and no
+// zeroing pass is needed.
+func MatMulT2Into(out, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT2 inner dims %d vs %d", a.Cols, b.Cols))
 	}
-	out := New(a.Rows, b.Rows)
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT2Into out %v want %dx%d", out, a.Rows, b.Rows))
+	}
 	workers := runtime.GOMAXPROCS(0)
 	flops := a.Rows * a.Cols * b.Rows
 	if flops < matmulParallelThreshold || workers == 1 || a.Rows == 1 {
 		matMulT2Range(out, a, b, 0, a.Rows)
-		return out
+		return
 	}
 	if workers > a.Rows {
 		workers = a.Rows
@@ -120,7 +156,6 @@ func MatMulT2(a, b *Matrix) *Matrix {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
 func matMulT2Range(out, a, b *Matrix, lo, hi int) {

@@ -24,6 +24,28 @@ func New(rows, cols int) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
 }
 
+// EnsureShape returns a rows x cols matrix, reusing m's storage when its
+// capacity suffices and allocating otherwise (m may be nil). The returned
+// matrix's contents are unspecified — pair it with the *Into kernels,
+// which overwrite or zero their destination. This is the reuse primitive
+// behind the per-layer scratch matrices in internal/nn.
+func EnsureShape(m *Matrix, rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	if m == nil {
+		return New(rows, cols)
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float32, n)
+	} else {
+		m.Data = m.Data[:n]
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
 // FromSlice wraps data as a rows x cols matrix without copying.
 // len(data) must equal rows*cols.
 func FromSlice(rows, cols int, data []float32) *Matrix {
@@ -143,6 +165,20 @@ func (m *Matrix) ColSums() []float32 {
 		}
 	}
 	return out
+}
+
+// ColSumsInto accumulates the per-column sums of m into dst (length
+// Cols) — the allocation-free form of ColSums for bias gradients.
+func (m *Matrix) ColSumsInto(dst []float32) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: ColSumsInto length %d != cols %d", len(dst), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
 }
 
 // MaxAbsDiff returns max_i |m[i]-o[i]|, for test tolerance checks.

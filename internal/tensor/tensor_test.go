@@ -422,3 +422,91 @@ func TestRNGNormApproxStandard(t *testing.T) {
 		t.Fatalf("norm stats off: mean=%v var=%v", mean, variance)
 	}
 }
+
+func TestEnsureShapeReuseAndGrow(t *testing.T) {
+	m := EnsureShape(nil, 2, 3)
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("nil case shape %v", m)
+	}
+	m.Fill(7)
+	back := &m.Data[0]
+	// Shrinking reuses the backing array.
+	m2 := EnsureShape(m, 1, 4)
+	if m2 != m || &m2.Data[0] != back || m2.Rows != 1 || m2.Cols != 4 {
+		t.Fatalf("shrink did not reuse storage: %v", m2)
+	}
+	// Growing past capacity reallocates.
+	m3 := EnsureShape(m2, 5, 5)
+	if m3.Rows != 5 || m3.Cols != 5 || len(m3.Data) != 25 {
+		t.Fatalf("grow shape %v len=%d", m3, len(m3.Data))
+	}
+}
+
+func TestMatMulIntoMatchesMatMulWithDirtyDst(t *testing.T) {
+	rng := NewRNG(3)
+	a, b := New(7, 5), New(5, 6)
+	for i := range a.Data {
+		a.Data[i] = rng.Float32() - 0.5
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.Float32() - 0.5
+	}
+	want := MatMul(a, b)
+	dst := New(7, 6)
+	dst.Fill(99) // stale contents must not leak through
+	MatMulInto(dst, a, b)
+	if d := dst.MaxAbsDiff(want); d > 1e-6 {
+		t.Fatalf("MatMulInto differs by %v", d)
+	}
+}
+
+func TestMatMulT1T2IntoMatchDirty(t *testing.T) {
+	rng := NewRNG(4)
+	a, b := New(6, 4), New(6, 5) // T1: aᵀ*b -> 4x5
+	for i := range a.Data {
+		a.Data[i] = rng.Float32() - 0.5
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.Float32() - 0.5
+	}
+	want1 := MatMulT1(a, b)
+	d1 := New(4, 5)
+	d1.Fill(-3)
+	MatMulT1Into(d1, a, b)
+	if d := d1.MaxAbsDiff(want1); d > 1e-6 {
+		t.Fatalf("MatMulT1Into differs by %v", d)
+	}
+
+	c := New(3, 5) // T2: c*bᵀ -> 3x6
+	for i := range c.Data {
+		c.Data[i] = rng.Float32() - 0.5
+	}
+	want2 := MatMulT2(c, b)
+	d2 := New(3, 6)
+	d2.Fill(11)
+	MatMulT2Into(d2, c, b)
+	if d := d2.MaxAbsDiff(want2); d > 1e-6 {
+		t.Fatalf("MatMulT2Into differs by %v", d)
+	}
+}
+
+func TestMatMulIntoShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out shape mismatch")
+		}
+	}()
+	MatMulInto(New(2, 2), New(2, 3), New(3, 4))
+}
+
+func TestColSumsIntoAccumulates(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	dst := []float32{10, 10, 10}
+	m.ColSumsInto(dst)
+	want := []float32{15, 17, 19}
+	for j := range want {
+		if dst[j] != want[j] {
+			t.Fatalf("col %d: %v want %v", j, dst[j], want[j])
+		}
+	}
+}
