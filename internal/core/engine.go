@@ -485,7 +485,7 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 
 	extractQ := make(chan *sample.Batch, e.opts.ExtractQueueCap)
 	trainQ := make(chan *trainItem, e.opts.TrainQueueCap)
-	releaseQ := make(chan *sample.Batch, e.opts.TrainQueueCap+2)
+	releaseQ := make(chan *trainItem, e.opts.TrainQueueCap+2)
 
 	// runCtx is the pipeline's life line: the first stage error or a
 	// caller cancellation cancels it, and the condition-variable waits in
@@ -614,10 +614,7 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 		step := 0
 		for item := range trainQ {
 			if failed() {
-				b := item.batch
-				PutReservation(item.res)
-				putTrainItem(item)
-				releaseQ <- b
+				releaseQ <- item
 				continue
 			}
 			t0 := time.Now()
@@ -648,12 +645,9 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 			e.opts.Tracer.Record(trace.StageTrain, item.batch.ID, t0, time.Now())
 			step++
 			// The reservation's alias list was consumed by the backward
-			// pass (or the device model); recycle it before handing the
-			// node list to the releaser.
-			b := item.batch
-			PutReservation(item.res)
-			putTrainItem(item)
-			releaseQ <- b
+			// pass (or the device model); the releaser recycles it after
+			// the references are dropped, per PutReservation's contract.
+			releaseQ <- item
 		}
 		close(releaseQ)
 	}()
@@ -663,11 +657,14 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 	relWG.Add(1)
 	go func() {
 		defer relWG.Done()
-		for b := range releaseQ {
+		for item := range releaseQ {
+			b := item.batch
 			t0 := time.Now()
 			e.fb.Release(b.Nodes)
 			col.AddRelease(time.Since(t0))
 			e.opts.Tracer.Record(trace.StageRelease, b.ID, t0, time.Now())
+			PutReservation(item.res)
+			putTrainItem(item)
 			e.putBatch(b)
 		}
 	}()

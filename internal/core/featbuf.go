@@ -215,11 +215,22 @@ func PutReservation(res *Reservation) {
 	}
 }
 
+// slotNode pairs a slot with the node that owned it when a release
+// retired or unmapped it. The pairing lets flushRelease detect that a
+// concurrent allocation reassigned the slot in the window between the
+// lock-free refcount decrement and the flush, and drop the stale entry
+// instead of pushing a live-mapped slot onto the free list.
+type slotNode struct {
+	slot int32
+	node int64
+}
+
 // releaseScratch batches a Release's standby-list work so the list mutex
-// is taken once per batch.
+// is taken once per batch. Entries are (slot, node) pairs; flushRelease
+// re-validates each pairing under the standby lock before acting.
 type releaseScratch struct {
-	retire []int32 // valid slots retiring to the standby tail
-	unmap  []int32 // aborted (invalid) slots returning unmapped
+	retire []slotNode // valid slots retiring to the standby tail
+	unmap  []slotNode // aborted (invalid) slots returning unmapped
 }
 
 var releaseScratchPool = sync.Pool{New: func() any { return new(releaseScratch) }}
@@ -347,9 +358,11 @@ func (fb *FeatureBuffer) tryAttach(e *mapEntry, pos int32, node int64, res *Rese
 // standby-lock acquisition, evicting whatever retired node each slot
 // still maps (deferred invalidation, §4.2) and recording the slot's new
 // destination in the reverse mapping. Referenced slots found on the list
-// (lazily deleted by a protecting reservation) are skipped; their release
-// re-queues them. Blocks when the list runs dry; on cancellation or
-// timeout every slot already taken is pushed back.
+// (lazily deleted by a protecting reservation) are skipped, as are slots
+// whose reverse mapping went stale (a lock-free unmap whose flush is
+// still pending); in both cases the owner's release re-queues them.
+// Blocks when the list runs dry; on cancellation or timeout every slot
+// already taken is pushed back.
 func (fb *FeatureBuffer) allocSlots(ctx context.Context, nodes []int64, res *Reservation) error {
 	need := len(res.missPos)
 	deadline := time.Now().Add(reserveTimeout)
@@ -361,6 +374,12 @@ func (fb *FeatureBuffer) allocSlots(ctx context.Context, nodes []int64, res *Res
 			if err := fb.waitStandbyLocked(ctx, deadline); err != nil {
 				for i := len(res.missSlot) - 1; i >= 0; i-- {
 					s := res.missSlot[i]
+					if sb.list.inList[s] {
+						// Defensive: in-flight slots are off-list and
+						// verified flushes never re-list them, but a
+						// listed slot must not be pushed twice.
+						continue
+					}
 					sb.reverse[s] = -1
 					sb.list.pushHead(s)
 				}
@@ -378,8 +397,14 @@ func (fb *FeatureBuffer) allocSlots(ctx context.Context, nodes []int64, res *Res
 				// Drop it; the owner's release pushes it back.
 				continue
 			}
-			if got := pe.slot.Load(); got != s {
-				panic(fmt.Sprintf("core: standby slot %d maps node %d at slot %d", s, prev, got))
+			if pe.slot.Load() != s {
+				// Stale reverse mapping: the node's release unmapped this
+				// slot lock-free and its flush (which clears reverse[s]
+				// and re-queues the slot) is still pending, or the node
+				// has since been remapped elsewhere. Undo the claim and
+				// skip the slot; the pending flush returns it.
+				pe.ref.Store(0)
+				continue
 			}
 			pe.slot.Store(-1)
 			pe.valid.Store(false)
@@ -465,6 +490,12 @@ func (fb *FeatureBuffer) installMisses(nodes []int64, res *Reservation) {
 		sb.mu.Lock()
 		for i := len(res.spare) - 1; i >= 0; i-- {
 			s := res.spare[i]
+			if sb.list.inList[s] {
+				// Defensive: a spare is off-list from its popHead and
+				// verified flushes never re-list an in-flight slot, but
+				// tolerate a listed one rather than corrupt the list.
+				continue
+			}
 			sb.reverse[s] = -1
 			sb.list.pushHead(s)
 		}
@@ -565,7 +596,11 @@ func (fb *FeatureBuffer) Release(nodes []int64) {
 // invalid — its load aborted — the mapping is unmapped under a CAS claim
 // so the slot returns to standby without stale state. Losing that claim
 // means a concurrent reservation already adopted the mapping, which then
-// owns it.
+// owns it. The scratch records (slot, node) pairs, not bare slots: once
+// the count hits zero the entry is up for grabs, so by the time
+// flushRelease runs a concurrent allocation may have evicted the node
+// and reassigned the slot — the flush re-validates the pairing and
+// drops entries it has been overtaken on.
 func (fb *FeatureBuffer) releaseOne(node int64, sc *releaseScratch) {
 	e := &fb.entries[node]
 	slot := e.slot.Load()
@@ -577,17 +612,17 @@ func (fb *FeatureBuffer) releaseOne(node int64, sc *releaseScratch) {
 		return
 	}
 	if e.valid.Load() {
-		sc.retire = append(sc.retire, slot)
+		sc.retire = append(sc.retire, slotNode{slot, node})
 		return
 	}
 	if e.ref.CompareAndSwap(0, -1) {
 		if e.valid.Load() {
 			e.ref.Store(0)
-			sc.retire = append(sc.retire, slot)
+			sc.retire = append(sc.retire, slotNode{slot, node})
 		} else {
 			e.slot.Store(-1)
 			e.ref.Store(0)
-			sc.unmap = append(sc.unmap, slot)
+			sc.unmap = append(sc.unmap, slotNode{slot, node})
 		}
 	}
 }
@@ -595,21 +630,40 @@ func (fb *FeatureBuffer) releaseOne(node int64, sc *releaseScratch) {
 // flushRelease queues the batch's retired slots on the standby list in
 // one lock acquisition and wakes blocked reservers. A retiring slot that
 // never left the list (lazy deletion) moves to the tail so the LRU order
-// matches eager removal exactly; a slot that raced onto the list through
-// an interleaved retire/protect cycle is equally benign, because
-// allocation re-validates the owner's refcount before evicting.
+// matches eager removal exactly.
+//
+// Each entry is re-validated under the standby lock before it acts:
+// between releaseOne's refcount decrement and this flush, a concurrent
+// allocation may have popped the lazily-listed slot, evicted the node,
+// and handed the slot to a new mapping. A stale entry — the reverse
+// mapping no longer names the released node, or (for retires) the node
+// no longer maps the slot — is dropped; whoever overtook it owns the
+// slot now and that party's own flush, spare return, or rollback
+// accounts for it. The validated push may still list a slot whose new
+// owner is live (the mapping stands but was re-referenced, or its
+// install is completing); that is the ordinary lazy-deletion state,
+// which allocation tolerates by re-checking the owner's refcount and
+// slot before evicting.
 func (fb *FeatureBuffer) flushRelease(sc *releaseScratch) {
 	if len(sc.retire)+len(sc.unmap) > 0 {
 		sb := &fb.sb
 		sb.mu.Lock()
-		for _, s := range sc.retire {
+		for _, rn := range sc.retire {
+			s := rn.slot
+			if sb.reverse[s] != rn.node || fb.entries[rn.node].slot.Load() != s {
+				continue // overtaken: the slot has a new owner
+			}
 			if sb.list.inList[s] {
 				sb.list.moveToTail(s)
 			} else {
 				sb.list.pushTail(s)
 			}
 		}
-		for _, s := range sc.unmap {
+		for _, rn := range sc.unmap {
+			s := rn.slot
+			if sb.reverse[s] != rn.node {
+				continue // overtaken: the slot has a new owner
+			}
 			sb.reverse[s] = -1
 			if !sb.list.inList[s] {
 				sb.list.pushTail(s)

@@ -89,3 +89,79 @@ func TestFeatureBufferParallelStress(t *testing.T) {
 		t.Fatalf("buffer too large to force eviction: %+v", st)
 	}
 }
+
+// TestFeatureBufferRetireReassignRace drives the window flushRelease
+// re-validates: a release's refcount decrement retires a lazily-listed
+// slot, and before the flush lands a concurrent allocation pops that
+// slot, evicts the node, and reassigns it. A buffer barely above the
+// liveness floor keeps every slot cycling through pop/evict/reassign,
+// the shared hot set keeps protect/retire flushes permanently in
+// flight against allocations, and every third round each worker
+// abandons its private loads (release before MarkValid) so the unmap
+// flush races reassignment too. Private windows are disjoint across
+// workers, so aborts never strand a WaitValid. Run under -race; the
+// epoch barrier asserts no slot is leaked or double-listed.
+func TestFeatureBufferRetireReassignRace(t *testing.T) {
+	const (
+		numNodes = 256
+		dim      = 2
+		workers  = 8
+		hot      = 2  // shared by every worker, always marked valid
+		private  = 4  // drawn from a per-worker disjoint window
+		window   = 24
+		rounds   = 200
+		epochs   = 3
+	)
+	const slots = workers*(hot+private) + 2
+	fb := NewFeatureBuffer(numNodes, dim, slots)
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				nodes := make([]int64, 0, hot+private)
+				base := int64(8 + w*window)
+				for r := 0; r < rounds; r++ {
+					nodes = nodes[:0]
+					for i := 0; i < hot; i++ {
+						nodes = append(nodes, int64(i))
+					}
+					for i := 0; i < private; i++ {
+						nodes = append(nodes, base+(int64(r)*5+int64(i)*3)%window)
+					}
+					res, err := fb.Reserve(nodes)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					abort := r%3 == 2
+					for _, pos := range res.ToLoad {
+						if abort && nodes[pos] >= hot {
+							continue // abandon the private load
+						}
+						fb.MarkValid(nodes[pos])
+					}
+					fb.WaitValid(res.Wait)
+					fb.Release(nodes)
+					PutReservation(res)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		if refs := fb.TotalRefs(); refs != 0 {
+			t.Fatalf("epoch %d: %d references leaked", epoch, refs)
+		}
+		if got := fb.StandbyLen(); got != slots {
+			t.Fatalf("epoch %d: standby %d want %d slots", epoch, got, slots)
+		}
+	}
+	st := fb.Stats()
+	if st.SlotRecycles == 0 {
+		t.Fatalf("no evictions: the retire/reassign window was never open: %+v", st)
+	}
+}

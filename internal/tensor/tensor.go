@@ -167,8 +167,11 @@ func (m *Matrix) ColSums() []float32 {
 	return out
 }
 
-// ColSumsInto accumulates the per-column sums of m into dst (length
-// Cols) — the allocation-free form of ColSums for bias gradients.
+// ColSumsInto adds the per-column sums of m into dst (length Cols),
+// accumulating on top of dst's existing contents — unlike ColSums,
+// which returns fresh sums. Callers wanting ColSums semantics must zero
+// dst first; the accumulate form suits the bias-gradient call sites,
+// which sum into a persistent gradient buffer.
 func (m *Matrix) ColSumsInto(dst []float32) {
 	if len(dst) != m.Cols {
 		panic(fmt.Sprintf("tensor: ColSumsInto length %d != cols %d", len(dst), m.Cols))
