@@ -39,6 +39,10 @@ func main() {
 	faultShort := flag.Float64("fault-short", 0, "inject short reads at this rate (0..1)")
 	faultStraggler := flag.Float64("fault-straggler", 0, "inject latency stragglers at this rate (0..1)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection schedule seed")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for crash-consistent run checkpoints (GNNDrive systems)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "also checkpoint every N trainer steps mid-epoch (requires -inorder)")
+	resume := flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir")
+	stallDeadline := flag.Duration("stall-deadline", 0, "fail the epoch if the pipeline makes no progress for this long (0 = off)")
 	flag.Parse()
 
 	spec, err := gen.ByName(*dataset)
@@ -57,6 +61,8 @@ func main() {
 		Dataset: spec, Dim: *dim, HostMemoryGB: *mem, Model: kind,
 		BatchSize: *batch, Scale: *scale, RealTrain: *real,
 		Hidden: *hidden, Seed: *seed, InOrder: *inorder, TrainLimit: *limit,
+		CheckpointDir: *ckptDir, CheckpointEverySteps: *ckptEvery,
+		Resume: *resume, StallDeadline: *stallDeadline,
 	}
 	if *faultTransient > 0 || *faultShort > 0 || *faultStraggler > 0 {
 		cfg.Faults = &faults.Config{
@@ -80,6 +86,9 @@ func main() {
 		if cfg.Faults != nil {
 			fmt.Printf(" retries=%d fallbacks=%d escalations=%d",
 				e.Retries, e.Fallbacks, e.Escalations)
+		}
+		if e.Stalls > 0 {
+			fmt.Printf(" stalls=%d", e.Stalls)
 		}
 		if *real {
 			fmt.Printf(" loss=%.4f acc=%.3f", e.Loss, e.Acc)

@@ -1,0 +1,502 @@
+// Package checkpoint persists and restores the full durable state of a
+// training run: model parameters, Adam moments and step count, the
+// epoch/step cursor, the RNG seed material, and a fingerprint of the
+// options that produced them. Disk-based GNN training runs for hours; a
+// crash, OOM-kill, or unrecoverable media fault must cost at most the
+// interval since the last checkpoint, never the whole run.
+//
+// Durability model:
+//
+//   - every checkpoint is committed crash-atomically: the serialized
+//     state is written to a temporary file, fsynced, renamed into place,
+//     and the directory is fsynced — a crash at any point leaves either
+//     the old set of checkpoints or the old set plus one complete new
+//     file, never a half-visible one;
+//   - every section of the container carries its own CRC32, so a torn or
+//     bit-flipped file is detected on load and reported as ErrCorrupt
+//     rather than silently delivering garbage weights;
+//   - Save keeps the last K checkpoints (a manifest plus the files
+//     themselves) and LoadLatest falls back to the newest file that
+//     validates, so a checkpoint corrupted after commit — a truncated
+//     tail, a flipped sector — degrades resume granularity instead of
+//     losing the run.
+//
+// File writes go through the Sink seam so tests (internal/faults) can
+// inject torn writes, failed renames, and post-crash truncation without
+// touching the container logic.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Typed failures, distinguishable with errors.Is.
+var (
+	// ErrNoCheckpoint means the directory holds no checkpoint that
+	// validates (or no checkpoint at all).
+	ErrNoCheckpoint = errors.New("checkpoint: no valid checkpoint")
+	// ErrCorrupt marks a file that exists but fails structural
+	// validation: bad magic, truncated section, or CRC mismatch.
+	ErrCorrupt = errors.New("checkpoint: corrupt")
+	// ErrFingerprint marks a structurally valid checkpoint whose options
+	// fingerprint does not match the resuming run's configuration.
+	ErrFingerprint = errors.New("checkpoint: options fingerprint mismatch")
+)
+
+// magic identifies the run-state container; version is encoded after it
+// so incompatible layouts are rejected before any section parsing.
+const (
+	magic   = "GNNRUNS1"
+	version = 1
+)
+
+// Section identifiers. A loader must see meta, params, adamM, adamV, and
+// end — in that order — for the file to validate.
+const (
+	secMeta uint32 = iota + 1
+	secParams
+	secAdamM
+	secAdamV
+	secEnd
+)
+
+// Tensor is one named float32 matrix inside a RunState (a model
+// parameter or an optimizer moment aligned to it).
+type Tensor struct {
+	Name string
+	Rows int
+	Cols int
+	Data []float32
+}
+
+// RunState is everything a run needs to resume deterministically.
+type RunState struct {
+	// Fingerprint hashes the options that shape the training trajectory
+	// (model, dims, batch schedule, seed, dataset shape). Resume must
+	// reject a state saved under a different configuration.
+	Fingerprint uint64
+	// Epoch and Step form the resume cursor: the next mini-batch to
+	// train is step Step of epoch Epoch. Step 0 means the epoch's start.
+	Epoch int
+	Step  int
+	// Seed is the run's RNG seed material; the per-epoch shuffle and
+	// per-batch sampling streams re-derive from it, so no generator
+	// state needs to be persisted.
+	Seed uint64
+	// AdamT is the optimizer's bias-correction step count.
+	AdamT int
+	// Params are the model parameters; AdamM and AdamV are the first and
+	// second moments, index-aligned with Params. All three are empty for
+	// modeled (no-real-math) runs, which checkpoint only the cursor.
+	Params []Tensor
+	AdamM  []Tensor
+	AdamV  []Tensor
+}
+
+// Sink abstracts the three file operations Save needs so fault-injection
+// tests can interpose crashes. Implementations must make WriteFile
+// durable (write + fsync) before returning.
+type Sink interface {
+	// WriteFile creates (or truncates) path with data and fsyncs it.
+	WriteFile(path string, data []byte) error
+	// Rename atomically moves oldpath over newpath.
+	Rename(oldpath, newpath string) error
+	// SyncDir fsyncs the directory so the rename itself is durable.
+	SyncDir(dir string) error
+	// Remove deletes a retired checkpoint file.
+	Remove(path string) error
+}
+
+// OSSink is the real filesystem implementation of Sink.
+type OSSink struct{}
+
+// WriteFile writes data to path and fsyncs the file.
+func (OSSink) WriteFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Rename moves oldpath over newpath.
+func (OSSink) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// SyncDir fsyncs dir so a preceding rename survives a crash.
+func (OSSink) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Some filesystems refuse directory fsync; the rename is still
+	// ordered after the file fsync, so degrade silently.
+	_ = d.Sync()
+	return d.Close()
+}
+
+// Remove deletes path.
+func (OSSink) Remove(path string) error { return os.Remove(path) }
+
+// Saver commits checkpoints into a directory, keeping the newest Keep.
+type Saver struct {
+	Dir string
+	// Keep bounds how many checkpoints stay on disk (0 = default 3).
+	// Keeping more than one is what makes fallback-on-corruption work.
+	Keep int
+	// Sink overrides the filesystem seam (nil = OSSink).
+	Sink Sink
+}
+
+const defaultKeep = 3
+
+// manifestName lists the live checkpoints, oldest first. It is advisory:
+// LoadLatest falls back to a directory scan when it is missing or stale,
+// so a crash between the checkpoint rename and the manifest rewrite
+// loses nothing.
+const manifestName = "MANIFEST"
+
+func (s *Saver) sink() Sink {
+	if s.Sink != nil {
+		return s.Sink
+	}
+	return OSSink{}
+}
+
+func (s *Saver) keep() int {
+	if s.Keep <= 0 {
+		return defaultKeep
+	}
+	return s.Keep
+}
+
+// FileName returns the canonical checkpoint file name for a cursor.
+// Zero-padded so lexicographic order is chronological order.
+func FileName(epoch, step int) string {
+	return fmt.Sprintf("run-%06d-%08d.ckpt", epoch, step)
+}
+
+// Save serializes st and commits it crash-atomically, then prunes old
+// checkpoints beyond Keep and rewrites the manifest. It returns the
+// committed file path.
+func (s *Saver) Save(st *RunState) (string, error) {
+	if s.Dir == "" {
+		return "", errors.New("checkpoint: Saver.Dir is empty")
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	sink := s.sink()
+	name := FileName(st.Epoch, st.Step)
+	final := filepath.Join(s.Dir, name)
+	tmp := final + ".tmp"
+	data := Encode(st)
+	if err := sink.WriteFile(tmp, data); err != nil {
+		return "", fmt.Errorf("checkpoint: write %s: %w", tmp, err)
+	}
+	if err := sink.Rename(tmp, final); err != nil {
+		return "", fmt.Errorf("checkpoint: commit %s: %w", final, err)
+	}
+	if err := sink.SyncDir(s.Dir); err != nil {
+		return "", fmt.Errorf("checkpoint: sync dir %s: %w", s.Dir, err)
+	}
+	s.prune(sink)
+	return final, nil
+}
+
+// prune removes checkpoints beyond Keep (oldest first) and rewrites the
+// manifest. Pruning failures are ignored: stale files cost disk, not
+// correctness.
+func (s *Saver) prune(sink Sink) {
+	names := listCheckpoints(s.Dir)
+	for len(names) > s.keep() {
+		_ = sink.Remove(filepath.Join(s.Dir, names[0]))
+		names = names[1:]
+	}
+	var b strings.Builder
+	for _, n := range names {
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	tmp := filepath.Join(s.Dir, manifestName+".tmp")
+	if err := sink.WriteFile(tmp, []byte(b.String())); err == nil {
+		_ = sink.Rename(tmp, filepath.Join(s.Dir, manifestName))
+	}
+}
+
+// listCheckpoints returns the checkpoint file names in dir, oldest first.
+func listCheckpoints(dir string) []string {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasPrefix(n, "run-") && strings.HasSuffix(n, ".ckpt") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoadLatest returns the newest checkpoint in dir that validates,
+// falling back across torn or bit-flipped files. The error is
+// ErrNoCheckpoint when nothing validates; individual corrupt files are
+// skipped, not fatal.
+func LoadLatest(dir string) (*RunState, string, error) {
+	names := listCheckpoints(dir)
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, names[i])
+		st, err := LoadFile(path)
+		if err == nil {
+			return st, path, nil
+		}
+	}
+	return nil, "", fmt.Errorf("%w in %s", ErrNoCheckpoint, dir)
+}
+
+// LoadFile reads and validates one checkpoint file.
+func LoadFile(path string) (*RunState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	st, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return st, nil
+}
+
+// ---- container encoding ----
+
+// Encode serializes st into the sectioned, CRC-guarded container.
+func Encode(st *RunState) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	le := binary.LittleEndian
+	var w [8]byte
+	le.PutUint32(w[:4], version)
+	buf.Write(w[:4])
+
+	meta := new(bytes.Buffer)
+	putU64(meta, st.Fingerprint)
+	putU64(meta, uint64(st.Epoch))
+	putU64(meta, uint64(st.Step))
+	putU64(meta, st.Seed)
+	putU64(meta, uint64(st.AdamT))
+	putU32(meta, uint32(len(st.Params)))
+	writeSection(&buf, secMeta, meta.Bytes())
+
+	writeSection(&buf, secParams, encodeTensors(st.Params))
+	writeSection(&buf, secAdamM, encodeTensors(st.AdamM))
+	writeSection(&buf, secAdamV, encodeTensors(st.AdamV))
+
+	// The end section's payload is the CRC of everything before it, so a
+	// file spliced together from two valid checkpoints cannot validate.
+	whole := new(bytes.Buffer)
+	putU32(whole, crc32.ChecksumIEEE(buf.Bytes()))
+	writeSection(&buf, secEnd, whole.Bytes())
+	return buf.Bytes()
+}
+
+// Decode parses and validates a container produced by Encode.
+func Decode(data []byte) (*RunState, error) {
+	if len(data) < len(magic)+4 || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[len(magic):]); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	st := &RunState{}
+	off := len(magic) + 4
+	seen := map[uint32]bool{}
+	var paramCount uint32
+	for {
+		id, payload, next, err := readSection(data, off)
+		if err != nil {
+			return nil, err
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("%w: duplicate section %d", ErrCorrupt, id)
+		}
+		seen[id] = true
+		switch id {
+		case secMeta:
+			if len(payload) != 5*8+4 {
+				return nil, fmt.Errorf("%w: meta section length %d", ErrCorrupt, len(payload))
+			}
+			le := binary.LittleEndian
+			st.Fingerprint = le.Uint64(payload[0:])
+			st.Epoch = int(int64(le.Uint64(payload[8:])))
+			st.Step = int(int64(le.Uint64(payload[16:])))
+			st.Seed = le.Uint64(payload[24:])
+			st.AdamT = int(int64(le.Uint64(payload[32:])))
+			paramCount = le.Uint32(payload[40:])
+		case secParams:
+			ts, err := decodeTensors(payload)
+			if err != nil {
+				return nil, err
+			}
+			st.Params = ts
+		case secAdamM:
+			ts, err := decodeTensors(payload)
+			if err != nil {
+				return nil, err
+			}
+			st.AdamM = ts
+		case secAdamV:
+			ts, err := decodeTensors(payload)
+			if err != nil {
+				return nil, err
+			}
+			st.AdamV = ts
+		case secEnd:
+			if len(payload) != 4 {
+				return nil, fmt.Errorf("%w: end section length %d", ErrCorrupt, len(payload))
+			}
+			want := binary.LittleEndian.Uint32(payload)
+			// The end section starts 12 bytes (id+len+payload CRC trailer
+			// offset) before `next`; everything before it is covered.
+			if got := crc32.ChecksumIEEE(data[:next-sectionOverhead-4]); got != want {
+				return nil, fmt.Errorf("%w: whole-file CRC mismatch", ErrCorrupt)
+			}
+			if next != len(data) {
+				return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-next)
+			}
+			for _, id := range []uint32{secMeta, secParams, secAdamM, secAdamV} {
+				if !seen[id] {
+					return nil, fmt.Errorf("%w: missing section %d", ErrCorrupt, id)
+				}
+			}
+			if int(paramCount) != len(st.Params) {
+				return nil, fmt.Errorf("%w: meta declares %d params, file has %d",
+					ErrCorrupt, paramCount, len(st.Params))
+			}
+			if len(st.AdamM) != len(st.AdamV) ||
+				(len(st.AdamM) != 0 && len(st.AdamM) != len(st.Params)) {
+				return nil, fmt.Errorf("%w: moment/param count mismatch (%d/%d/%d)",
+					ErrCorrupt, len(st.Params), len(st.AdamM), len(st.AdamV))
+			}
+			return st, nil
+		default:
+			return nil, fmt.Errorf("%w: unknown section %d", ErrCorrupt, id)
+		}
+		off = next
+	}
+}
+
+// sectionOverhead is the per-section framing: u32 id + u32 length before
+// the payload, u32 CRC after it.
+const sectionOverhead = 12
+
+func writeSection(buf *bytes.Buffer, id uint32, payload []byte) {
+	putU32(buf, id)
+	putU32(buf, uint32(len(payload)))
+	buf.Write(payload)
+	putU32(buf, crc32.ChecksumIEEE(payload))
+}
+
+func readSection(data []byte, off int) (id uint32, payload []byte, next int, err error) {
+	le := binary.LittleEndian
+	if off+8 > len(data) {
+		return 0, nil, 0, fmt.Errorf("%w: truncated section header at %d", ErrCorrupt, off)
+	}
+	id = le.Uint32(data[off:])
+	n := int(le.Uint32(data[off+4:]))
+	body := off + 8
+	if n < 0 || body+n+4 > len(data) {
+		return 0, nil, 0, fmt.Errorf("%w: section %d truncated (%d bytes at %d)", ErrCorrupt, id, n, off)
+	}
+	payload = data[body : body+n]
+	if got, want := crc32.ChecksumIEEE(payload), le.Uint32(data[body+n:]); got != want {
+		return 0, nil, 0, fmt.Errorf("%w: section %d CRC mismatch", ErrCorrupt, id)
+	}
+	return id, payload, body + n + 4, nil
+}
+
+func encodeTensors(ts []Tensor) []byte {
+	buf := new(bytes.Buffer)
+	putU32(buf, uint32(len(ts)))
+	for _, t := range ts {
+		putU32(buf, uint32(len(t.Name)))
+		buf.WriteString(t.Name)
+		putU32(buf, uint32(t.Rows))
+		putU32(buf, uint32(t.Cols))
+		var w [4]byte
+		for _, v := range t.Data {
+			binary.LittleEndian.PutUint32(w[:], math.Float32bits(v))
+			buf.Write(w[:])
+		}
+	}
+	return buf.Bytes()
+}
+
+func decodeTensors(payload []byte) ([]Tensor, error) {
+	le := binary.LittleEndian
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: tensor section too short", ErrCorrupt)
+	}
+	n := int(le.Uint32(payload))
+	off := 4
+	ts := make([]Tensor, 0, n)
+	for i := 0; i < n; i++ {
+		if off+4 > len(payload) {
+			return nil, fmt.Errorf("%w: tensor %d truncated", ErrCorrupt, i)
+		}
+		nameLen := int(le.Uint32(payload[off:]))
+		off += 4
+		if nameLen < 0 || nameLen > 4096 || off+nameLen+8 > len(payload) {
+			return nil, fmt.Errorf("%w: tensor %d name length %d", ErrCorrupt, i, nameLen)
+		}
+		name := string(payload[off : off+nameLen])
+		off += nameLen
+		rows := int(le.Uint32(payload[off:]))
+		cols := int(le.Uint32(payload[off+4:]))
+		off += 8
+		count := rows * cols
+		if rows < 0 || cols < 0 || count < 0 || off+count*4 > len(payload) {
+			return nil, fmt.Errorf("%w: tensor %q shape %dx%d overruns section", ErrCorrupt, name, rows, cols)
+		}
+		data := make([]float32, count)
+		for j := range data {
+			data[j] = math.Float32frombits(le.Uint32(payload[off:]))
+			off += 4
+		}
+		ts = append(ts, Tensor{Name: name, Rows: rows, Cols: cols, Data: data})
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing tensor bytes", ErrCorrupt, len(payload)-off)
+	}
+	return ts, nil
+}
+
+func putU32(buf *bytes.Buffer, v uint32) {
+	var w [4]byte
+	binary.LittleEndian.PutUint32(w[:], v)
+	buf.Write(w[:])
+}
+
+func putU64(buf *bytes.Buffer, v uint64) {
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], v)
+	buf.Write(w[:])
+}

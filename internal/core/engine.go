@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gnndrive/internal/checkpoint"
 	"gnndrive/internal/device"
 	"gnndrive/internal/errutil"
 	"gnndrive/internal/graph"
@@ -98,6 +99,33 @@ type Options struct {
 	// Tracer, when non-nil, records per-batch stage events for pipeline
 	// overlap analysis (internal/trace).
 	Tracer *trace.Tracer
+
+	// CheckpointDir, when non-empty, enables crash-consistent run
+	// checkpointing (RealTrain only): model parameters, Adam moments,
+	// and the epoch/step cursor are committed atomically to this
+	// directory at every epoch boundary, and — in InOrder mode — every
+	// CheckpointEverySteps mini-batches. Resume with ResumeRunState.
+	CheckpointDir string
+	// CheckpointEverySteps is the mid-epoch checkpoint cadence in
+	// trainer steps. Mid-epoch checkpoints require InOrder mode: with
+	// stage parallelism, mini-batch reordering makes "the first N
+	// steps" a nondeterministic set, so the cursor would lie. Outside
+	// InOrder the engine silently saves only at epoch boundaries, where
+	// the cursor is exact regardless of reordering. 0 disables
+	// mid-epoch saves.
+	CheckpointEverySteps int
+	// CheckpointKeep is how many committed checkpoints to retain
+	// (keep-last-K; 0 = default 3).
+	CheckpointKeep int
+	// StallDeadline arms the pipeline watchdog: if no stage makes
+	// progress for this long the epoch is cancelled with
+	// ErrPipelineStalled and a diagnostics snapshot is recorded on the
+	// tracer. 0 disables the watchdog.
+	StallDeadline time.Duration
+
+	// ckptSink overrides the checkpoint storage seam (fault-injection
+	// tests); nil uses the real filesystem.
+	ckptSink checkpoint.Sink
 }
 
 // DefaultOptions returns the paper's empirical configuration (§5).
@@ -189,6 +217,15 @@ type EpochResult struct {
 	// Loss and Acc are averaged over mini-batches (real training only).
 	Loss float64
 	Acc  float64
+	// StepLosses is the per-step loss sequence in trainer order (real
+	// training only) — the deterministic-resume contract is that a
+	// resumed run's tail matches the uninterrupted run's bit for bit.
+	StepLosses []float32
+	// CheckpointErr is the first checkpoint-save failure of the epoch,
+	// if any. Save failures never fail training: a torn commit leaves
+	// only the previous checkpoint visible, so the run stays resumable
+	// — just from an older cursor.
+	CheckpointErr error
 	// FB summarizes feature-buffer reuse for the epoch's end state.
 	FB FeatureBufferStats
 }
@@ -219,6 +256,14 @@ type Engine struct {
 	// stage is a single goroutine).
 	trainX      *tensor.Matrix
 	trainLabels []int32
+
+	// ckptSaver commits run state to Options.CheckpointDir (nil when
+	// checkpointing is disabled).
+	ckptSaver *checkpoint.Saver
+
+	// testExtractHook, when non-nil, runs at the top of every extract
+	// iteration. Test seam: the watchdog tests inject a stall here.
+	testExtractHook func(ctx context.Context, b *sample.Batch)
 
 	pinned     int64 // host bytes pinned outside staging
 	fbOnCPU    bool
@@ -392,6 +437,11 @@ func (e *Engine) finishSetup(ds *graph.Dataset, dev *device.Device,
 		e.model = nn.NewModel(cfg, tensor.NewRNG(opts.Seed*7919))
 		e.opt = nn.NewAdam(opts.LR)
 	}
+	if opts.CheckpointDir != "" {
+		e.ckptSaver = &checkpoint.Saver{
+			Dir: opts.CheckpointDir, Keep: opts.CheckpointKeep, Sink: opts.ckptSink,
+		}
+	}
 	return e, nil
 }
 
@@ -456,7 +506,7 @@ func (e *Engine) putBatch(b *sample.Batch) {
 // TrainEpoch runs one full pass over the training set through the
 // four-stage pipeline and returns its timing breakdown.
 func (e *Engine) TrainEpoch(epoch int) (EpochResult, error) {
-	return e.trainEpochSegment(context.Background(), epoch, e.ds.TrainIdx, nil)
+	return e.trainEpochSegment(context.Background(), epoch, e.ds.TrainIdx, nil, 0)
 }
 
 // RunEpochCtx is TrainEpoch with cancellation: when ctx is cancelled (or
@@ -464,13 +514,33 @@ func (e *Engine) TrainEpoch(epoch int) (EpochResult, error) {
 // promptly, leaving no goroutine, staging slot, or feature-buffer
 // reference behind, and the cause is returned.
 func (e *Engine) RunEpochCtx(ctx context.Context, epoch int) (EpochResult, error) {
-	return e.trainEpochSegment(ctx, epoch, e.ds.TrainIdx, nil)
+	return e.trainEpochSegment(ctx, epoch, e.ds.TrainIdx, nil, 0)
+}
+
+// batchSeed derives one mini-batch's sampling stream from the run seed
+// and the batch's identity (splitmix64-style mixing). Samplers reseed
+// with it before every batch, so the sampled neighborhood is a pure
+// function of (seed, epoch, batch ID) — independent of which sampler
+// goroutine draws the batch and of how many batches it drew before.
+// This is what lets a resumed run re-sample its remaining batches
+// exactly as the uninterrupted run would have.
+func batchSeed(seed uint64, epoch, batch int) uint64 {
+	z := seed + (uint64(epoch)+1)*0x9e3779b97f4a7c15 + (uint64(batch)+1)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
 }
 
 // trainEpochSegment trains on the given target nodes; stepSync, when
 // non-nil, is invoked by the trainer after every mini-batch (multi-device
-// gradient synchronization).
-func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int64, stepSync func(step int)) (EpochResult, error) {
+// gradient synchronization). startStep skips the epoch's first batches —
+// the resume path: a checkpoint cursor (epoch, step) re-enters here and
+// the plan's deterministic shuffle plus per-batch reseeding reproduce
+// the remaining batches exactly.
+func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int64, stepSync func(step int), startStep int) (EpochResult, error) {
 	if e.closed {
 		return EpochResult{}, errors.New("core: engine closed")
 	}
@@ -513,10 +583,27 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 	}
 	failed := func() bool { return firstErr.Failed() || runCtx.Err() != nil }
 
+	// Watchdog: per-stage heartbeats plus a supervisor that cancels the
+	// epoch when nothing moves for StallDeadline, so a wedged stage
+	// becomes a bounded, diagnosable failure instead of a silent hang.
+	var hb heartbeats
+	if deadline := e.opts.StallDeadline; deadline > 0 {
+		dog := startWatchdog(&hb, deadline, func() string {
+			return e.stallDiagnostics(&hb, extractQ, trainQ, releaseQ)
+		}, func(diag string) {
+			col.AddStalls(1)
+			e.rec.AddStalls(1)
+			e.opts.Tracer.Annotate(trace.StageWatchdog, "stall: "+diag)
+			fail(fmt.Errorf("%w: no progress for %v (%s)", ErrPipelineStalled, deadline, diag))
+		})
+		defer dog.Stop()
+	}
+
 	// Sample stage: a pool of samplers pulling batch indexes; they finish
 	// at different paces, so batches enter the extracting queue out of
 	// order (mini-batch reordering, §4.3).
 	var next atomic.Int64
+	next.Store(int64(startStep))
 	var sampWG sync.WaitGroup
 	for s := 0; s < e.opts.Samplers; s++ {
 		sampWG.Add(1)
@@ -532,6 +619,7 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 				}
 				t0 := time.Now()
 				b := e.getBatch()
+				smp.Reseed(batchSeed(e.opts.Seed, epoch, i))
 				ioWait, err := smp.SampleBatchInto(b, i, plan.Batches[i])
 				d := time.Since(t0)
 				col.AddSample(d)
@@ -543,6 +631,7 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 					fail(err)
 					return
 				}
+				hb.sample.Add(1)
 				select {
 				case extractQ <- b:
 				case <-runCtx.Done():
@@ -569,6 +658,9 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 					e.putBatch(b)
 					continue
 				}
+				if e.testExtractHook != nil {
+					e.testExtractHook(runCtx, b)
+				}
 				t0 := time.Now()
 				item, st, err := x.extractBatch(runCtx, b)
 				col.AddExtract(time.Since(t0))
@@ -586,6 +678,7 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 				}
 				col.AddExtracted(int64(len(item.res.ToLoad)), st.bytesRead)
 				col.AddReused(st.bytesReused)
+				hb.extract.Add(1)
 				select {
 				case trainQ <- item:
 				case <-runCtx.Done():
@@ -607,11 +700,20 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 	// Train stage: single trainer, then hand the node list to the
 	// releaser.
 	var lossSum, accSum float64
+	var stepLosses []float32
+	var ckptErr error
+	// Mid-epoch checkpoints need an exact cursor: "the first N trained
+	// steps" must be a deterministic set, which only InOrder guarantees
+	// (stage parallelism reorders mini-batches). Elsewhere the engine
+	// still checkpoints — at epoch boundaries, where the cursor is exact
+	// regardless of ordering.
+	midEpochSave := e.ckptSaver != nil && e.opts.InOrder &&
+		e.opts.CheckpointEverySteps > 0 && stepSync == nil
 	var trainWG sync.WaitGroup
 	trainWG.Add(1)
 	go func() {
 		defer trainWG.Done()
-		step := 0
+		step := startStep
 		for item := range trainQ {
 			if failed() {
 				releaseQ <- item
@@ -622,6 +724,7 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 				loss, acc := e.trainRealBackward(item)
 				lossSum += float64(loss)
 				accSum += acc
+				stepLosses = append(stepLosses, loss)
 			} else {
 				e.dev.Compute(e.workFor(item.batch))
 			}
@@ -643,7 +746,17 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 			col.AddTrain(d)
 			col.AddBatch()
 			e.opts.Tracer.Record(trace.StageTrain, item.batch.ID, t0, time.Now())
+			hb.train.Add(1)
 			step++
+			if midEpochSave && step%e.opts.CheckpointEverySteps == 0 && step < len(plan.Batches) {
+				// The trainer owns model and optimizer state, so the
+				// snapshot is consistent without locking. A failed save
+				// is recorded, not fatal: the crash-atomic commit means
+				// the previous checkpoint is still intact.
+				if err := e.saveRunState(epoch, step); err != nil && ckptErr == nil {
+					ckptErr = err
+				}
+			}
 			// The reservation's alias list was consumed by the backward
 			// pass (or the device model); the releaser recycles it after
 			// the references are dropped, per PutReservation's contract.
@@ -663,6 +776,7 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 			e.fb.Release(b.Nodes)
 			col.AddRelease(time.Since(t0))
 			e.opts.Tracer.Record(trace.StageRelease, b.ID, t0, time.Now())
+			hb.release.Add(1)
 			PutReservation(item.res)
 			putTrainItem(item)
 			e.putBatch(b)
@@ -676,6 +790,7 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 		Breakdown: col.Snapshot(time.Since(start)),
 		FB:        e.fb.Stats(),
 	}
+	res.StepLosses = stepLosses
 	if res.Batches > 0 && e.opts.RealTrain {
 		res.Loss = lossSum / float64(res.Batches)
 		res.Acc = accSum / float64(res.Batches)
@@ -685,6 +800,15 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 		// Caller cancellation with no stage error still fails the epoch.
 		err = ctx.Err()
 	}
+	if err == nil && e.ckptSaver != nil && stepSync == nil {
+		// Epoch-boundary checkpoint: cursor (epoch+1, 0). Exact in every
+		// pipeline mode — reordering within a completed epoch does not
+		// change which epoch comes next.
+		if serr := e.saveRunState(epoch+1, 0); serr != nil && ckptErr == nil {
+			ckptErr = serr
+		}
+	}
+	res.CheckpointErr = ckptErr
 	return res, err
 }
 
@@ -749,6 +873,7 @@ func (e *Engine) SampleOnly(epoch int) (time.Duration, error) {
 					return
 				}
 				t0 := time.Now()
+				smp.Reseed(batchSeed(e.opts.Seed, epoch, i))
 				_, ioWait, err := smp.SampleBatch(i, plan.Batches[i])
 				if err != nil {
 					firstErr.Set(err)

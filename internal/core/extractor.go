@@ -165,16 +165,18 @@ func (x *extractor) runPlan(ctx context.Context, b *sample.Batch, res *Reservati
 
 	// submit issues op's read on its already-assigned staging slot,
 	// degrading to a buffered read when direct I/O rejects the alignment.
+	// Reads are bound to ctx so an injected straggler delay cannot hold
+	// the teardown hostage for its full modeled duration.
 	submit := func(op int) error {
 		sbuf := eng.staging.Buf(opSlot[op])[:plan[op].Len]
 		if buffered[op] || eng.opts.BufferedIO {
-			return x.ring.SubmitBufferedRead(sbuf, plan[op].DevOff, uint64(op))
+			return x.ring.SubmitBufferedReadCtx(ctx, sbuf, plan[op].DevOff, uint64(op))
 		}
-		err := x.ring.SubmitRead(sbuf, plan[op].DevOff, uint64(op))
+		err := x.ring.SubmitReadCtx(ctx, sbuf, plan[op].DevOff, uint64(op))
 		if errors.Is(err, uring.ErrUnaligned) {
 			buffered[op] = true
 			st.fallbacks++
-			return x.ring.SubmitBufferedRead(sbuf, plan[op].DevOff, uint64(op))
+			return x.ring.SubmitBufferedReadCtx(ctx, sbuf, plan[op].DevOff, uint64(op))
 		}
 		return err
 	}
@@ -279,16 +281,16 @@ func (x *extractor) runPlanSync(ctx context.Context, b *sample.Batch, res *Reser
 			var waited time.Duration
 			var rerr error
 			if direct {
-				waited, rerr = eng.ds.Dev.ReadDirect(eng.staging.Buf(slot)[:op.Len], op.DevOff)
+				waited, rerr = eng.ds.Dev.ReadDirectCtx(ctx, eng.staging.Buf(slot)[:op.Len], op.DevOff)
 				if errors.Is(rerr, ssd.ErrUnaligned) {
 					// Degradation ladder: retry this and all later ops
 					// through the buffered path.
 					direct = false
 					st.fallbacks++
-					waited, rerr = eng.ds.Dev.ReadAt(eng.staging.Buf(slot)[:op.Len], op.DevOff)
+					waited, rerr = eng.ds.Dev.ReadAtCtx(ctx, eng.staging.Buf(slot)[:op.Len], op.DevOff)
 				}
 			} else {
-				waited, rerr = eng.ds.Dev.ReadAt(eng.staging.Buf(slot)[:op.Len], op.DevOff)
+				waited, rerr = eng.ds.Dev.ReadAtCtx(ctx, eng.staging.Buf(slot)[:op.Len], op.DevOff)
 			}
 			eng.rec.AddIOWait(waited)
 			return rerr

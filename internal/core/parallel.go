@@ -201,7 +201,7 @@ func (p *Parallel) TrainEpochCtx(ctx context.Context, epoch int) (time.Duration,
 		go func(i int, eng *Engine) {
 			defer wg.Done()
 			seg := ds.TrainIdx[i*segLen : (i+1)*segLen]
-			results[i], errs[i] = eng.trainEpochSegment(runCtx, epoch, seg, p.syncFn(i))
+			results[i], errs[i] = eng.trainEpochSegment(runCtx, epoch, seg, p.syncFn(i), 0)
 			if errs[i] != nil {
 				cancel()
 			}

@@ -1,0 +1,120 @@
+package core
+
+// The pipeline watchdog. A wedged stage — an extractor stuck behind a
+// storage straggler, a trainer blocked on a reservation that will never
+// fill — previously hung the whole epoch silently. The watchdog turns
+// that into a bounded failure: every stage bumps a monotonic heartbeat
+// counter on progress, a supervisor goroutine polls them, and if no
+// counter moves for Options.StallDeadline the epoch is cancelled with
+// ErrPipelineStalled and a diagnostics snapshot (queue depths,
+// feature-buffer occupancy, staging slots, in-flight work, goroutine
+// count) is recorded on the tracer.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gnndrive/internal/sample"
+)
+
+// ErrPipelineStalled reports that the watchdog saw no stage make
+// progress for the configured stall deadline.
+var ErrPipelineStalled = errors.New("core: pipeline stalled")
+
+// heartbeats are per-stage monotonic progress counters. Stages bump
+// their counter once per unit of work (a sampled batch, an extracted
+// batch, a trained step, a released batch); the watchdog only compares
+// sums across polls, so the absolute values are irrelevant.
+type heartbeats struct {
+	sample  atomic.Int64
+	extract atomic.Int64
+	train   atomic.Int64
+	release atomic.Int64
+}
+
+func (h *heartbeats) total() int64 {
+	return h.sample.Load() + h.extract.Load() + h.train.Load() + h.release.Load()
+}
+
+func (h *heartbeats) String() string {
+	return fmt.Sprintf("sample=%d extract=%d train=%d release=%d",
+		h.sample.Load(), h.extract.Load(), h.train.Load(), h.release.Load())
+}
+
+// watchdog supervises one epoch's pipeline.
+type watchdog struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// startWatchdog launches the supervisor goroutine. It polls the
+// heartbeat sum at a fraction of the deadline; if the sum is unchanged
+// for at least deadline, onStall is invoked once with the diagnostics
+// string and the supervisor exits. Stop it with stop() before reading
+// the epoch result (idempotent teardown: a stalled watchdog that
+// already fired still stops cleanly).
+func startWatchdog(hb *heartbeats, deadline time.Duration, diag func() string, onStall func(diagnostics string)) *watchdog {
+	w := &watchdog{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		poll := deadline / 4
+		if poll < time.Millisecond {
+			poll = time.Millisecond
+		}
+		ticker := time.NewTicker(poll)
+		defer ticker.Stop()
+		last := hb.total()
+		lastChange := time.Now()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-ticker.C:
+				if cur := hb.total(); cur != last {
+					last = cur
+					lastChange = time.Now()
+					continue
+				}
+				if time.Since(lastChange) >= deadline {
+					onStall(diag())
+					return
+				}
+			}
+		}
+	}()
+	return w
+}
+
+// Stop shuts the supervisor down and waits for it to exit.
+func (w *watchdog) Stop() {
+	close(w.stop)
+	<-w.done
+}
+
+// stallDiagnostics snapshots the pipeline's observable state for the
+// watchdog's dump. Best-effort and racy by design — the pipeline is
+// live while we look — but a wedged pipeline is static, which is
+// exactly when the snapshot is read.
+func (e *Engine) stallDiagnostics(hb *heartbeats,
+	extractQ chan *sample.Batch, trainQ, releaseQ chan *trainItem) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "heartbeats[%s]", hb)
+	fmt.Fprintf(&sb, " queues[extract=%d/%d train=%d/%d release=%d/%d]",
+		len(extractQ), cap(extractQ), len(trainQ), cap(trainQ),
+		len(releaseQ), cap(releaseQ))
+	if fb := e.fb; fb != nil {
+		st := fb.Stats()
+		fmt.Fprintf(&sb, " fb[slots=%d standby=%d refs=%d loads=%d reuse=%d shared-waits=%d standby-waits=%d]",
+			fb.Slots(), fb.StandbyLen(), fb.TotalRefs(),
+			st.Loads, st.ReuseHits, st.SharedWaits, st.StandbyWaits)
+	}
+	if s := e.staging; s != nil {
+		fmt.Fprintf(&sb, " staging[free=%d/%d]", s.FreeSlots(), s.Slots())
+	}
+	fmt.Fprintf(&sb, " goroutines=%d", runtime.NumGoroutine())
+	return sb.String()
+}

@@ -25,6 +25,9 @@ type Recorder struct {
 	retries     atomic.Int64
 	fallbacks   atomic.Int64
 	escalations atomic.Int64
+	// stalls counts watchdog-detected pipeline stalls (a stage made no
+	// progress for the configured deadline and the run was cancelled).
+	stalls atomic.Int64
 	// gpuBusy is a provider because device busy time lives in the device
 	// model; nil means "no GPU". Atomic: the engine installs it while a
 	// previously started sampler may already be reading.
@@ -84,6 +87,12 @@ func (r *Recorder) Fallbacks() int64 { return r.fallbacks.Load() }
 
 // Escalations returns cumulative escalated errors.
 func (r *Recorder) Escalations() int64 { return r.escalations.Load() }
+
+// AddStalls accounts watchdog-detected pipeline stalls.
+func (r *Recorder) AddStalls(n int64) { r.stalls.Add(n) }
+
+// Stalls returns cumulative detected pipeline stalls.
+func (r *Recorder) Stalls() int64 { return r.stalls.Load() }
 
 // Window is one sampling interval of the utilization time series.
 type Window struct {
@@ -212,6 +221,8 @@ type Breakdown struct {
 	Retries     int64
 	Fallbacks   int64
 	Escalations int64
+	// Stalls counts watchdog-detected pipeline stalls for the epoch.
+	Stalls int64
 }
 
 // atomicDuration supports concurrent stage accumulation.
@@ -230,6 +241,7 @@ type BreakdownCollector struct {
 	retries                               atomic.Int64
 	fallbacks                             atomic.Int64
 	escalations                           atomic.Int64
+	stalls                                atomic.Int64
 }
 
 // AddPrep adds data-preparation time.
@@ -268,6 +280,9 @@ func (c *BreakdownCollector) AddFallbacks(n int64) { c.fallbacks.Add(n) }
 // AddEscalations counts errors given up on.
 func (c *BreakdownCollector) AddEscalations(n int64) { c.escalations.Add(n) }
 
+// AddStalls counts watchdog-detected pipeline stalls.
+func (c *BreakdownCollector) AddStalls(n int64) { c.stalls.Add(n) }
+
 // Snapshot finalizes the breakdown with the epoch wall-clock total.
 func (c *BreakdownCollector) Snapshot(total time.Duration) Breakdown {
 	return Breakdown{
@@ -284,5 +299,6 @@ func (c *BreakdownCollector) Snapshot(total time.Duration) Breakdown {
 		Retries:        c.retries.Load(),
 		Fallbacks:      c.fallbacks.Load(),
 		Escalations:    c.escalations.Load(),
+		Stalls:         c.stalls.Load(),
 	}
 }

@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Adam is the Adam optimizer with bias correction.
 type Adam struct {
@@ -45,3 +48,60 @@ func (a *Adam) Step(params []*Param) {
 		p.G.Zero()
 	}
 }
+
+// AdamState is the optimizer's exportable state: the bias-correction
+// step count plus the first and second moments, index-aligned with the
+// parameter list the state was exported against. Checkpointing it makes
+// a resumed run's update sequence bit-identical to an uninterrupted one
+// (restarting Adam with zero moments and t=0 is a different trajectory).
+type AdamState struct {
+	T    int
+	M, V [][]float32
+}
+
+// ExportState snapshots the moments for params (deep copies, in params
+// order). Parameters the optimizer has not touched yet export zero
+// moments of the right length.
+func (a *Adam) ExportState(params []*Param) AdamState {
+	st := AdamState{T: a.t, M: make([][]float32, len(params)), V: make([][]float32, len(params))}
+	for i, p := range params {
+		n := len(p.W.Data)
+		st.M[i] = make([]float32, n)
+		st.V[i] = make([]float32, n)
+		if m, ok := a.m[p]; ok {
+			copy(st.M[i], m)
+			copy(st.V[i], a.v[p])
+		}
+	}
+	return st
+}
+
+// ImportState restores moments exported by ExportState against the same
+// parameter list (same order, same shapes). Existing state is replaced.
+func (a *Adam) ImportState(params []*Param, st AdamState) error {
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("nn: adam state has %d/%d moments, model has %d params",
+			len(st.M), len(st.V), len(params))
+	}
+	for i, p := range params {
+		if len(st.M[i]) != len(p.W.Data) || len(st.V[i]) != len(p.W.Data) {
+			return fmt.Errorf("nn: adam moment %d has %d/%d values, param %q has %d",
+				i, len(st.M[i]), len(st.V[i]), p.Name, len(p.W.Data))
+		}
+	}
+	a.t = st.T
+	a.m = make(map[*Param][]float32, len(params))
+	a.v = make(map[*Param][]float32, len(params))
+	for i, p := range params {
+		m := make([]float32, len(st.M[i]))
+		v := make([]float32, len(st.V[i]))
+		copy(m, st.M[i])
+		copy(v, st.V[i])
+		a.m[p] = m
+		a.v[p] = v
+	}
+	return nil
+}
+
+// T returns the optimizer's step count.
+func (a *Adam) T() int { return a.t }

@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"testing"
+
+	"gnndrive/internal/tensor"
+)
+
+// stepOnce runs one fake optimizer step with synthetic gradients so the
+// moments become non-trivial.
+func stepOnce(opt *Adam, params []*Param, scale float32) {
+	for _, p := range params {
+		for i := range p.G.Data {
+			p.G.Data[i] = scale * float32(i%7-3)
+		}
+	}
+	opt.Step(params)
+}
+
+// TestAdamExportImportBitIdentical trains two optimizer copies: one
+// straight through, one exported mid-way and imported into a fresh
+// optimizer + fresh model copy. Their parameters must match bit for bit
+// after the same remaining updates.
+func TestAdamExportImportBitIdentical(t *testing.T) {
+	cfg := Config{Kind: GCN, InDim: 6, Hidden: 8, Classes: 4, Layers: 2}
+	a := NewModel(cfg, tensor.NewRNG(11))
+	optA := NewAdam(0.01)
+	for s := 0; s < 3; s++ {
+		stepOnce(optA, a.Params(), float32(s+1))
+	}
+
+	// Snapshot: weights + optimizer state.
+	b := NewModel(cfg, tensor.NewRNG(999))
+	b.CopyParamsFrom(a)
+	st := optA.ExportState(a.Params())
+	optB := NewAdam(0.01)
+	if err := optB.ImportState(b.Params(), st); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	if optB.T() != optA.T() {
+		t.Fatalf("imported t=%d, want %d", optB.T(), optA.T())
+	}
+
+	for s := 3; s < 6; s++ {
+		stepOnce(optA, a.Params(), float32(s+1))
+		stepOnce(optB, b.Params(), float32(s+1))
+	}
+	ap, bp := a.Params(), b.Params()
+	for i := range ap {
+		for j := range ap[i].W.Data {
+			if ap[i].W.Data[j] != bp[i].W.Data[j] {
+				t.Fatalf("param %s diverged at %d: %v vs %v",
+					ap[i].Name, j, ap[i].W.Data[j], bp[i].W.Data[j])
+			}
+		}
+	}
+}
+
+// TestAdamImportStateValidates rejects mis-shaped state instead of
+// silently truncating.
+func TestAdamImportStateValidates(t *testing.T) {
+	cfg := Config{Kind: GCN, InDim: 4, Hidden: 4, Classes: 2, Layers: 1}
+	m := NewModel(cfg, tensor.NewRNG(1))
+	opt := NewAdam(0.01)
+	st := opt.ExportState(m.Params())
+	st.M = st.M[:len(st.M)-1]
+	if err := NewAdam(0.01).ImportState(m.Params(), st); err == nil {
+		t.Fatal("short state accepted")
+	}
+	st2 := opt.ExportState(m.Params())
+	st2.M[0] = st2.M[0][:1]
+	if err := NewAdam(0.01).ImportState(m.Params(), st2); err == nil {
+		t.Fatal("mis-sized moment accepted")
+	}
+}
+
+// TestAdamExportUntouchedParams: exporting before any Step yields zero
+// moments that import cleanly.
+func TestAdamExportUntouchedParams(t *testing.T) {
+	cfg := Config{Kind: GCN, InDim: 4, Hidden: 4, Classes: 2, Layers: 1}
+	m := NewModel(cfg, tensor.NewRNG(1))
+	opt := NewAdam(0.01)
+	st := opt.ExportState(m.Params())
+	if st.T != 0 {
+		t.Fatalf("fresh optimizer exports t=%d", st.T)
+	}
+	for i, mm := range st.M {
+		if len(mm) != len(m.Params()[i].W.Data) {
+			t.Fatalf("moment %d has %d values", i, len(mm))
+		}
+	}
+	if err := NewAdam(0.01).ImportState(m.Params(), st); err != nil {
+		t.Fatalf("import of zero state: %v", err)
+	}
+}

@@ -2,25 +2,34 @@ package nn
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 )
 
-// checkpointMagic guards the checkpoint container format.
-const checkpointMagic = "GNNCKPT1"
+// Checkpoint container magics. v2 adds a CRC32 footer and an atomic
+// commit; v1 files (no footer, written in place) are still readable.
+const (
+	checkpointMagicV1 = "GNNCKPT1"
+	checkpointMagic   = "GNNCKPT2"
+)
 
 // SaveCheckpoint writes the model's parameters (names, shapes, values) to
-// path. Gradients and optimizer state are not persisted.
+// path. Gradients and optimizer state are not persisted — use
+// internal/checkpoint for full run state.
+//
+// The write is crash-atomic: the container is serialized and CRC-sealed
+// in memory, written to a temporary file, fsynced, renamed over path,
+// and the directory is fsynced. A crash at any point leaves either the
+// previous checkpoint or the complete new one, never a torn file.
 func (m *Model) SaveCheckpoint(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("nn: checkpoint: %w", err)
-	}
-	defer f.Close()
-	w := bufio.NewWriterSize(f, 1<<20)
+	var buf bytes.Buffer
+	w := bufio.NewWriterSize(&buf, 1<<20)
 	if _, err := w.WriteString(checkpointMagic); err != nil {
 		return err
 	}
@@ -44,22 +53,71 @@ func (m *Model) SaveCheckpoint(path string) error {
 			}
 		}
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(crc[:])
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("nn: checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("nn: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("nn: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("nn: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("nn: checkpoint: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		// Directory fsync makes the rename durable; some filesystems
+		// refuse it, and the rename is already ordered after the file
+		// fsync, so failures degrade silently.
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // LoadCheckpoint restores parameters saved by SaveCheckpoint into the
 // model. Parameter names and shapes must match exactly (same Config).
+// v2 files are CRC-verified before any value is applied; v1 files are
+// read without a checksum for backward compatibility.
 func (m *Model) LoadCheckpoint(path string) error {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("nn: checkpoint: %w", err)
 	}
-	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<20)
-	magic := make([]byte, len(checkpointMagic))
-	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != checkpointMagic {
+	if len(data) < len(checkpointMagic) {
 		return fmt.Errorf("nn: %s is not a checkpoint", path)
 	}
+	switch string(data[:len(checkpointMagic)]) {
+	case checkpointMagic:
+		if len(data) < len(checkpointMagic)+4 {
+			return fmt.Errorf("nn: checkpoint %s truncated", path)
+		}
+		body := data[:len(data)-4]
+		want := binary.LittleEndian.Uint32(data[len(data)-4:])
+		if got := crc32.ChecksumIEEE(body); got != want {
+			return fmt.Errorf("nn: checkpoint %s CRC mismatch (torn or corrupt)", path)
+		}
+		data = body
+	case checkpointMagicV1:
+		// Legacy file: no footer, no verification possible.
+	default:
+		return fmt.Errorf("nn: %s is not a checkpoint", path)
+	}
+	r := bufio.NewReaderSize(bytes.NewReader(data[len(checkpointMagic):]), 1<<20)
 	var n int32
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return err

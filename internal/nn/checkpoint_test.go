@@ -52,6 +52,99 @@ func TestCheckpointShapeMismatchRejected(t *testing.T) {
 	}
 }
 
+// TestCheckpointTornWriteDetected corrupts a committed v2 checkpoint the
+// two ways a crashing writer or a flaky disk can: truncation and a bit
+// flip. Both must be rejected by the CRC footer before any parameter is
+// overwritten.
+func TestCheckpointTornWriteDetected(t *testing.T) {
+	cfg := Config{Kind: GCN, InDim: 6, Hidden: 8, Classes: 4, Layers: 2}
+	a := NewModel(cfg, tensor.NewRNG(1))
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := a.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(cfg, tensor.NewRNG(7))
+	want := m.Params()[0].W.Data[0]
+
+	torn := filepath.Join(t.TempDir(), "torn.ckpt")
+	if err := os.WriteFile(torn, data[:len(data)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadCheckpoint(torn); err == nil {
+		t.Fatal("torn checkpoint accepted")
+	}
+
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x40
+	if err := os.WriteFile(torn, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadCheckpoint(torn); err == nil {
+		t.Fatal("bit-flipped checkpoint accepted")
+	}
+	if m.Params()[0].W.Data[0] != want {
+		t.Fatal("rejected checkpoint still modified the model")
+	}
+}
+
+// TestCheckpointReadsV1 writes a legacy GNNCKPT1 container (no CRC
+// footer) and asserts the v2 loader still reads it.
+func TestCheckpointReadsV1(t *testing.T) {
+	cfg := Config{Kind: GCN, InDim: 5, Hidden: 6, Classes: 3, Layers: 2}
+	a := NewModel(cfg, tensor.NewRNG(3))
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := a.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A v1 file is the v2 body (same layout) with the old magic and no
+	// footer.
+	v1 := append([]byte(checkpointMagicV1), data[len(checkpointMagic):len(data)-4]...)
+	v1path := filepath.Join(t.TempDir(), "v1.ckpt")
+	if err := os.WriteFile(v1path, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := NewModel(cfg, tensor.NewRNG(999))
+	if err := b.LoadCheckpoint(v1path); err != nil {
+		t.Fatalf("v1 checkpoint rejected: %v", err)
+	}
+	ap, bp := a.Params(), b.Params()
+	for i := range ap {
+		for j := range ap[i].W.Data {
+			if ap[i].W.Data[j] != bp[i].W.Data[j] {
+				t.Fatalf("param %s differs after v1 load", ap[i].Name)
+			}
+		}
+	}
+}
+
+// TestCheckpointNoTempResidue asserts the atomic commit cleans up.
+func TestCheckpointNoTempResidue(t *testing.T) {
+	dir := t.TempDir()
+	a := NewModel(Config{Kind: GCN, InDim: 4, Hidden: 4, Classes: 2, Layers: 1}, tensor.NewRNG(1))
+	if err := a.SaveCheckpoint(filepath.Join(dir, "m.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "m.ckpt" {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only m.ckpt", names)
+	}
+}
+
 func TestCheckpointRejectsGarbage(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "junk")
 	if err := os.WriteFile(path, []byte("nonsense"), 0o644); err != nil {

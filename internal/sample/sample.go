@@ -102,6 +102,14 @@ func New(reader graph.NeighborReader, fanouts []int, rng *tensor.RNG) *Sampler {
 		policy: UniformPolicy{}, expansion: expansion}
 }
 
+// Reseed resets the sampler's random stream. The engine reseeds per
+// mini-batch from (run seed, epoch, batch ID), which makes a batch's
+// sampled neighborhood a pure function of its identity — independent of
+// which sampler goroutine draws it and of how many batches that
+// goroutine drew before — so a resumed run re-samples the remaining
+// batches exactly as the uninterrupted run would have.
+func (s *Sampler) Reseed(seed uint64) { s.rng.Reseed(seed) }
+
 // SampleBatch samples the k-hop neighborhood of targets into a fresh
 // batch and returns it plus the time spent blocked on topology I/O.
 func (s *Sampler) SampleBatch(id int, targets []int64) (*Batch, time.Duration, error) {

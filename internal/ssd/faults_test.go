@@ -1,9 +1,11 @@
 package ssd
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"gnndrive/internal/faults"
 )
@@ -110,5 +112,63 @@ func TestInjectedShortReadDeliversPrefix(t *testing.T) {
 		if got[i] != 0 {
 			t.Fatalf("byte %d filled beyond short read", i)
 		}
+	}
+}
+
+// TestStragglerDelayContextAware injects a straggler whose modeled delay
+// is far longer than the test timeout and asserts that cancelling the
+// request's context unblocks the read promptly — pipeline teardown must
+// not sleep out a fault-injected StragglerDelay.
+func TestStragglerDelayContextAware(t *testing.T) {
+	cfg := InstantConfig()
+	cfg.TimeScale = 1 // do not shrink the injected delay
+	d := New(1<<20, cfg)
+	defer d.Close()
+	d.SetInjector(faults.NewInjector(faults.Config{
+		Seed:           1,
+		StragglerRate:  1.0, // every read stalls
+		StragglerDelay: time.Hour,
+	}))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := d.ReadAtCtx(ctx, make([]byte, 512), 0)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the read reach the service wait
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoned read returned %v, want context.Canceled", err)
+		}
+		if waited := time.Since(start); waited > 5*time.Second {
+			t.Fatalf("cancellation took %v", waited)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled read still blocked behind the straggler delay")
+	}
+}
+
+// TestStragglerDelayNilCtxStillModeled: without a context the modeled
+// delay still applies (a short one here, so the test stays fast).
+func TestStragglerDelayNilCtxStillModeled(t *testing.T) {
+	cfg := InstantConfig()
+	cfg.TimeScale = 1
+	d := New(1<<20, cfg)
+	defer d.Close()
+	d.SetInjector(faults.NewInjector(faults.Config{
+		Seed:           1,
+		StragglerRate:  1.0,
+		StragglerDelay: 30 * time.Millisecond,
+	}))
+	start := time.Now()
+	if _, err := d.ReadAt(make([]byte, 512), 0); err != nil {
+		t.Fatalf("straggler read failed: %v", err)
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Fatalf("straggler delay not modeled: read returned in %v", waited)
 	}
 }

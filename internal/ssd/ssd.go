@@ -19,6 +19,7 @@
 package ssd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -80,6 +81,13 @@ type Request struct {
 	Off  int64
 	User uint64 // caller cookie (e.g. node index), returned on completion
 	Err  error
+	// Ctx, when non-nil, bounds the request's modeled service wait: if it
+	// is cancelled while the channel sleeps out the service time (most
+	// notably a fault-injected straggler delay), the request completes
+	// immediately with the context's error instead of blocking pipeline
+	// teardown for the full delay. The modeled device clock (busyUntil)
+	// still advances, so cancellation does not distort later timings.
+	Ctx context.Context
 	// Done is invoked on the channel goroutine when the request
 	// completes. It must not block for long.
 	Done func(*Request)
@@ -264,8 +272,15 @@ func (d *Device) check(p []byte, off int64) error {
 // ReadAt performs a synchronous read, blocking the caller for the modeled
 // queueing + service time. It returns the time the caller was blocked.
 func (d *Device) ReadAt(p []byte, off int64) (time.Duration, error) {
+	return d.ReadAtCtx(nil, p, off)
+}
+
+// ReadAtCtx is ReadAt bounded by ctx: a cancellation interrupts the
+// modeled service wait (including injected straggler delays) and the
+// read returns the context's error promptly.
+func (d *Device) ReadAtCtx(ctx context.Context, p []byte, off int64) (time.Duration, error) {
 	done := make(chan struct{})
-	req := &Request{Buf: p, Off: off, Done: func(*Request) { close(done) }}
+	req := &Request{Buf: p, Off: off, Ctx: ctx, Done: func(*Request) { close(done) }}
 	start := time.Now()
 	d.Submit(req)
 	<-done
@@ -275,11 +290,16 @@ func (d *Device) ReadAt(p []byte, off int64) (time.Duration, error) {
 // ReadDirect is ReadAt with the direct-I/O alignment constraint: offset
 // and length must be multiples of the sector size.
 func (d *Device) ReadDirect(p []byte, off int64) (time.Duration, error) {
+	return d.ReadDirectCtx(nil, p, off)
+}
+
+// ReadDirectCtx is ReadDirect bounded by ctx, like ReadAtCtx.
+func (d *Device) ReadDirectCtx(ctx context.Context, p []byte, off int64) (time.Duration, error) {
 	ss := int64(d.cfg.SectorSize)
 	if off%ss != 0 || int64(len(p))%ss != 0 {
 		return 0, fmt.Errorf("%w: [%d,%d) not %d-aligned", ErrUnaligned, off, off+int64(len(p)), ss)
 	}
-	return d.ReadAt(p, off)
+	return d.ReadAtCtx(ctx, p, off)
 }
 
 // Stats returns a snapshot of the cumulative counters.
@@ -317,8 +337,34 @@ func (c *channel) run() {
 		}
 		finish := start.Add(svc)
 		c.busyUntil = finish
+		abandoned := false
 		if wait := time.Until(finish); wait > sleepSlack {
-			time.Sleep(wait)
+			if req.Ctx == nil {
+				time.Sleep(wait)
+			} else {
+				// Context-aware service wait: a cancelled request (epoch
+				// teardown) is not held hostage by a straggler's modeled
+				// delay. The channel's modeled clock already advanced, so
+				// the device stays "busy" for later requests either way.
+				timer := time.NewTimer(wait)
+				select {
+				case <-timer.C:
+				case <-req.Ctx.Done():
+					timer.Stop()
+					abandoned = true
+				}
+			}
+		}
+		if abandoned {
+			req.Err = fmt.Errorf("ssd: read [%d,%d) abandoned: %w",
+				req.Off, req.Off+int64(len(req.Buf)), req.Ctx.Err())
+			req.Latency = time.Since(req.submitted)
+			c.dev.reads.Add(1)
+			c.dev.latencyNanos.Add(int64(req.Latency))
+			if req.Done != nil {
+				req.Done(req)
+			}
+			continue
 		}
 		filled := len(req.Buf)
 		if dec.Err != nil {

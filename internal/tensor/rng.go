@@ -10,6 +10,14 @@ type RNG struct{ s [4]uint64 }
 // NewRNG seeds a generator; distinct seeds give independent streams.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator to the stream NewRNG(seed) would produce,
+// discarding its current state. Deterministic resume re-derives per-batch
+// streams this way instead of persisting generator state.
+func (r *RNG) Reseed(seed uint64) {
 	// splitmix64 expansion of the seed.
 	z := seed
 	for i := range r.s {
@@ -19,7 +27,6 @@ func NewRNG(seed uint64) *RNG {
 		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 		r.s[i] = x ^ (x >> 31)
 	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

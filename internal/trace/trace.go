@@ -23,6 +23,9 @@ const (
 	StageTrain   Stage = "train"
 	StageRelease Stage = "release"
 	StagePrep    Stage = "prep"
+	// StageWatchdog marks supervisor events: stall diagnostics and
+	// checkpoint commits, recorded as zero-length annotated events.
+	StageWatchdog Stage = "watchdog"
 )
 
 // Event is one stage execution for one mini-batch.
@@ -31,6 +34,9 @@ type Event struct {
 	Batch int           `json:"batch"`
 	Start time.Duration `json:"start_ns"` // relative to tracer start
 	End   time.Duration `json:"end_ns"`
+	// Note carries free-form diagnostics for annotation events (watchdog
+	// stall dumps, checkpoint commits); empty for plain stage events.
+	Note string `json:"note,omitempty"`
 }
 
 // Tracer collects events. Safe for concurrent use. The zero value is not
@@ -58,6 +64,18 @@ func (t *Tracer) Record(stage Stage, batch int, start, end time.Time) {
 		Stage: stage, Batch: batch,
 		Start: start.Sub(t.start), End: end.Sub(t.start),
 	})
+	t.mu.Unlock()
+}
+
+// Annotate adds a zero-length event carrying a diagnostic note (stall
+// dump, checkpoint commit). No-op on a nil tracer.
+func (t *Tracer) Annotate(stage Stage, note string) {
+	if t == nil {
+		return
+	}
+	at := time.Since(t.start)
+	t.mu.Lock()
+	t.events = append(t.events, Event{Stage: stage, Batch: -1, Start: at, End: at, Note: note})
 	t.mu.Unlock()
 }
 

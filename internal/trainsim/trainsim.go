@@ -12,6 +12,8 @@
 package trainsim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"gnndrive/internal/baselines/ginex"
 	"gnndrive/internal/baselines/marius"
 	"gnndrive/internal/baselines/pygplus"
+	"gnndrive/internal/checkpoint"
 	"gnndrive/internal/core"
 	"gnndrive/internal/device"
 	"gnndrive/internal/faults"
@@ -113,6 +116,22 @@ type Config struct {
 	// transient errors; the baselines surface them.
 	Faults *faults.Config
 
+	// CheckpointDir enables GNNDrive's crash-consistent run
+	// checkpointing into this directory (ignored by the baselines).
+	CheckpointDir string
+	// CheckpointEverySteps is the mid-epoch save cadence in trainer
+	// steps (effective in InOrder mode; otherwise only epoch boundaries
+	// are checkpointed). 0 = epoch boundaries only.
+	CheckpointEverySteps int
+	// Resume restores the newest valid checkpoint in CheckpointDir
+	// before training and continues from its cursor. With no checkpoint
+	// present the run starts fresh.
+	Resume bool
+	// StallDeadline arms GNNDrive's pipeline watchdog: an epoch with no
+	// stage progress for this long fails with core.ErrPipelineStalled
+	// instead of hanging. 0 disables it.
+	StallDeadline time.Duration
+
 	Seed uint64
 }
 
@@ -149,6 +168,10 @@ type EpochStats struct {
 	Retries     int64
 	Fallbacks   int64
 	Escalations int64
+	// Stalls counts watchdog-detected pipeline stalls (GNNDrive with a
+	// StallDeadline configured; at most 1 per epoch, which also fails
+	// the epoch).
+	Stalls int64
 }
 
 // Result is a full run.
@@ -299,7 +322,7 @@ func Run(cfg Config, sys SystemKind, opts RunOptions) (Result, error) {
 	}
 
 	res := Result{System: sys}
-	runEpoch, closer, err := buildSystem(sys, ds, dev, budget, cache, rec, cfg)
+	runEpoch, closer, startEpoch, err := buildSystem(sys, ds, dev, budget, cache, rec, cfg)
 	if err != nil {
 		if sampler != nil {
 			sampler.Stop()
@@ -308,7 +331,9 @@ func Run(cfg Config, sys SystemKind, opts RunOptions) (Result, error) {
 	}
 	defer closer()
 
-	for e := 0; e < opts.Epochs; e++ {
+	// A resumed run continues from its checkpoint cursor: epochs before
+	// startEpoch are already done and are not re-run.
+	for e := startEpoch; e < opts.Epochs; e++ {
 		st, err := runEpoch(e)
 		if err != nil {
 			if sampler != nil {
@@ -346,11 +371,12 @@ func evalVal(sys SystemKind, ds *graph.Dataset, cfg Config) (float64, error) {
 	return core.EvaluateModel(ds, valModel, fan, ds.ValIdx, cfg.Seed)
 }
 
-// buildSystem constructs the system and returns an epoch runner plus a
-// closer.
+// buildSystem constructs the system and returns an epoch runner, a
+// closer, and the epoch to start from (non-zero only for a resumed
+// GNNDrive run).
 func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 	budget *hostmem.Budget, cache *pagecache.Cache, rec *metrics.Recorder,
-	cfg Config) (func(int) (EpochStats, error), func(), error) {
+	cfg Config) (func(int) (EpochStats, error), func(), int, error) {
 	switch sys {
 	case GNNDriveGPU, GNNDriveCPU:
 		o := core.DefaultOptions(cfg.Model)
@@ -362,6 +388,9 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 		o.SyncExtraction = cfg.SyncExtraction
 		o.BufferedIO = cfg.BufferedIO
 		o.GPUDirect = cfg.GPUDirect
+		o.CheckpointDir = cfg.CheckpointDir
+		o.CheckpointEverySteps = cfg.CheckpointEverySteps
+		o.StallDeadline = cfg.StallDeadline
 		if cfg.Hidden != 0 {
 			o.Hidden = cfg.Hidden
 		}
@@ -370,7 +399,7 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 			// (Ne x Mb), clamped to the device allowance and graph size.
 			mb, err := sample.EstimateMaxBatchNodes(ds, o.BatchSize, o.Fanouts, 4, o.Seed)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, 0, err
 			}
 			slots := int(cfg.FeatureBufferX * float64(o.Extractors*mb))
 			if lim := int(dev.MemBytes() * 9 / 10 / ds.FeatBytes()); dev.Kind() == device.GPU && slots > lim {
@@ -383,20 +412,43 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 		}
 		eng, err := core.New(ds, dev, budget, cache, rec, o)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		valModel = eng.Model()
+		startEpoch, resumeStep := 0, 0
+		if cfg.Resume && cfg.CheckpointDir != "" {
+			ep, st, rerr := eng.ResumeRunState()
+			switch {
+			case rerr == nil:
+				startEpoch, resumeStep = ep, st
+			case errors.Is(rerr, checkpoint.ErrNoCheckpoint):
+				// Nothing to resume: a fresh run is the right behavior
+				// (first launch with -resume in the restart loop).
+			default:
+				eng.Close()
+				return nil, nil, 0, rerr
+			}
+		}
 		return func(e int) (EpochStats, error) {
-			r, err := eng.TrainEpoch(e)
+			step := 0
+			if e == startEpoch {
+				step = resumeStep
+			}
+			r, err := eng.TrainEpochFrom(context.Background(), e, step)
+			if err == nil && r.CheckpointErr != nil {
+				// Save failures degrade resume granularity, not training;
+				// surface them without failing the run.
+				fmt.Printf("trainsim: checkpoint save failed: %v\n", r.CheckpointErr)
+			}
 			return EpochStats{
 				Sample: r.Sample, Extract: r.Extract, Train: r.Train,
 				Total: r.Total, Batches: r.Batches,
 				BytesRead: r.BytesRead, BytesReused: r.BytesReused,
 				Loss: r.Loss, Acc: r.Acc,
 				Retries: r.Retries, Fallbacks: r.Fallbacks,
-				Escalations: r.Escalations,
+				Escalations: r.Escalations, Stalls: r.Stalls,
 			}, err
-		}, eng.Close, nil
+		}, eng.Close, startEpoch, nil
 
 	case PyGPlus:
 		o := pygplus.DefaultOptions(cfg.Model)
@@ -410,7 +462,7 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 		o.TimeScale = cfg.Scale
 		sysm, err := pygplus.New(ds, dev, budget, cache, rec, o)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		valModel = sysm.Model()
 		return func(e int) (EpochStats, error) {
@@ -421,7 +473,7 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 				BytesRead: r.BytesRead, BytesReused: r.BytesReused,
 				Loss: r.Loss, Acc: r.Acc,
 			}, err
-		}, sysm.Close, nil
+		}, sysm.Close, 0, nil
 
 	case Ginex:
 		o := ginex.DefaultOptions(cfg.Model)
@@ -436,7 +488,7 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 		o.ScratchLen = ScratchBytes / 2
 		sysm, err := ginex.New(ds, dev, budget, rec, o)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		valModel = sysm.Model()
 		return func(e int) (EpochStats, error) {
@@ -447,7 +499,7 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 				BytesRead: r.BytesRead, BytesReused: r.BytesReused,
 				Loss: r.Loss, Acc: r.Acc,
 			}, err
-		}, sysm.Close, nil
+		}, sysm.Close, 0, nil
 
 	case Marius:
 		o := marius.DefaultOptions(cfg.Model)
@@ -460,7 +512,7 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 		}
 		sysm, err := marius.New(ds, dev, budget, rec, o)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		valModel = sysm.Model()
 		return func(e int) (EpochStats, error) {
@@ -471,9 +523,9 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 				BytesRead: r.BytesRead, BytesReused: r.BytesReused,
 				Loss: r.Loss, Acc: r.Acc,
 			}, err
-		}, sysm.Close, nil
+		}, sysm.Close, 0, nil
 	}
-	return nil, nil, fmt.Errorf("trainsim: unknown system %v", sys)
+	return nil, nil, 0, fmt.Errorf("trainsim: unknown system %v", sys)
 }
 
 func applyCommon(batch *int, fanouts *[]int, cfg Config) {

@@ -212,3 +212,56 @@ func TestAblationSwitchesRun(t *testing.T) {
 		}
 	}
 }
+
+func TestRunCheckpointAndResume(t *testing.T) {
+	defer DropDatasets()
+	dir := t.TempDir()
+	cfg := tinyCfg()
+	cfg.RealTrain = true
+	cfg.Hidden = 32
+	cfg.TrainLimit = 400
+	cfg.CheckpointDir = dir
+
+	// First launch: two of four epochs, then "crash" (the process just
+	// stops using the engine; the committed checkpoints survive).
+	res1, err := Run(cfg, GNNDriveGPU, RunOptions{Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Epochs) != 2 {
+		t.Fatalf("first launch ran %d epochs, want 2", len(res1.Epochs))
+	}
+
+	// Relaunch with -resume semantics: epochs 0 and 1 are done, so a
+	// 4-epoch run trains exactly epochs 2 and 3.
+	cfg.Resume = true
+	res2, err := Run(cfg, GNNDriveGPU, RunOptions{Epochs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Epochs) != 2 {
+		t.Fatalf("resumed launch ran %d epochs, want the remaining 2", len(res2.Epochs))
+	}
+
+	// Resuming a finished run trains nothing.
+	res3, err := Run(cfg, GNNDriveGPU, RunOptions{Epochs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.Epochs) != 0 {
+		t.Fatalf("fully trained run re-ran %d epochs", len(res3.Epochs))
+	}
+}
+
+func TestRunStallDeadlineHealthy(t *testing.T) {
+	defer DropDatasets()
+	cfg := tinyCfg()
+	cfg.StallDeadline = 30 * time.Second
+	res, err := Run(cfg, GNNDriveGPU, RunOptions{Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs[0].Stalls != 0 {
+		t.Fatalf("healthy run reported %d stalls", res.Epochs[0].Stalls)
+	}
+}

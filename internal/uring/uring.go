@@ -7,6 +7,7 @@
 package uring
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -65,16 +66,31 @@ func (r *Ring) Inflight() int { return int(r.inflight.Load()) }
 // the CQE. Blocks if depth requests are already in flight. The read goes
 // through the direct-I/O path: off and len(p) must be sector-aligned.
 func (r *Ring) SubmitRead(p []byte, off int64, user uint64) error {
-	return r.submit(p, off, user, true)
+	return r.submit(nil, p, off, user, true)
+}
+
+// SubmitReadCtx is SubmitRead with the request bound to ctx: if ctx is
+// cancelled while the device sleeps out the modeled service time (e.g. a
+// fault-injected straggler delay), the completion arrives promptly with
+// the context's error instead of after the full delay — the extractor's
+// teardown path is never blocked behind a straggler.
+func (r *Ring) SubmitReadCtx(ctx context.Context, p []byte, off int64, user uint64) error {
+	return r.submit(ctx, p, off, user, true)
 }
 
 // SubmitBufferedRead is SubmitRead without the alignment constraint,
 // for configurations that fall back to buffered async I/O (§4.4).
 func (r *Ring) SubmitBufferedRead(p []byte, off int64, user uint64) error {
-	return r.submit(p, off, user, false)
+	return r.submit(nil, p, off, user, false)
 }
 
-func (r *Ring) submit(p []byte, off int64, user uint64, direct bool) error {
+// SubmitBufferedReadCtx is SubmitBufferedRead bound to ctx, like
+// SubmitReadCtx.
+func (r *Ring) SubmitBufferedReadCtx(ctx context.Context, p []byte, off int64, user uint64) error {
+	return r.submit(ctx, p, off, user, false)
+}
+
+func (r *Ring) submit(ctx context.Context, p []byte, off int64, user uint64, direct bool) error {
 	if r.closed.Load() {
 		return ErrClosed
 	}
@@ -90,6 +106,7 @@ func (r *Ring) submit(p []byte, off int64, user uint64, direct bool) error {
 		Buf:  p,
 		Off:  off,
 		User: user,
+		Ctx:  ctx,
 		Done: func(rq *ssd.Request) {
 			r.cq <- CQE{User: rq.User, Err: rq.Err, Latency: rq.Latency}
 		},
