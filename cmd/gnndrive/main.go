@@ -4,6 +4,7 @@
 //	gnndrive -dataset papers100m-s -model sage -system gnndrive-gpu -epochs 3
 //	gnndrive -dataset twitter-s -model gat -system ginex -mem 16
 //	gnndrive -dataset tiny -system gnndrive-gpu -real -epochs 5
+//	gnndrive -dataset tiny -backend file -data-file /mnt/nvme/tiny.img -epochs 1
 //
 // It prints a per-epoch stage breakdown (and loss/accuracy with -real).
 package main
@@ -43,6 +44,8 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "also checkpoint every N trainer steps mid-epoch (requires -inorder)")
 	resume := flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir")
 	stallDeadline := flag.Duration("stall-deadline", 0, "fail the epoch if the pipeline makes no progress for this long (0 = off)")
+	backend := flag.String("backend", "sim", "storage backend: sim (modeled SSD) or file (real file, direct I/O best-effort)")
+	dataFile := flag.String("data-file", "", "backing file for -backend file (default: a temp file)")
 	flag.Parse()
 
 	spec, err := gen.ByName(*dataset)
@@ -63,6 +66,7 @@ func main() {
 		Hidden: *hidden, Seed: *seed, InOrder: *inorder, TrainLimit: *limit,
 		CheckpointDir: *ckptDir, CheckpointEverySteps: *ckptEvery,
 		Resume: *resume, StallDeadline: *stallDeadline,
+		Backend: *backend, DataFile: *dataFile,
 	}
 	if *faultTransient > 0 || *faultShort > 0 || *faultStraggler > 0 {
 		cfg.Faults = &faults.Config{
@@ -72,7 +76,9 @@ func main() {
 			StragglerRate: *faultStraggler,
 		}
 	}
-	fmt.Printf("training %s on %s with %s (%d scaled-GB host memory)\n", kind, spec.Name, sys, *mem)
+	fmt.Printf("training %s on %s with %s (%d scaled-GB host memory, %s backend)\n",
+		kind, spec.Name, sys, *mem, *backend)
+	defer trainsim.DropDatasets()
 	res, err := trainsim.Run(cfg, sys, trainsim.RunOptions{Epochs: *epochs, EvalVal: *real})
 	if err != nil {
 		log.Fatalf("%s: %v", sys, err)

@@ -1,10 +1,12 @@
 // Command iobench is the repository's fio equivalent (Appendix B): random
-// 512 B reads against the simulated SSD, synchronous with N threads or
-// asynchronous at I/O depth D, direct or buffered:
+// 512 B reads against the simulated SSD or a real file, synchronous with
+// N threads or asynchronous at I/O depth D, direct or buffered:
 //
 //	iobench -threads 8
 //	iobench -depth 64 -buffered
-//	iobench -sweep            # the full Fig. B.1 grid
+//	iobench -sweep                        # the full Fig. B.1 grid
+//	iobench -backend file -depth 64       # async direct reads, real file
+//	iobench -backend file -data-file /mnt/nvme/bench.img -sweep
 package main
 
 import (
@@ -17,6 +19,8 @@ import (
 	"gnndrive/internal/experiments"
 	"gnndrive/internal/iobench"
 	"gnndrive/internal/ssd"
+	"gnndrive/internal/storage"
+	"gnndrive/internal/storage/file"
 )
 
 func main() {
@@ -28,10 +32,13 @@ func main() {
 	reads := flag.Int("reads", 12000, "total reads")
 	scale := flag.Float64("scale", 2.0, "time-model stretch")
 	sweep := flag.Bool("sweep", false, "run the full Fig. B.1 grid instead")
+	backend := flag.String("backend", "sim", "storage backend: sim (modeled SSD) or file (real file)")
+	dataFile := flag.String("data-file", "", "backing file for -backend file (default: a temp file)")
 	flag.Parse()
 
 	if *sweep {
-		if err := experiments.FigB1(os.Stdout, experiments.Opts{Scale: *scale}); err != nil {
+		opts := experiments.Opts{Scale: *scale, Backend: *backend, DataFile: *dataFile}
+		if err := experiments.FigB1(os.Stdout, opts); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -39,9 +46,32 @@ func main() {
 	if (*threads == 0) == (*depth == 0) {
 		log.Fatal("specify exactly one of -threads or -depth (or -sweep)")
 	}
-	cfg := ssd.DefaultConfig()
-	cfg.TimeScale = *scale
-	dev := iobench.NewDevice(*fileMB<<20, cfg)
+	var dev storage.Backend
+	switch *backend {
+	case "sim":
+		cfg := ssd.DefaultConfig()
+		cfg.TimeScale = *scale
+		dev = iobench.NewDevice(*fileMB<<20, cfg)
+	case "file":
+		path := *dataFile
+		if path == "" {
+			f, err := os.CreateTemp("", "gnndrive-iobench-*.img")
+			if err != nil {
+				log.Fatal(err)
+			}
+			path = f.Name()
+			f.Close()
+			defer os.Remove(path)
+		}
+		fb, err := file.Create(path, *fileMB<<20, file.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("backend: file %s (O_DIRECT active: %v)\n", path, fb.DirectActive())
+		dev = fb
+	default:
+		log.Fatalf("unknown -backend %q (want sim or file)", *backend)
+	}
 	defer dev.Close()
 	res, err := iobench.Run(dev, iobench.Spec{
 		FileBytes: *fileMB << 20, Reads: *reads,

@@ -18,13 +18,13 @@ func newRig(t *testing.T, budgetBytes int64) (*graph.Dataset, *device.Device, *h
 	t.Helper()
 	spec := gen.Tiny()
 	dev := ssd.New(spec.SizeBytes()+1<<20, ssd.InstantConfig())
-	t.Cleanup(dev.Close)
+	t.Cleanup(func() { dev.Close() })
 	ds, err := gen.Build(spec, dev, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	gpu := device.New(device.InstantConfig())
-	t.Cleanup(gpu.Close)
+	t.Cleanup(func() { gpu.Close() })
 	return ds, gpu, hostmem.NewBudget(budgetBytes), metrics.NewRecorder()
 }
 

@@ -19,9 +19,9 @@ func newRig(t *testing.T, budgetBytes int64) (*graph.Dataset, *device.Device, *h
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(ds.Dev.Close)
+	t.Cleanup(func() { ds.Dev.Close() })
 	gpu := device.New(device.InstantConfig())
-	t.Cleanup(gpu.Close)
+	t.Cleanup(func() { gpu.Close() })
 	return ds, gpu, hostmem.NewBudget(budgetBytes), metrics.NewRecorder()
 }
 

@@ -28,9 +28,9 @@ func newRig(t *testing.T, budgetBytes int64) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(ds.Dev.Close)
+	t.Cleanup(func() { ds.Dev.Close() })
 	dev := device.New(device.InstantConfig())
-	t.Cleanup(dev.Close)
+	t.Cleanup(func() { dev.Close() })
 	budget := hostmem.NewBudget(budgetBytes)
 	return &rig{ds: ds, dev: dev, budget: budget,
 		cache: pagecache.New(ds.Dev, budget), rec: metrics.NewRecorder()}

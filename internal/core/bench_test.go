@@ -99,7 +99,22 @@ func BenchmarkReserveReleaseParallel(b *testing.B) {
 // with a mix of worker-private and shared hot nodes. Run with
 // -cpu 1,2,4,8 to see extractor scaling.
 func BenchmarkEndToEndExtract(b *testing.B) {
-	rig := newRig(b, device.InstantConfig(), 256<<20)
+	benchExtract(b, newRig(b, device.InstantConfig(), 256<<20))
+}
+
+// BenchmarkExtractBackends runs the same extract workload against each
+// registered storage backend: the instant simulator and a real file.
+// The file lands under TMPDIR, so run with TMPDIR=/dev/shm for the
+// tmpfs measurement recorded in BENCH_4.json.
+func BenchmarkExtractBackends(b *testing.B) {
+	for _, backend := range []string{"sim", "file"} {
+		b.Run(backend, func(b *testing.B) {
+			benchExtract(b, newRigOn(b, device.InstantConfig(), 256<<20, backend))
+		})
+	}
+}
+
+func benchExtract(b *testing.B, rig *testRig) {
 	opts := testOpts()
 	opts.Extractors = 8
 	opts.RingDepth = 16

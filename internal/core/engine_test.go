@@ -2,6 +2,8 @@ package core
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"gnndrive/internal/device"
@@ -12,6 +14,8 @@ import (
 	"gnndrive/internal/nn"
 	"gnndrive/internal/pagecache"
 	"gnndrive/internal/ssd"
+	"gnndrive/internal/storage"
+	"gnndrive/internal/storage/file"
 )
 
 type testRig struct {
@@ -22,15 +26,39 @@ type testRig struct {
 	rec    *metrics.Recorder
 }
 
+// datasetOn builds the rig's dataset on the named storage backend: the
+// instant simulator (default) or a real file in a test temp dir (the
+// file lands under TMPDIR, so TMPDIR=/dev/shm measures tmpfs).
+func datasetOn(t testing.TB, backend string) (*graph.Dataset, error) {
+	if backend == "file" {
+		dir, err := os.MkdirTemp("", "gnndrive-core-test-")
+		if err != nil {
+			return nil, err
+		}
+		t.Cleanup(func() { os.RemoveAll(dir) })
+		return gen.BuildWith(gen.Tiny(), func(capacity int64) (storage.Backend, error) {
+			return file.Create(filepath.Join(dir, "data.img"), capacity, file.Options{})
+		})
+	}
+	return gen.BuildStandalone(gen.Tiny(), ssd.InstantConfig())
+}
+
+// newRig builds a rig on the backend selected by GNNDRIVE_TEST_BACKEND
+// ("file" or default sim) — CI runs the fault and stress suites both
+// ways (on tmpfs for the file backend).
 func newRig(t testing.TB, devCfg device.Config, budgetBytes int64) *testRig {
+	return newRigOn(t, devCfg, budgetBytes, os.Getenv("GNNDRIVE_TEST_BACKEND"))
+}
+
+func newRigOn(t testing.TB, devCfg device.Config, budgetBytes int64, backend string) *testRig {
 	t.Helper()
-	ds, err := gen.BuildStandalone(gen.Tiny(), ssd.InstantConfig())
+	ds, err := datasetOn(t, backend)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(ds.Dev.Close)
+	t.Cleanup(func() { ds.Dev.Close() })
 	dev := device.New(devCfg)
-	t.Cleanup(dev.Close)
+	t.Cleanup(func() { dev.Close() })
 	budget := hostmem.NewBudget(budgetBytes)
 	return &testRig{
 		ds: ds, dev: dev, budget: budget,
@@ -55,7 +83,7 @@ func newEngine(t *testing.T, rig *testRig, opts Options) *Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	return e
 }
 
@@ -277,7 +305,7 @@ func TestCloseReleasesEverything(t *testing.T) {
 func TestParallelTwoWorkers(t *testing.T) {
 	rig := newRig(t, device.InstantConfig(), 64<<20)
 	dev2 := device.New(device.InstantConfig())
-	t.Cleanup(dev2.Close)
+	t.Cleanup(func() { dev2.Close() })
 	opts := testOpts()
 	opts.RealTrain = true
 	opts.Hidden = 32
@@ -286,7 +314,7 @@ func TestParallelTwoWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(p.Close)
+	t.Cleanup(func() { p.Close() })
 	if p.Workers() != 2 {
 		t.Fatalf("workers %d", p.Workers())
 	}
@@ -316,7 +344,7 @@ func TestParallelRejectsTooManyWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(p.Close)
+	t.Cleanup(func() { p.Close() })
 	if _, _, err := p.TrainEpoch(0); err == nil {
 		t.Fatal("expected segmentation error")
 	}

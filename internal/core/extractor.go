@@ -11,7 +11,7 @@ import (
 	"gnndrive/internal/faults"
 	"gnndrive/internal/graph"
 	"gnndrive/internal/sample"
-	"gnndrive/internal/ssd"
+	"gnndrive/internal/storage"
 	"gnndrive/internal/uring"
 )
 
@@ -173,7 +173,7 @@ func (x *extractor) runPlan(ctx context.Context, b *sample.Batch, res *Reservati
 			return x.ring.SubmitBufferedReadCtx(ctx, sbuf, plan[op].DevOff, uint64(op))
 		}
 		err := x.ring.SubmitReadCtx(ctx, sbuf, plan[op].DevOff, uint64(op))
-		if errors.Is(err, uring.ErrUnaligned) {
+		if errors.Is(err, storage.ErrUnaligned) {
 			buffered[op] = true
 			st.fallbacks++
 			return x.ring.SubmitBufferedReadCtx(ctx, sbuf, plan[op].DevOff, uint64(op))
@@ -282,7 +282,7 @@ func (x *extractor) runPlanSync(ctx context.Context, b *sample.Batch, res *Reser
 			var rerr error
 			if direct {
 				waited, rerr = eng.ds.Dev.ReadDirectCtx(ctx, eng.staging.Buf(slot)[:op.Len], op.DevOff)
-				if errors.Is(rerr, ssd.ErrUnaligned) {
+				if errors.Is(rerr, storage.ErrUnaligned) {
 					// Degradation ladder: retry this and all later ops
 					// through the buffered path.
 					direct = false

@@ -208,7 +208,7 @@ func TestExtractBatchFailureRollsBackReservations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	x := newExtractor(e)
 	_, st, err := x.extractBatch(context.Background(), buildBatchOf(0, nodes...))
 	if err == nil {
@@ -240,7 +240,7 @@ func TestExtractBatchRetriesTransient(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	x := newExtractor(e)
 	// Scattered nodes: contiguous vectors would merge into one joint read
 	// and a single fault roll.
@@ -275,7 +275,7 @@ func TestRetryBudgetExhaustionEscalates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	x := newExtractor(e)
 	_, st, err := x.extractBatch(context.Background(), buildBatchOf(0, 3, 4))
 	if err == nil {
@@ -298,7 +298,7 @@ func TestParallelEpochFailurePropagates(t *testing.T) {
 	}))
 	devs := []*device.Device{device.New(device.InstantConfig()), device.New(device.InstantConfig())}
 	for _, d := range devs {
-		t.Cleanup(d.Close)
+		t.Cleanup(func() { d.Close() })
 	}
 	opts := testOpts()
 	opts.BatchSize = 20
@@ -306,7 +306,7 @@ func TestParallelEpochFailurePropagates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(p.Close)
+	t.Cleanup(func() { p.Close() })
 	done := make(chan error, 1)
 	go func() {
 		_, _, err := p.TrainEpoch(0)

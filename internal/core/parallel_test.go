@@ -78,7 +78,7 @@ func TestAllReduceTimeModel(t *testing.T) {
 func TestParallelSharedStagingAndPins(t *testing.T) {
 	rig := newRig(t, device.InstantConfig(), 64<<20)
 	dev2 := device.New(device.InstantConfig())
-	t.Cleanup(dev2.Close)
+	t.Cleanup(func() { dev2.Close() })
 	opts := testOpts()
 	p, err := NewParallel(rig.ds, []*device.Device{rig.dev, dev2}, rig.budget,
 		rig.cache, rig.rec, opts, ParallelConfig{})
@@ -105,13 +105,13 @@ func TestParallelSharedStagingAndPins(t *testing.T) {
 func TestParallelModeledEpochBalanced(t *testing.T) {
 	rig := newRig(t, device.InstantConfig(), 64<<20)
 	dev2 := device.New(device.InstantConfig())
-	t.Cleanup(dev2.Close)
+	t.Cleanup(func() { dev2.Close() })
 	p, err := NewParallel(rig.ds, []*device.Device{rig.dev, dev2}, rig.budget,
 		rig.cache, rig.rec, testOpts(), ParallelConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(p.Close)
+	t.Cleanup(func() { p.Close() })
 	total, results, err := p.TrainEpoch(0)
 	if err != nil {
 		t.Fatal(err)
@@ -131,7 +131,7 @@ func TestParallelSingleWorkerNoSync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(p.Close)
+	t.Cleanup(func() { p.Close() })
 	if p.syncFn(0) != nil {
 		t.Fatal("single worker should have nil sync")
 	}
@@ -160,7 +160,7 @@ func TestCPUParallelSharesFeatureBuffer(t *testing.T) {
 	cpuCfg.Throughput = 0
 	rig := newRig(t, cpuCfg, 128<<20)
 	dev2 := device.New(cpuCfg)
-	t.Cleanup(dev2.Close)
+	t.Cleanup(func() { dev2.Close() })
 	p, err := NewParallel(rig.ds, []*device.Device{rig.dev, dev2}, rig.budget,
 		rig.cache, rig.rec, testOpts(), ParallelConfig{})
 	if err != nil {
@@ -185,13 +185,13 @@ func TestCPUParallelSharesFeatureBuffer(t *testing.T) {
 func TestGPUParallelSeparateFeatureBuffers(t *testing.T) {
 	rig := newRig(t, device.InstantConfig(), 64<<20)
 	dev2 := device.New(device.InstantConfig())
-	t.Cleanup(dev2.Close)
+	t.Cleanup(func() { dev2.Close() })
 	p, err := NewParallel(rig.ds, []*device.Device{rig.dev, dev2}, rig.budget,
 		rig.cache, rig.rec, testOpts(), ParallelConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(p.Close)
+	t.Cleanup(func() { p.Close() })
 	e := p.Engines()
 	if e[0].fb == e[1].fb {
 		t.Fatal("GPU workers must each own a device-resident feature buffer")

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"gnndrive/internal/hostmem"
+	"gnndrive/internal/storage"
 )
 
 // Staging is the bounded host-memory buffer through which feature bytes
@@ -41,8 +42,11 @@ func NewStaging(budget *hostmem.Budget, slots, slotBytes int) (*Staging, error) 
 	s := &Staging{
 		slotBytes: slotBytes,
 		slots:     slots,
-		data:      make([]byte, total),
-		budget:    budget,
+		// Sector-aligned backing memory: slot sizes are already 512-byte
+		// multiples (engine sizing), so an aligned base keeps every slot
+		// address aligned and the file backend's O_DIRECT path reachable.
+		data:   storage.AlignedBuf(int(total), 512),
+		budget: budget,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.free = make([]int32, slots)

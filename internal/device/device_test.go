@@ -12,7 +12,7 @@ import (
 func testDev(t *testing.T, cfg Config) *Device {
 	t.Helper()
 	d := New(cfg)
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	return d
 }
 

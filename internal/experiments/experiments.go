@@ -24,6 +24,12 @@ type Opts struct {
 	// Quick restricts sweeps to the headline cells so a full run of all
 	// experiments finishes in tens of minutes on one core.
 	Quick bool
+	// Backend selects the storage backend for experiments that support it
+	// (FigB1): "sim" (default) or "file".
+	Backend string
+	// DataFile is the backing file for Backend "file"; empty means a temp
+	// file removed after the run.
+	DataFile string
 }
 
 // defaultScale is the stretch at which the modeled-time components stay

@@ -22,6 +22,7 @@ import (
 
 	"gnndrive/internal/graph"
 	"gnndrive/internal/ssd"
+	"gnndrive/internal/storage"
 	"gnndrive/internal/tensor"
 )
 
@@ -99,7 +100,7 @@ func (s Spec) SizeBytes() int64 {
 
 // Build generates the dataset and writes its index array and feature
 // table to dev starting at byte offset base. Generation is untimed.
-func Build(s Spec, dev *ssd.Device, base int64) (*graph.Dataset, error) {
+func Build(s Spec, dev storage.Backend, base int64) (*graph.Dataset, error) {
 	if s.Nodes < 2 || s.EdgesPerNode < 1 || s.Dim < 1 || s.Classes < 2 {
 		return nil, fmt.Errorf("gen: bad spec %+v", s)
 	}
@@ -136,8 +137,12 @@ func Build(s Spec, dev *ssd.Device, base int64) (*graph.Dataset, error) {
 			s.Name, layout.IndicesLen+layout.FeaturesLen, base, dev.Capacity())
 	}
 
-	writeIndices(dev, layout.IndicesOff, adj)
-	writeFeatures(dev, layout.FeaturesOff, s, classes, rng)
+	if err := writeIndices(dev, layout.IndicesOff, adj); err != nil {
+		return nil, err
+	}
+	if err := writeFeatures(dev, layout.FeaturesOff, s, classes, rng); err != nil {
+		return nil, err
+	}
 
 	ds := &graph.Dataset{
 		Name:       s.Name,
@@ -154,11 +159,24 @@ func Build(s Spec, dev *ssd.Device, base int64) (*graph.Dataset, error) {
 	return ds, nil
 }
 
-// BuildStandalone creates a right-sized device and builds the dataset on
-// it. The caller owns (and should Close) the returned device via the
-// dataset's Dev field.
+// BuildStandalone creates a right-sized simulated device and builds the
+// dataset on it. The caller owns (and should Close) the returned backend
+// via the dataset's Dev field.
 func BuildStandalone(s Spec, cfg ssd.Config) (*graph.Dataset, error) {
-	dev := ssd.New(s.SizeBytes()+int64(4096), cfg)
+	return BuildWith(s, func(capacity int64) (storage.Backend, error) {
+		return ssd.New(capacity, cfg), nil
+	})
+}
+
+// BuildWith creates a right-sized backend through the factory — the
+// simulator or a real file (storage/sim, storage/file) — and builds the
+// dataset on it. The caller owns (and should Close) the returned backend
+// via the dataset's Dev field.
+func BuildWith(s Spec, newBackend storage.Factory) (*graph.Dataset, error) {
+	dev, err := newBackend(s.SizeBytes() + int64(4096))
+	if err != nil {
+		return nil, fmt.Errorf("gen: dataset backend: %w", err)
+	}
 	ds, err := Build(s, dev, 0)
 	if err != nil {
 		dev.Close()
@@ -206,15 +224,18 @@ func pickTarget(rng *tensor.RNG, pool []int32, v int) int32 {
 	return int32(rng.Intn(v))
 }
 
-func writeIndices(dev *ssd.Device, off int64, adj [][]int32) {
+func writeIndices(dev storage.Backend, off int64, adj [][]int32) error {
 	buf := make([]byte, 0, 1<<20)
 	pos := off
-	flush := func() {
+	flush := func() error {
 		if len(buf) > 0 {
-			dev.WriteAt(buf, pos)
+			if err := dev.WriteRaw(buf, pos); err != nil {
+				return err
+			}
 			pos += int64(len(buf))
 			buf = buf[:0]
 		}
+		return nil
 	}
 	var scratch [4]byte
 	for _, ns := range adj {
@@ -222,11 +243,13 @@ func writeIndices(dev *ssd.Device, off int64, adj [][]int32) {
 			binary.LittleEndian.PutUint32(scratch[:], uint32(u))
 			buf = append(buf, scratch[:]...)
 			if len(buf) >= 1<<20 {
-				flush()
+				if err := flush(); err != nil {
+					return err
+				}
 			}
 		}
 	}
-	flush()
+	return flush()
 }
 
 // Centroid returns the deterministic ±Signal pattern used as class c's
@@ -244,7 +267,7 @@ func Centroid(s Spec, c int) []float32 {
 	return vec
 }
 
-func writeFeatures(dev *ssd.Device, off int64, s Spec, classes []int32, rng *tensor.RNG) {
+func writeFeatures(dev storage.Backend, off int64, s Spec, classes []int32, rng *tensor.RNG) error {
 	centroids := make([][]float32, s.Classes)
 	for c := range centroids {
 		centroids[c] = Centroid(s, c)
@@ -257,9 +280,12 @@ func writeFeatures(dev *ssd.Device, off int64, s Spec, classes []int32, rng *ten
 			f := cen[j] + rng.NormFloat32()
 			binary.LittleEndian.PutUint32(row[j*4:], math.Float32bits(f))
 		}
-		dev.WriteAt(row, pos)
+		if err := dev.WriteRaw(row, pos); err != nil {
+			return err
+		}
 		pos += int64(len(row))
 	}
+	return nil
 }
 
 func splitNodes(ds *graph.Dataset, s Spec, rng *tensor.RNG) {

@@ -14,7 +14,7 @@ func buildTiny(t *testing.T) *graph.Dataset {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(ds.Dev.Close)
+	t.Cleanup(func() { ds.Dev.Close() })
 	return ds
 }
 

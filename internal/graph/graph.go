@@ -12,7 +12,7 @@ import (
 	"time"
 
 	"gnndrive/internal/pagecache"
-	"gnndrive/internal/ssd"
+	"gnndrive/internal/storage"
 )
 
 // Layout records where a dataset's arrays live on the device.
@@ -28,7 +28,8 @@ type Layout struct {
 	FeaturesLen int64
 }
 
-// Dataset is a graph bound to a simulated device.
+// Dataset is a graph bound to a storage backend (the simulator or a real
+// file; see internal/storage).
 type Dataset struct {
 	Name       string
 	NumNodes   int64
@@ -46,7 +47,7 @@ type Dataset struct {
 	ValIdx   []int64
 
 	Layout Layout
-	Dev    *ssd.Device
+	Dev    storage.Backend
 }
 
 // FeatBytes returns the byte length of one node's feature vector.
@@ -175,7 +176,9 @@ func (r *RawReader) Neighbors(v int64, buf []int32) ([]int32, time.Duration, err
 		r.raw = make([]byte, n*4)
 	}
 	raw := r.raw[:n*4]
-	r.ds.Dev.ReadRaw(raw, r.ds.Layout.IndicesOff+lo*4)
+	if err := r.ds.Dev.ReadRaw(raw, r.ds.Layout.IndicesOff+lo*4); err != nil {
+		return nil, 0, err
+	}
 	return decodeIndices(raw, buf[:0]), 0, nil
 }
 
@@ -189,8 +192,12 @@ func DecodeFeature(raw []byte, out []float32) []float32 {
 }
 
 // ReadFeatureRaw fetches node v's feature vector untimed (setup/tests).
+// Read errors panic: this is a setup/verification accessor, never on a
+// production path, and its call sites predate backends that can fail.
 func (d *Dataset) ReadFeatureRaw(v int64, out []float32) []float32 {
 	raw := make([]byte, d.FeatBytes())
-	d.Dev.ReadRaw(raw, d.FeatureOff(v))
+	if err := d.Dev.ReadRaw(raw, d.FeatureOff(v)); err != nil {
+		panic(fmt.Sprintf("graph: feature read for node %d: %v", v, err))
+	}
 	return DecodeFeature(raw, out)
 }

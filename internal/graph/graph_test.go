@@ -15,7 +15,7 @@ import (
 func buildTestDataset(t *testing.T) *Dataset {
 	t.Helper()
 	dev := ssd.New(1<<20, ssd.InstantConfig())
-	t.Cleanup(dev.Close)
+	t.Cleanup(func() { dev.Close() })
 	indices := []int32{1, 2, 0, 0, 1, 2}
 	indptr := []int64{0, 2, 3, 3, 6}
 	raw := make([]byte, len(indices)*4)

@@ -8,7 +8,7 @@ import (
 	"io"
 	"os"
 
-	"gnndrive/internal/ssd"
+	"gnndrive/internal/storage"
 )
 
 // fileMagic guards the .gnnd dataset container format.
@@ -67,14 +67,16 @@ func Save(ds *Dataset, path string) error {
 	return w.Flush()
 }
 
-func copyRegion(w io.Writer, dev *ssd.Device, off, n int64) error {
+func copyRegion(w io.Writer, dev storage.Backend, off, n int64) error {
 	buf := make([]byte, 1<<20)
 	for done := int64(0); done < n; {
 		c := int64(len(buf))
 		if done+c > n {
 			c = n - done
 		}
-		dev.ReadRaw(buf[:c], off+done)
+		if err := dev.ReadRaw(buf[:c], off+done); err != nil {
+			return err
+		}
 		if _, err := w.Write(buf[:c]); err != nil {
 			return err
 		}
@@ -83,10 +85,11 @@ func copyRegion(w io.Writer, dev *ssd.Device, off, n int64) error {
 	return nil
 }
 
-// Load reads a .gnnd container, creates a simulated device of the given
-// configuration (plus extraBytes of scratch capacity), and returns the
-// dataset bound to it.
-func Load(path string, cfg ssd.Config, extraBytes int64) (*Dataset, error) {
+// Load reads a .gnnd container, builds a backend through newBackend with
+// capacity for the arrays plus extraBytes of scratch, and returns the
+// dataset bound to it. The factory decides where the bytes land — the
+// simulator's in-memory image or a real file (storage/sim, storage/file).
+func Load(path string, newBackend storage.Factory, extraBytes int64) (*Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("graph: load: %w", err)
@@ -133,7 +136,10 @@ func Load(path string, cfg ssd.Config, extraBytes int64) (*Dataset, error) {
 	featLen := h.NumNodes * int64(h.Dim) * 4
 	ds.Layout = Layout{IndicesOff: 0, IndicesLen: indicesLen,
 		FeaturesOff: featOff, FeaturesLen: featLen}
-	dev := ssd.New(featOff+featLen+extraBytes, cfg)
+	dev, err := newBackend(featOff + featLen + extraBytes)
+	if err != nil {
+		return nil, fmt.Errorf("graph: load backend: %w", err)
+	}
 	if err := fillRegion(r, dev, 0, indicesLen); err != nil {
 		dev.Close()
 		return nil, err
@@ -150,7 +156,7 @@ func Load(path string, cfg ssd.Config, extraBytes int64) (*Dataset, error) {
 	return ds, nil
 }
 
-func fillRegion(r io.Reader, dev *ssd.Device, off, n int64) error {
+func fillRegion(r io.Reader, dev storage.Backend, off, n int64) error {
 	buf := make([]byte, 1<<20)
 	for done := int64(0); done < n; {
 		c := int64(len(buf))
@@ -160,7 +166,9 @@ func fillRegion(r io.Reader, dev *ssd.Device, off, n int64) error {
 		if _, err := io.ReadFull(r, buf[:c]); err != nil {
 			return err
 		}
-		dev.WriteAt(buf[:c], off+done)
+		if err := dev.WriteRaw(buf[:c], off+done); err != nil {
+			return err
+		}
 		done += c
 	}
 	return nil

@@ -5,7 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
-	"gnndrive/internal/ssd"
+	"gnndrive/internal/storage/sim"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -16,7 +16,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err := Save(ds, path); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(path, ssd.InstantConfig(), 4096)
+	got, err := Load(path, sim.Factory(sim.InstantConfig()), 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,10 +65,10 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not a dataset"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Load(path, ssd.InstantConfig(), 0); err == nil {
+	if _, err := Load(path, sim.Factory(sim.InstantConfig()), 0); err == nil {
 		t.Fatal("expected format error")
 	}
-	if _, err := Load(filepath.Join(t.TempDir(), "missing"), ssd.InstantConfig(), 0); err == nil {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing"), sim.Factory(sim.InstantConfig()), 0); err == nil {
 		t.Fatal("expected open error")
 	}
 }

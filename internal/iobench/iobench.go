@@ -1,8 +1,9 @@
 // Package iobench is the fio-equivalent micro-benchmark driver used by
 // Appendix B's study (Fig. B.1) and the cmd/iobench CLI: random fixed-size
-// reads against the simulated SSD, synchronously with N threads or
-// asynchronously with one thread at I/O depth D, in direct or buffered
-// (page-cached) mode, reporting bandwidth and mean latency.
+// reads against a storage backend (the simulated SSD or a real file),
+// synchronously with N threads or asynchronously with one thread at I/O
+// depth D, in direct or buffered (page-cached) mode, reporting bandwidth
+// and mean latency.
 package iobench
 
 import (
@@ -14,6 +15,7 @@ import (
 	"gnndrive/internal/hostmem"
 	"gnndrive/internal/pagecache"
 	"gnndrive/internal/ssd"
+	"gnndrive/internal/storage"
 	"gnndrive/internal/tensor"
 	"gnndrive/internal/uring"
 )
@@ -46,7 +48,7 @@ type Result struct {
 func (r Result) MBps() float64 { return r.Bandwidth / 1e6 }
 
 // Run executes the spec against dev.
-func Run(dev *ssd.Device, spec Spec) (Result, error) {
+func Run(dev storage.Backend, spec Spec) (Result, error) {
 	if spec.FileBytes <= 0 || spec.Reads <= 0 {
 		return Result{}, fmt.Errorf("iobench: bad spec %+v", spec)
 	}
@@ -59,7 +61,7 @@ func Run(dev *ssd.Device, spec Spec) (Result, error) {
 	return runAsync(dev, spec)
 }
 
-func runSync(dev *ssd.Device, spec Spec) (Result, error) {
+func runSync(dev storage.Backend, spec Spec) (Result, error) {
 	var file *pagecache.File
 	if spec.Buffered {
 		pool := spec.CachePool
@@ -83,7 +85,8 @@ func runSync(dev *ssd.Device, spec Spec) (Result, error) {
 		go func(t int) {
 			defer wg.Done()
 			rng := tensor.NewRNG(spec.Seed + uint64(t)*977 + 3)
-			buf := make([]byte, 512)
+			// Sector-aligned so a file backend's O_DIRECT path is used.
+			buf := storage.AlignedBuf(512, 512)
 			for i := 0; i < per; i++ {
 				off := int64(rng.Intn(int(spec.FileBytes/512))) * 512
 				t0 := time.Now()
@@ -113,12 +116,12 @@ func runSync(dev *ssd.Device, spec Spec) (Result, error) {
 	}, nil
 }
 
-func runAsync(dev *ssd.Device, spec Spec) (Result, error) {
+func runAsync(dev storage.Backend, spec Spec) (Result, error) {
 	ring := uring.NewRing(dev, spec.Depth)
 	rng := tensor.NewRNG(spec.Seed + uint64(spec.Depth)*31 + 7)
 	bufs := make([][]byte, spec.Depth)
 	for i := range bufs {
-		bufs[i] = make([]byte, 512)
+		bufs[i] = storage.AlignedBuf(512, 512)
 	}
 	var latSum time.Duration
 	submitted, collected := 0, 0
@@ -153,8 +156,8 @@ func runAsync(dev *ssd.Device, spec Spec) (Result, error) {
 	}, nil
 }
 
-// NewDevice builds a zero-filled device of the given size for standalone
-// benchmarking.
+// NewDevice builds a zero-filled simulated device of the given size for
+// standalone benchmarking.
 func NewDevice(fileBytes int64, cfg ssd.Config) *ssd.Device {
 	return ssd.New(fileBytes, cfg)
 }

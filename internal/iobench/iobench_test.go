@@ -9,7 +9,7 @@ import (
 func testDev(t *testing.T) *ssd.Device {
 	t.Helper()
 	d := NewDevice(1<<20, ssd.InstantConfig())
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	return d
 }
 

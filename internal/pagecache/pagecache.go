@@ -19,7 +19,7 @@ import (
 	"gnndrive/internal/errutil"
 	"gnndrive/internal/faults"
 	"gnndrive/internal/hostmem"
-	"gnndrive/internal/ssd"
+	"gnndrive/internal/storage"
 )
 
 // faultPolicy retries page fault-ins that hit a transient device error or
@@ -52,9 +52,9 @@ type Stats struct {
 	Retries int64
 }
 
-// Cache is a shared LRU page cache in front of one simulated device.
+// Cache is a shared LRU page cache in front of one storage backend.
 type Cache struct {
-	dev    *ssd.Device
+	dev    storage.Backend
 	budget *hostmem.Budget
 
 	mu     sync.Mutex
@@ -66,7 +66,7 @@ type Cache struct {
 }
 
 // New creates a cache over dev whose size is bounded by budget.CachePool().
-func New(dev *ssd.Device, budget *hostmem.Budget) *Cache {
+func New(dev storage.Backend, budget *hostmem.Budget) *Cache {
 	return &Cache{
 		dev:    dev,
 		budget: budget,

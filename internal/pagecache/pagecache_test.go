@@ -13,7 +13,7 @@ import (
 func testCache(t *testing.T, devSize int64, budget int64) (*ssd.Device, *hostmem.Budget, *Cache) {
 	t.Helper()
 	d := ssd.New(devSize, ssd.InstantConfig())
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	b := hostmem.NewBudget(budget)
 	return d, b, New(d, b)
 }

@@ -16,7 +16,7 @@ func tinyDataset(t *testing.T) *graph.Dataset {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(ds.Dev.Close)
+	t.Cleanup(func() { ds.Dev.Close() })
 	return ds
 }
 

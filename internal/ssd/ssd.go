@@ -20,21 +20,23 @@ package ssd
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gnndrive/internal/faults"
+	"gnndrive/internal/storage"
 )
 
-// ErrClosed is returned for requests submitted after Close.
-var ErrClosed = errors.New("ssd: device closed")
+// ErrClosed is returned for requests submitted after Close. It is the
+// shared storage.ErrClosed sentinel: every backend fails the same way.
+var ErrClosed = storage.ErrClosed
 
 // ErrUnaligned is returned by ReadDirect when the offset or length
 // violates the sector alignment; callers can degrade to buffered I/O.
-var ErrUnaligned = errors.New("ssd: direct read not sector-aligned")
+// It aliases the one storage.ErrUnaligned sentinel.
+var ErrUnaligned = storage.ErrUnaligned
 
 // Config describes the simulated device.
 type Config struct {
@@ -75,40 +77,16 @@ func InstantConfig() Config {
 	return Config{ReadLatency: 0, BytesPerSec: 0, Channels: 4, SectorSize: 512, TimeScale: 0}
 }
 
-// Request is one read submitted to the device.
-type Request struct {
-	Buf  []byte
-	Off  int64
-	User uint64 // caller cookie (e.g. node index), returned on completion
-	Err  error
-	// Ctx, when non-nil, bounds the request's modeled service wait: if it
-	// is cancelled while the channel sleeps out the service time (most
-	// notably a fault-injected straggler delay), the request completes
-	// immediately with the context's error instead of blocking pipeline
-	// teardown for the full delay. The modeled device clock (busyUntil)
-	// still advances, so cancellation does not distort later timings.
-	Ctx context.Context
-	// Done is invoked on the channel goroutine when the request
-	// completes. It must not block for long.
-	Done func(*Request)
+// Request is one read submitted to the device. It is the shared
+// storage.Request type, so requests flow through rings and backends
+// without conversion.
+type Request = storage.Request
 
-	submitted time.Time
-	// Latency is the total submit-to-complete duration (queueing +
-	// service), available inside Done and after completion.
-	Latency time.Duration
-}
+// Stats are cumulative device counters (the shared storage.Stats type).
+type Stats = storage.Stats
 
-// Stats are cumulative device counters.
-type Stats struct {
-	Reads        int64
-	BytesRead    int64
-	Faults       int64         // requests completed with an injected error
-	BusyTime     time.Duration // summed channel service time
-	QueueTime    time.Duration // summed wait before service
-	TotalLatency time.Duration
-}
-
-// Device is a simulated SSD backed by an in-memory image.
+// Device is a simulated SSD backed by an in-memory image. It implements
+// storage.Backend; storage/sim is its front door in the backend registry.
 type Device struct {
 	cfg      Config
 	image    []byte
@@ -121,7 +99,7 @@ type Device struct {
 	queueNanos   atomic.Int64
 	latencyNanos atomic.Int64
 
-	inj atomic.Pointer[faults.Injector]
+	storage.Injection
 
 	// closeMu orders Submit's channel sends before Close's channel close:
 	// senders hold the read side, Close takes the write side, so a request
@@ -130,6 +108,8 @@ type Device struct {
 	closed  bool
 	wg      sync.WaitGroup
 }
+
+var _ storage.Backend = (*Device)(nil)
 
 type channel struct {
 	dev       *Device
@@ -150,7 +130,7 @@ func New(capacity int64, cfg Config) *Device {
 	}
 	d := &Device{cfg: cfg, image: make([]byte, capacity)}
 	if cfg.Faults != nil {
-		d.inj.Store(faults.NewInjector(*cfg.Faults))
+		d.SetInjector(faults.NewInjector(*cfg.Faults))
 	}
 	d.channels = make([]*channel, cfg.Channels)
 	for i := range d.channels {
@@ -168,21 +148,13 @@ func (d *Device) Capacity() int64 { return int64(len(d.image)) }
 // SectorSize returns the direct-I/O granularity.
 func (d *Device) SectorSize() int { return d.cfg.SectorSize }
 
-// SetInjector attaches (or, with nil, detaches) a fault injector. Reads
-// already queued keep the schedule they were decided under; new requests
-// consult the new injector.
-func (d *Device) SetInjector(in *faults.Injector) { d.inj.Store(in) }
-
-// Injector returns the attached fault injector, or nil.
-func (d *Device) Injector() *faults.Injector { return d.inj.Load() }
-
 // Close stops the channel goroutines. Outstanding requests drain first;
 // requests submitted afterwards complete with ErrClosed.
-func (d *Device) Close() {
+func (d *Device) Close() error {
 	d.closeMu.Lock()
 	if d.closed {
 		d.closeMu.Unlock()
-		return
+		return nil
 	}
 	d.closed = true
 	d.closeMu.Unlock()
@@ -190,15 +162,18 @@ func (d *Device) Close() {
 		close(c.queue)
 	}
 	d.wg.Wait()
+	return nil
 }
 
 // ReadRaw copies device bytes into p with no modeled cost. It is for
 // dataset setup and test verification only — never on a timed path.
-func (d *Device) ReadRaw(p []byte, off int64) {
+// Out-of-range access is a programming error in the simulator and panics.
+func (d *Device) ReadRaw(p []byte, off int64) error {
 	if off < 0 || off+int64(len(p)) > int64(len(d.image)) {
 		panic(fmt.Sprintf("ssd: ReadRaw [%d,%d) outside capacity %d", off, off+int64(len(p)), len(d.image)))
 	}
 	copy(p, d.image[off:])
+	return nil
 }
 
 // WriteSync stores p at off, blocking for the modeled service time.
@@ -224,6 +199,12 @@ func (d *Device) WriteAt(p []byte, off int64) {
 		panic(fmt.Sprintf("ssd: WriteAt [%d,%d) outside capacity %d", off, off+int64(len(p)), len(d.image)))
 	}
 	copy(d.image[off:], p)
+}
+
+// WriteRaw is storage.Backend's untimed setup write (WriteAt).
+func (d *Device) WriteRaw(p []byte, off int64) error {
+	d.WriteAt(p, off)
+	return nil
 }
 
 // serviceTime returns the modeled service duration for n bytes.
@@ -256,7 +237,7 @@ func (d *Device) Submit(req *Request) {
 		}
 		return
 	}
-	req.submitted = time.Now()
+	req.Submitted = time.Now()
 	c := d.channels[(req.Off/int64(d.cfg.SectorSize))%int64(len(d.channels))]
 	c.queue <- req
 	d.closeMu.RUnlock()
@@ -295,9 +276,8 @@ func (d *Device) ReadDirect(p []byte, off int64) (time.Duration, error) {
 
 // ReadDirectCtx is ReadDirect bounded by ctx, like ReadAtCtx.
 func (d *Device) ReadDirectCtx(ctx context.Context, p []byte, off int64) (time.Duration, error) {
-	ss := int64(d.cfg.SectorSize)
-	if off%ss != 0 || int64(len(p))%ss != 0 {
-		return 0, fmt.Errorf("%w: [%d,%d) not %d-aligned", ErrUnaligned, off, off+int64(len(p)), ss)
+	if err := storage.CheckAlign(off, len(p), d.cfg.SectorSize); err != nil {
+		return 0, err
 	}
 	return d.ReadAtCtx(ctx, p, off)
 }
@@ -325,12 +305,9 @@ func (c *channel) run() {
 	for req := range c.queue {
 		now := time.Now()
 		svc := c.dev.serviceTime(len(req.Buf))
-		var dec faults.Decision
-		if inj := c.dev.inj.Load(); inj != nil {
-			dec = inj.Decide(req.Off, len(req.Buf))
-			// Straggler latency is a modeled duration like any other.
-			svc += time.Duration(float64(dec.Delay) * c.dev.cfg.TimeScale)
-		}
+		dec := c.dev.Decide(req.Off, len(req.Buf))
+		// Straggler latency is a modeled duration like any other.
+		svc += time.Duration(float64(dec.Delay) * c.dev.cfg.TimeScale)
 		start := now
 		if c.busyUntil.After(now) {
 			start = c.busyUntil
@@ -358,7 +335,7 @@ func (c *channel) run() {
 		if abandoned {
 			req.Err = fmt.Errorf("ssd: read [%d,%d) abandoned: %w",
 				req.Off, req.Off+int64(len(req.Buf)), req.Ctx.Err())
-			req.Latency = time.Since(req.submitted)
+			req.Latency = time.Since(req.Submitted)
 			c.dev.reads.Add(1)
 			c.dev.latencyNanos.Add(int64(req.Latency))
 			if req.Done != nil {
@@ -374,7 +351,7 @@ func (c *channel) run() {
 			c.dev.faults.Add(1)
 		}
 		copy(req.Buf[:filled], c.dev.image[req.Off:req.Off+int64(filled)])
-		req.Latency = time.Since(req.submitted)
+		req.Latency = time.Since(req.Submitted)
 		c.dev.reads.Add(1)
 		c.dev.bytesRead.Add(int64(filled))
 		c.dev.busyNanos.Add(int64(svc))

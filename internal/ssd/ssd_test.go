@@ -11,7 +11,7 @@ import (
 func testDevice(t *testing.T, capacity int64, cfg Config) *Device {
 	t.Helper()
 	d := New(capacity, cfg)
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	return d
 }
 

@@ -1,0 +1,34 @@
+// Package sim is the simulator entry in the storage-backend registry: the
+// modeled SSD of internal/ssd (channels, service times, queueing, fault
+// injection) presented as a storage.Backend. Every experiment that needs
+// the paper's timing model builds its device here; training code never
+// names the concrete simulator type.
+package sim
+
+import (
+	"gnndrive/internal/ssd"
+	"gnndrive/internal/storage"
+)
+
+// Config describes the simulated device (re-exported from internal/ssd so
+// call sites need only this package).
+type Config = ssd.Config
+
+// DefaultConfig models a SATA SSD scaled 1:20 (see ssd.DefaultConfig).
+func DefaultConfig() Config { return ssd.DefaultConfig() }
+
+// InstantConfig returns a zero-latency configuration for unit tests.
+func InstantConfig() Config { return ssd.InstantConfig() }
+
+// New creates a simulated backend of the given capacity.
+func New(capacity int64, cfg Config) storage.Backend {
+	return ssd.New(capacity, cfg)
+}
+
+// Factory returns a storage.Factory building simulated backends of the
+// requested capacity with this configuration.
+func Factory(cfg Config) storage.Factory {
+	return func(capacity int64) (storage.Backend, error) {
+		return ssd.New(capacity, cfg), nil
+	}
+}

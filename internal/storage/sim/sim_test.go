@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"testing"
+
+	"gnndrive/internal/storage"
+	"gnndrive/internal/storage/sim"
+	"gnndrive/internal/storage/storagetest"
+)
+
+func TestConformance(t *testing.T) {
+	storagetest.Run(t, func(t *testing.T) storage.Backend {
+		return sim.New(storagetest.Capacity, sim.InstantConfig())
+	})
+}
+
+func TestConformanceDefaultTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("modeled latencies in -short mode")
+	}
+	storagetest.Run(t, func(t *testing.T) storage.Backend {
+		return sim.New(storagetest.Capacity, sim.DefaultConfig())
+	})
+}
+
+func TestFactory(t *testing.T) {
+	b, err := sim.Factory(sim.InstantConfig())(storagetest.Capacity)
+	if err != nil {
+		t.Fatalf("Factory: %v", err)
+	}
+	defer b.Close()
+	if b.Capacity() != storagetest.Capacity {
+		t.Fatalf("capacity %d, want %d", b.Capacity(), storagetest.Capacity)
+	}
+}

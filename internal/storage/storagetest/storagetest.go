@@ -1,0 +1,315 @@
+// Package storagetest is the conformance suite for storage.Backend
+// implementations. Both registered backends (storage/sim, storage/file)
+// run the same harness, so the contract the training stack depends on —
+// one alignment sentinel, prompt ctx cancellation, ErrClosed instead of a
+// panic after Close, monotone stats, injector wiring — is enforced by
+// construction rather than convention. A third backend (e.g. a future
+// io_uring one) gets its whole acceptance test by calling Run.
+package storagetest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gnndrive/internal/faults"
+	"gnndrive/internal/storage"
+)
+
+// Capacity is the device size the harness asks each factory for.
+const Capacity int64 = 1 << 20
+
+// Factory builds a fresh backend of at least Capacity bytes for one
+// subtest. The harness closes it via Cleanup; factories should register
+// any extra teardown (e.g. file removal) themselves.
+type Factory func(t *testing.T) storage.Backend
+
+// Run exercises the full Backend contract against the factory.
+func Run(t *testing.T, newBackend Factory) {
+	t.Run("RawRoundtrip", func(t *testing.T) { testRawRoundtrip(t, newBackend) })
+	t.Run("ReadPathsAgree", func(t *testing.T) { testReadPathsAgree(t, newBackend) })
+	t.Run("AlignmentSentinel", func(t *testing.T) { testAlignment(t, newBackend) })
+	t.Run("Bounds", func(t *testing.T) { testBounds(t, newBackend) })
+	t.Run("AsyncSubmit", func(t *testing.T) { testAsyncSubmit(t, newBackend) })
+	t.Run("CtxCancelMidRead", func(t *testing.T) { testCtxCancel(t, newBackend) })
+	t.Run("SubmitAfterClose", func(t *testing.T) { testSubmitAfterClose(t, newBackend) })
+	t.Run("StatsMonotone", func(t *testing.T) { testStatsMonotone(t, newBackend) })
+	t.Run("InjectorWiring", func(t *testing.T) { testInjectorWiring(t, newBackend) })
+}
+
+func open(t *testing.T, newBackend Factory) storage.Backend {
+	t.Helper()
+	b := newBackend(t)
+	if b.Capacity() < Capacity {
+		t.Fatalf("capacity %d < requested %d", b.Capacity(), Capacity)
+	}
+	if b.SectorSize() <= 0 {
+		t.Fatalf("sector size %d", b.SectorSize())
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+// pattern fills p with a deterministic byte sequence derived from off.
+func pattern(p []byte, off int64) {
+	for i := range p {
+		p[i] = byte((off + int64(i)) * 31)
+	}
+}
+
+func testRawRoundtrip(t *testing.T, newBackend Factory) {
+	b := open(t, newBackend)
+	sec := int64(b.SectorSize())
+	want := make([]byte, 3*sec)
+	pattern(want, 2*sec)
+	if err := b.WriteRaw(want, 2*sec); err != nil {
+		t.Fatalf("WriteRaw: %v", err)
+	}
+	got := make([]byte, len(want))
+	if err := b.ReadRaw(got, 2*sec); err != nil {
+		t.Fatalf("ReadRaw: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("raw roundtrip mismatch")
+	}
+	if _, err := b.WriteSync(want, 8*sec); err != nil {
+		t.Fatalf("WriteSync: %v", err)
+	}
+	if err := b.ReadRaw(got, 8*sec); err != nil {
+		t.Fatalf("ReadRaw after WriteSync: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("WriteSync roundtrip mismatch")
+	}
+}
+
+func testReadPathsAgree(t *testing.T, newBackend Factory) {
+	b := open(t, newBackend)
+	sec := int64(b.SectorSize())
+	want := make([]byte, 4*sec)
+	pattern(want, 0)
+	if err := b.WriteRaw(want, 0); err != nil {
+		t.Fatalf("WriteRaw: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		read func(p []byte, off int64) (time.Duration, error)
+	}{
+		{"ReadAt", b.ReadAt},
+		{"ReadDirect", b.ReadDirect},
+		{"ReadAtCtx", func(p []byte, off int64) (time.Duration, error) {
+			return b.ReadAtCtx(context.Background(), p, off)
+		}},
+		{"ReadDirectCtx", func(p []byte, off int64) (time.Duration, error) {
+			return b.ReadDirectCtx(context.Background(), p, off)
+		}},
+	} {
+		got := make([]byte, 2*sec)
+		if _, err := tc.read(got, sec); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !bytes.Equal(got, want[sec:3*sec]) {
+			t.Fatalf("%s returned wrong bytes", tc.name)
+		}
+	}
+}
+
+func testAlignment(t *testing.T, newBackend Factory) {
+	b := open(t, newBackend)
+	sec := int64(b.SectorSize())
+	buf := make([]byte, sec)
+	if _, err := b.ReadDirect(buf, sec/2); !errors.Is(err, storage.ErrUnaligned) {
+		t.Fatalf("unaligned offset: got %v, want ErrUnaligned", err)
+	}
+	if _, err := b.ReadDirect(buf[:sec-1], 0); !errors.Is(err, storage.ErrUnaligned) {
+		t.Fatalf("unaligned length: got %v, want ErrUnaligned", err)
+	}
+	if _, err := b.ReadDirectCtx(context.Background(), buf, sec/2); !errors.Is(err, storage.ErrUnaligned) {
+		t.Fatalf("unaligned ctx offset: got %v, want ErrUnaligned", err)
+	}
+	// Buffered reads have no alignment constraint.
+	if _, err := b.ReadAt(buf[:3], 1); err != nil {
+		t.Fatalf("unaligned buffered read: %v", err)
+	}
+}
+
+func testBounds(t *testing.T, newBackend Factory) {
+	b := open(t, newBackend)
+	buf := make([]byte, b.SectorSize())
+	if _, err := b.ReadAt(buf, b.Capacity()); err == nil {
+		t.Fatalf("read past capacity succeeded")
+	}
+	done := make(chan *storage.Request, 1)
+	b.Submit(&storage.Request{Buf: buf, Off: b.Capacity(),
+		Done: func(r *storage.Request) { done <- r }})
+	if r := <-done; r.Err == nil {
+		t.Fatalf("async read past capacity succeeded")
+	}
+}
+
+func testAsyncSubmit(t *testing.T, newBackend Factory) {
+	b := open(t, newBackend)
+	sec := int64(b.SectorSize())
+	const n = 64
+	img := make([]byte, n*sec)
+	pattern(img, 0)
+	if err := b.WriteRaw(img, 0); err != nil {
+		t.Fatalf("WriteRaw: %v", err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	bufs := make([][]byte, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		bufs[i] = make([]byte, sec)
+		req := &storage.Request{Buf: bufs[i], Off: int64(i) * sec, User: uint64(i), Direct: i%2 == 0}
+		req.Done = func(r *storage.Request) {
+			errs[r.User] = r.Err
+			wg.Done()
+		}
+		b.Submit(req)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(bufs[i], img[int64(i)*sec:int64(i+1)*sec]) {
+			t.Fatalf("request %d returned wrong bytes", i)
+		}
+	}
+}
+
+func testCtxCancel(t *testing.T, newBackend Factory) {
+	b := open(t, newBackend)
+	// Every read stalls far longer than the test budget; only prompt
+	// cancellation lets this finish.
+	b.SetInjector(faults.NewInjector(faults.Config{
+		Seed: 7, StragglerRate: 1.0, StragglerDelay: 30 * time.Second,
+	}))
+	defer b.SetInjector(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	buf := make([]byte, b.SectorSize())
+	start := time.Now()
+	_, err := b.ReadAtCtx(ctx, buf, 0)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled read: got %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; straggler delay not interrupted", elapsed)
+	}
+}
+
+func testSubmitAfterClose(t *testing.T, newBackend Factory) {
+	b := newBackend(t)
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	done := make(chan *storage.Request, 1)
+	b.Submit(&storage.Request{Buf: make([]byte, b.SectorSize()), Off: 0,
+		Done: func(r *storage.Request) { done <- r }})
+	select {
+	case r := <-done:
+		if !errors.Is(r.Err, storage.ErrClosed) {
+			t.Fatalf("submit after close: got %v, want ErrClosed", r.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("submit after close never completed")
+	}
+}
+
+func testStatsMonotone(t *testing.T, newBackend Factory) {
+	b := open(t, newBackend)
+	sec := int64(b.SectorSize())
+	before := b.Stats()
+	buf := make([]byte, sec)
+	const n = 16
+	for i := 0; i < n; i++ {
+		if _, err := b.ReadAt(buf, int64(i)*sec); err != nil {
+			t.Fatalf("ReadAt: %v", err)
+		}
+	}
+	after := b.Stats()
+	if got := after.Reads - before.Reads; got != n {
+		t.Fatalf("Reads advanced by %d, want %d", got, n)
+	}
+	if got := after.BytesRead - before.BytesRead; got != n*sec {
+		t.Fatalf("BytesRead advanced by %d, want %d", got, n*sec)
+	}
+	if after.BusyTime < before.BusyTime || after.QueueTime < before.QueueTime ||
+		after.TotalLatency < before.TotalLatency {
+		t.Fatalf("time counters regressed: before %+v after %+v", before, after)
+	}
+	if after.Faults != before.Faults {
+		t.Fatalf("faults advanced without an injector: %d -> %d", before.Faults, after.Faults)
+	}
+}
+
+func testInjectorWiring(t *testing.T, newBackend Factory) {
+	b := open(t, newBackend)
+	sec := int64(b.SectorSize())
+	img := make([]byte, 8*sec)
+	pattern(img, 0)
+	if err := b.WriteRaw(img, 0); err != nil {
+		t.Fatalf("WriteRaw: %v", err)
+	}
+
+	if b.Injector() != nil {
+		t.Fatalf("fresh backend has an injector")
+	}
+	inj := faults.NewInjector(faults.Config{
+		Seed:        3,
+		MediaRanges: []faults.Range{{Off: 4 * sec, Len: sec}},
+	})
+	b.SetInjector(inj)
+	if b.Injector() != inj {
+		t.Fatalf("Injector() did not return the attached injector")
+	}
+
+	buf := make([]byte, sec)
+	faultsBefore := b.Stats().Faults
+	if _, err := b.ReadAt(buf, 4*sec); !errors.Is(err, faults.ErrMedia) {
+		t.Fatalf("read in media range: got %v, want ErrMedia", err)
+	}
+	if got := b.Stats().Faults - faultsBefore; got != 1 {
+		t.Fatalf("Stats.Faults advanced by %d, want 1", got)
+	}
+	if inj.Counts().Media != 1 {
+		t.Fatalf("injector media count %d, want 1", inj.Counts().Media)
+	}
+
+	// Short reads deliver the prefix and the shared sentinel.
+	b.SetInjector(faults.NewInjector(faults.Config{Seed: 5, ShortReadRate: 1.0}))
+	for i := range buf {
+		buf[i] = 0xAA
+	}
+	if _, err := b.ReadAt(buf, 0); !errors.Is(err, faults.ErrShortRead) {
+		t.Fatalf("short read: got %v, want ErrShortRead", err)
+	}
+	if !bytes.Equal(buf[:sec/2], img[:sec/2]) {
+		t.Fatalf("short read did not deliver the prefix")
+	}
+
+	// Detach: reads are clean again.
+	b.SetInjector(nil)
+	if b.Injector() != nil {
+		t.Fatalf("Injector() non-nil after detach")
+	}
+	if _, err := b.ReadAt(buf, 4*sec); err != nil {
+		t.Fatalf("read after detach: %v", err)
+	}
+	if !bytes.Equal(buf, img[4*sec:5*sec]) {
+		t.Fatalf("read after detach returned wrong bytes")
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -32,7 +34,9 @@ import (
 	"gnndrive/internal/nn"
 	"gnndrive/internal/pagecache"
 	"gnndrive/internal/sample"
-	"gnndrive/internal/ssd"
+	"gnndrive/internal/storage"
+	"gnndrive/internal/storage/file"
+	"gnndrive/internal/storage/sim"
 )
 
 // GB is the scaled stand-in for one paper-gigabyte of memory.
@@ -109,6 +113,15 @@ type Config struct {
 	// GPUDirect enables the modeled GPUDirect Storage path (§4.4
 	// extension): no host staging, 4 KiB access granularity.
 	GPUDirect bool
+
+	// Backend selects the storage backend the dataset lives on: "sim"
+	// (default — the modeled SSD, timing scaled by Scale) or "file" (a
+	// real file served by storage/file with best-effort O_DIRECT; timing
+	// is the actual disk's, so modeled-latency comparisons do not apply).
+	Backend string
+	// DataFile is the backing path for Backend "file". Empty means a
+	// per-cell temp file under os.TempDir(), removed by DropDatasets.
+	DataFile string
 
 	// Faults, when non-nil, attaches a storage fault-injection schedule to
 	// the dataset device for the duration of the run (detached afterwards:
@@ -210,13 +223,42 @@ func (r Result) AvgPrep() time.Duration {
 
 // ---- dataset registry ----
 
-// datasets are cached per (name, dim, scale): building the big ones takes
-// seconds and the device image is read-only across runs (Ginex's scratch
-// and Marius's prep rewrite live outside / rewrite identical bytes).
+// datasets are cached per (name, dim, scale, backend, data file): building
+// the big ones takes seconds and the device image is read-only across runs
+// (Ginex's scratch and Marius's prep rewrite live outside / rewrite
+// identical bytes).
 var (
 	dsMu    sync.Mutex
 	dsCache = map[string]*graph.Dataset{}
+	// dsTemp maps cache keys to auto-created backing files (file backend
+	// with no DataFile), deleted by DropDatasets.
+	dsTemp = map[string]string{}
 )
+
+// newBackend builds the storage backend for one dataset cell. For the
+// file backend with no explicit DataFile it also returns the temp path it
+// created, so DropDatasets can remove it.
+func newBackend(cfg Config, spec gen.Spec, capacity int64) (storage.Backend, string, error) {
+	switch cfg.Backend {
+	case "", "sim":
+		scfg := sim.DefaultConfig()
+		scfg.TimeScale = cfg.Scale
+		return sim.New(capacity, scfg), "", nil
+	case "file":
+		path, temp := cfg.DataFile, ""
+		if path == "" {
+			path = filepath.Join(os.TempDir(),
+				fmt.Sprintf("gnndrive-%s-%d-%g.img", spec.Name, spec.Dim, cfg.Scale))
+			temp = path
+		}
+		b, err := file.Create(path, capacity, file.Options{})
+		if err != nil {
+			return nil, "", err
+		}
+		return b, temp, nil
+	}
+	return nil, "", fmt.Errorf("trainsim: unknown backend %q (want sim or file)", cfg.Backend)
+}
 
 // buildDataset returns the cached dataset for the config.
 func buildDataset(cfg Config) (*graph.Dataset, error) {
@@ -224,41 +266,53 @@ func buildDataset(cfg Config) (*graph.Dataset, error) {
 	if cfg.Dim != 0 {
 		spec.Dim = cfg.Dim
 	}
-	key := fmt.Sprintf("%s/%d/%g", spec.Name, spec.Dim, cfg.Scale)
+	key := fmt.Sprintf("%s/%d/%g/%s/%s", spec.Name, spec.Dim, cfg.Scale, cfg.Backend, cfg.DataFile)
 	dsMu.Lock()
 	defer dsMu.Unlock()
 	if ds, ok := dsCache[key]; ok {
 		return ds, nil
 	}
-	scfg := ssd.DefaultConfig()
-	scfg.TimeScale = cfg.Scale
-	dev := ssd.New(spec.SizeBytes()+ScratchBytes, scfg)
+	dev, temp, err := newBackend(cfg, spec, spec.SizeBytes()+ScratchBytes)
+	if err != nil {
+		return nil, err
+	}
 	ds, err := gen.Build(spec, dev, 0)
 	if err != nil {
 		dev.Close()
+		if temp != "" {
+			os.Remove(temp)
+		}
 		return nil, err
 	}
 	dsCache[key] = ds
+	if temp != "" {
+		dsTemp[key] = temp
+	}
 	return ds, nil
 }
 
-// DeviceStats returns the SSD counters of the cached dataset device for
-// the config (diagnostics).
-func DeviceStats(cfg Config) ssd.Stats {
+// DeviceStats returns the storage counters of the cached dataset backend
+// for the config (diagnostics).
+func DeviceStats(cfg Config) storage.Stats {
 	cfg.fill()
 	ds, err := buildDataset(cfg)
 	if err != nil {
-		return ssd.Stats{}
+		return storage.Stats{}
 	}
 	return ds.Dev.Stats()
 }
 
-// DropDatasets clears the dataset cache (frees memory between sweeps).
+// DropDatasets clears the dataset cache (frees memory between sweeps) and
+// removes any auto-created backing files.
 func DropDatasets() {
 	dsMu.Lock()
 	defer dsMu.Unlock()
 	for k, ds := range dsCache {
 		ds.Dev.Close()
+		if path, ok := dsTemp[k]; ok {
+			os.Remove(path)
+			delete(dsTemp, k)
+		}
 		delete(dsCache, k)
 	}
 }

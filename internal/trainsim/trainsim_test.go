@@ -2,6 +2,8 @@ package trainsim
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -263,5 +265,47 @@ func TestRunStallDeadlineHealthy(t *testing.T) {
 	}
 	if res.Epochs[0].Stalls != 0 {
 		t.Fatalf("healthy run reported %d stalls", res.Epochs[0].Stalls)
+	}
+}
+
+func TestFileBackendRunsAndCaches(t *testing.T) {
+	defer DropDatasets()
+	cfg := tinyCfg()
+	cfg.Backend = "file"
+	cfg.DataFile = filepath.Join(t.TempDir(), "tiny.img")
+	res, err := Run(cfg, GNNDriveGPU, RunOptions{Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs[0].Batches == 0 {
+		t.Fatal("no batches trained on the file backend")
+	}
+	if _, err := os.Stat(cfg.DataFile); err != nil {
+		t.Fatalf("backing file missing: %v", err)
+	}
+	// The file-backend dataset is cached separately from the sim one.
+	a, err := buildDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := tinyCfg()
+	b, err := buildDataset(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("file and sim configs must not share a cached dataset")
+	}
+	if st := DeviceStats(cfg); st.Reads == 0 {
+		t.Fatalf("file backend reported no reads: %+v", st)
+	}
+}
+
+func TestUnknownBackendRejected(t *testing.T) {
+	defer DropDatasets()
+	cfg := tinyCfg()
+	cfg.Backend = "nvme-of"
+	if _, err := Run(cfg, GNNDriveGPU, RunOptions{Epochs: 1}); err == nil {
+		t.Fatal("unknown backend accepted")
 	}
 }

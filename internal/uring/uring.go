@@ -1,5 +1,5 @@
 // Package uring provides an io_uring-like asynchronous read interface over
-// the simulated SSD: a bounded submission side and a completion queue the
+// a storage backend: a bounded submission side and a completion queue the
 // caller drains with peek/wait, mirroring the SQ/CQ rings the paper uses
 // (Appendix A). One goroutine can keep an arbitrary I/O depth in flight
 // without per-request OS threads, which is exactly the property GNNDrive's
@@ -9,11 +9,10 @@ package uring
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sync/atomic"
 	"time"
 
-	"gnndrive/internal/ssd"
+	"gnndrive/internal/storage"
 )
 
 // ErrClosed is returned when operating on a closed ring.
@@ -21,8 +20,9 @@ var ErrClosed = errors.New("uring: ring closed")
 
 // ErrUnaligned is returned by SubmitRead when the offset or length
 // violates the direct-I/O sector alignment; callers can degrade to a
-// buffered read (§4.4's fallback ladder).
-var ErrUnaligned = errors.New("uring: direct read not sector-aligned")
+// buffered read (§4.4's fallback ladder). It aliases the one
+// storage.ErrUnaligned sentinel shared by every layer.
+var ErrUnaligned = storage.ErrUnaligned
 
 // CQE is a completion-queue event.
 type CQE struct {
@@ -31,11 +31,11 @@ type CQE struct {
 	Latency time.Duration
 }
 
-// Ring is an asynchronous I/O ring bound to one device. Depth bounds the
+// Ring is an asynchronous I/O ring bound to one backend. Depth bounds the
 // number of in-flight requests; SubmitRead blocks when the ring is full
 // (the common io_uring usage of waiting for completions to make room).
 type Ring struct {
-	dev      *ssd.Device
+	dev      storage.Backend
 	depth    int
 	slots    chan struct{}
 	cq       chan CQE
@@ -44,7 +44,7 @@ type Ring struct {
 }
 
 // NewRing creates a ring with the given I/O depth on dev.
-func NewRing(dev *ssd.Device, depth int) *Ring {
+func NewRing(dev storage.Backend, depth int) *Ring {
 	if depth <= 0 {
 		depth = 1
 	}
@@ -95,19 +95,19 @@ func (r *Ring) submit(ctx context.Context, p []byte, off int64, user uint64, dir
 		return ErrClosed
 	}
 	if direct {
-		ss := int64(r.dev.SectorSize())
-		if off%ss != 0 || int64(len(p))%ss != 0 {
-			return fmt.Errorf("%w: [%d,%d)", ErrUnaligned, off, off+int64(len(p)))
+		if err := storage.CheckAlign(off, len(p), r.dev.SectorSize()); err != nil {
+			return err
 		}
 	}
 	r.slots <- struct{}{}
 	r.inflight.Add(1)
-	req := &ssd.Request{
-		Buf:  p,
-		Off:  off,
-		User: user,
-		Ctx:  ctx,
-		Done: func(rq *ssd.Request) {
+	req := &storage.Request{
+		Buf:    p,
+		Off:    off,
+		User:   user,
+		Direct: direct,
+		Ctx:    ctx,
+		Done: func(rq *storage.Request) {
 			r.cq <- CQE{User: rq.User, Err: rq.Err, Latency: rq.Latency}
 		},
 	}

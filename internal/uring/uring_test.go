@@ -11,7 +11,7 @@ import (
 func testRing(t *testing.T, depth int) (*ssd.Device, *Ring) {
 	t.Helper()
 	d := ssd.New(1<<16, ssd.InstantConfig())
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	return d, NewRing(d, depth)
 }
 
