@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const fixtures = "../../internal/lint/testdata/src/"
+
+// TestBrokenPackageIsReportedAndOthersStillRun feeds the driver a
+// package that cannot type-check alongside a healthy one: the type
+// error must be printed with a position, the exit code must be nonzero,
+// and the healthy package's findings must still appear.
+func TestBrokenPackageIsReportedAndOthersStillRun(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{fixtures + "broken", fixtures + "ctxbg"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "[typecheck]") {
+		t.Errorf("missing [typecheck] report:\n%s", s)
+	}
+	if !strings.Contains(s, "broken.go:") {
+		t.Errorf("type error lacks file:line position:\n%s", s)
+	}
+	if !strings.Contains(s, "analyzers skipped") {
+		t.Errorf("missing skip notice for the broken package:\n%s", s)
+	}
+	if !strings.Contains(s, "[ctxbg]") {
+		t.Errorf("healthy package was not analyzed after the broken one:\n%s", s)
+	}
+}
+
+// TestSelfLint runs gnnlint over its own implementation package — the
+// linter must hold itself to the same contracts.
+func TestSelfLint(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"../../internal/lint", "."}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("gnnlint is not clean over its own packages (exit %d):\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Errorf("expected clean summary:\n%s", out.String())
+	}
+}
+
+// TestSuppressedFlagPrintsAuditTrail checks -suppressed surfaces each
+// gnnlint:ignore hit with its mandatory reason.
+func TestSuppressedFlagPrintsAuditTrail(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-suppressed", fixtures + "ctxbg"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (fixture has live findings)\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "suppressed:") || !strings.Contains(s, "reason:") {
+		t.Errorf("audit trail missing from -suppressed output:\n%s", s)
+	}
+}
+
+// TestBadPatternFails asserts a nonexistent pattern is a usage error,
+// not a silent clean run.
+func TestBadPatternFails(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"./no/such/dir"}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\n%s%s", code, out.String(), errw.String())
+	}
+}

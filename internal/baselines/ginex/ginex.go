@@ -35,6 +35,7 @@ import (
 	"gnndrive/internal/metrics"
 	"gnndrive/internal/nn"
 	"gnndrive/internal/sample"
+	"gnndrive/internal/storage"
 	"gnndrive/internal/tensor"
 )
 
@@ -348,7 +349,7 @@ func (s *System) inspect(batches []*sample.Batch, col *metrics.BreakdownCollecto
 			if off+nb > s.opts.ScratchOff+s.opts.ScratchLen {
 				off = s.opts.ScratchOff
 			}
-			waited, err := s.ds.Dev.ReadAt(make([]byte, nb), off)
+			waited, err := s.ds.Dev.ReadAt(storage.AlignedBuf(int(nb), s.ds.Dev.SectorSize()), off)
 			s.rec.AddIOWait(waited)
 			if err != nil {
 				return nil, fmt.Errorf("ginex: inspect read: %w", err)
@@ -423,7 +424,7 @@ func (s *System) loadNodes(nodes []int64, sched *schedule, afterBatch int) error
 	plan := core.BuildReadPlan(s.ds.Layout.FeaturesOff, int(s.ds.FeatBytes()),
 		s.ds.Dev.SectorSize(), 64<<10, sorted, positions)
 	featBytes := int(s.ds.FeatBytes())
-	buf := make([]byte, 64<<10+featBytes)
+	buf := storage.AlignedBuf(64<<10+featBytes, s.ds.Dev.SectorSize())
 	for _, op := range plan {
 		waited, err := s.ds.Dev.ReadDirect(buf[:op.Len], op.DevOff)
 		s.rec.AddIOWait(waited)
@@ -578,7 +579,7 @@ func (r *ncReader) Neighbors(v int64, buf []int32) ([]int32, time.Duration, erro
 	aStart := start / 512 * 512
 	aEnd := (end + 511) / 512 * 512
 	if cap(r.raw) < int(aEnd-aStart) {
-		r.raw = make([]byte, aEnd-aStart)
+		r.raw = storage.AlignedBuf(int(aEnd-aStart), 512)
 	}
 	raw := r.raw[:aEnd-aStart]
 	waited, err := ds.Dev.ReadDirect(raw, aStart)

@@ -30,6 +30,7 @@ import (
 	"gnndrive/internal/metrics"
 	"gnndrive/internal/nn"
 	"gnndrive/internal/sample"
+	"gnndrive/internal/storage"
 	"gnndrive/internal/tensor"
 )
 
@@ -223,7 +224,7 @@ func (s *System) Prepare(epoch int, col *metrics.BreakdownCollector) ([]int, err
 	// the epoch's partition order.
 	stage := int64(prepRelayoutFraction * float64(s.ds.Layout.FeaturesLen))
 	const chunk = 1 << 20
-	buf := make([]byte, chunk)
+	buf := storage.AlignedBuf(chunk, s.ds.Dev.SectorSize())
 	for off := int64(0); off < stage; off += chunk {
 		n := int64(chunk)
 		if off+n > stage {
@@ -269,7 +270,7 @@ func (s *System) loadPartition(p int) error {
 	featLo := s.ds.FeatureOff(lo)
 	featBytes := (hi - lo) * s.ds.FeatBytes()
 	const chunk = 1 << 20
-	buf := make([]byte, chunk)
+	buf := storage.AlignedBuf(chunk, s.ds.Dev.SectorSize())
 	for off := int64(0); off < featBytes; off += chunk {
 		n := int64(chunk)
 		if off+n > featBytes {

@@ -506,6 +506,7 @@ func (e *Engine) putBatch(b *sample.Batch) {
 // TrainEpoch runs one full pass over the training set through the
 // four-stage pipeline and returns its timing breakdown.
 func (e *Engine) TrainEpoch(epoch int) (EpochResult, error) {
+	//gnnlint:ignore ctxbg non-cancellable compat wrapper; cancellable callers use RunEpochCtx
 	return e.trainEpochSegment(context.Background(), epoch, e.ds.TrainIdx, nil, 0)
 }
 

@@ -247,6 +247,7 @@ func getReleaseScratch() *releaseScratch {
 // Release undoes it after training. Blocks while the standby list is
 // empty, waiting for the releaser.
 func (fb *FeatureBuffer) Reserve(nodes []int64) (*Reservation, error) {
+	//gnnlint:ignore ctxbg non-cancellable compat wrapper; the pipeline calls ReserveCtx
 	return fb.ReserveCtx(context.Background(), nodes)
 }
 
@@ -533,6 +534,7 @@ func (fb *FeatureBuffer) MarkValid(node int64) {
 // WaitValid blocks until every listed node's valid bit is set — the
 // wait-list re-examination at the end of Algorithm 1.
 func (fb *FeatureBuffer) WaitValid(nodes []int64) {
+	//gnnlint:ignore ctxbg non-cancellable compat wrapper; the pipeline calls WaitValidCtx
 	_ = fb.WaitValidCtx(context.Background(), nodes)
 }
 

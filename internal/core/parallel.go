@@ -170,6 +170,7 @@ func (p *Parallel) allReduceTime() time.Duration {
 // concurrently with per-step gradient synchronization. It returns the
 // wall-clock epoch time and per-worker results.
 func (p *Parallel) TrainEpoch(epoch int) (time.Duration, []EpochResult, error) {
+	//gnnlint:ignore ctxbg non-cancellable compat wrapper; cancellable callers use TrainEpochCtx
 	return p.TrainEpochCtx(context.Background(), epoch)
 }
 

@@ -81,6 +81,7 @@ func (s *Staging) Slots() int { return s.slots }
 
 // Acquire blocks until a slot is free and returns its index.
 func (s *Staging) Acquire() int32 {
+	//gnnlint:ignore ctxbg non-cancellable compat wrapper; the pipeline calls AcquireCtx
 	slot, err := s.AcquireCtx(context.Background())
 	if err != nil {
 		panic("core: Acquire on closed staging buffer")

@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerAlignedIO enforces DESIGN.md §9's memory-alignment contract:
+// only storage.AlignedBuf (or staging-pool) memory may reach the
+// backend read and submit sinks, because the file backend's O_DIRECT
+// descriptor needs the buffer *address* — not just the file offset —
+// sector-aligned. A raw `make([]byte, n)` buffer reaching those sinks
+// either fails with EINVAL on a real disk or silently degrades every
+// read to the buffered path, which is exactly the regression the
+// DirectDegraded counter exists to catch.
+//
+// The check is an intra-procedural taint walk, by design: buffers that
+// cross function boundaries (parameters, struct fields populated
+// elsewhere) are out of scope, which keeps false positives near zero at
+// the cost of missing inter-procedural flows. Statements are visited in
+// source order; a reassignment from a clean source (AlignedBuf, a
+// staging slice) clears the taint.
+var AnalyzerAlignedIO = &Analyzer{
+	Name:          "alignedio",
+	Doc:           "make-born []byte must not reach backend read/submit sinks; use storage.AlignedBuf",
+	SkipTestFiles: true,
+	SkipTestPkgs:  true,
+	Run:           runAlignedIO,
+}
+
+const alignedHint = "allocate with storage.AlignedBuf (or reuse a staging-pool slice) so the O_DIRECT path stays reachable"
+
+func runAlignedIO(pass *Pass) {
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			tw := &taintWalk{pass: pass, tainted: make(map[string]bool)}
+			tw.walkBody(fd.Body)
+		}
+	}
+}
+
+// taintWalk tracks, inside one function (closures included — they share
+// the locals they capture), which variables currently hold a raw
+// make-born byte slice.
+type taintWalk struct {
+	pass *Pass
+	// tainted is keyed by taintKey: the defining object's ID for plain
+	// identifiers, or the rendered selector path ("r.raw", "req.Buf")
+	// for field chains.
+	tainted map[string]bool
+}
+
+func (tw *taintWalk) walkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 && i == 0 {
+					// Multi-value RHS (call, map index): only position 0
+					// can be the byte slice in the shapes we track.
+					rhs = n.Rhs[0]
+				}
+				key, ok := tw.key(lhs)
+				if !ok {
+					continue
+				}
+				if rhs != nil && tw.taintedExpr(rhs) {
+					tw.tainted[key] = true
+				} else {
+					delete(tw.tainted, key)
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) && tw.taintedExpr(vs.Values[i]) {
+							if key, ok := tw.key(name); ok {
+								tw.tainted[key] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			tw.checkSink(n)
+		}
+		return true
+	})
+}
+
+// key renders an assignable expression into a taint-map key: the object
+// ID for identifiers, a dotted path for selector chains of identifiers.
+func (tw *taintWalk) key(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return "", false
+		}
+		if obj := tw.pass.Info.ObjectOf(e); obj != nil {
+			return fmt.Sprintf("%s@%d", obj.Name(), obj.Pos()), true
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		base, ok := tw.key(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// taintedExpr reports whether the expression yields raw make-born bytes:
+// a make([]byte, ...) call, a reference to a tainted variable or field,
+// or a slice/paren of either.
+func (tw *taintWalk) taintedExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return tw.isRawMake(e)
+	case *ast.Ident, *ast.SelectorExpr:
+		key, ok := tw.key(e)
+		return ok && tw.tainted[key]
+	case *ast.SliceExpr:
+		return tw.taintedExpr(e.X)
+	}
+	return false
+}
+
+// isRawMake matches the taint source: the builtin make with a []byte
+// (or named byte-slice) first argument.
+func (tw *taintWalk) isRawMake(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if _, ok := tw.pass.Info.Uses[id].(*types.Builtin); !ok || id.Name != "make" {
+		return false
+	}
+	tv, ok := tw.pass.Info.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint8
+}
+
+// checkSink flags tainted buffers reaching a backend sink. Sinks are
+// recognized by method shape, not package identity, so the analyzer
+// covers storage.Backend, ssd.Device, pagecache's device reads, and the
+// fixture corpus alike:
+//
+//   - ReadAt/ReadAtCtx/ReadDirect/ReadDirectCtx returning
+//     (time.Duration, error) — the backend read family (io.ReaderAt's
+//     (int, error) shape is deliberately excluded);
+//   - SubmitRead/SubmitReadCtx — the uring direct-submit path
+//     (SubmitBufferedRead tolerates unaligned memory by contract);
+//   - Submit(*Request) — taint arrives via the Buf field of a composite
+//     literal or a prior req.Buf assignment.
+func (tw *taintWalk) checkSink(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := tw.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	switch fn.Name() {
+	case "ReadAt", "ReadAtCtx", "ReadDirect", "ReadDirectCtx":
+		if !isDurationErrorResults(sig.Results()) {
+			return
+		}
+		if buf := byteSliceArg(tw.pass, sig, call); buf != nil && tw.taintedExpr(buf) {
+			tw.pass.Reportf(buf.Pos(), alignedHint,
+				"raw make([]byte) buffer reaches backend %s; its address is not sector-aligned", fn.Name())
+		}
+	case "SubmitRead", "SubmitReadCtx":
+		if buf := byteSliceArg(tw.pass, sig, call); buf != nil && tw.taintedExpr(buf) {
+			tw.pass.Reportf(buf.Pos(), alignedHint,
+				"raw make([]byte) buffer submitted to the direct read path via %s", fn.Name())
+		}
+	case "Submit":
+		if sig.Params().Len() != 1 || len(call.Args) != 1 {
+			return
+		}
+		tw.checkSubmitRequest(call.Args[0])
+	}
+}
+
+// checkSubmitRequest inspects a Submit argument: a &Request{Buf: ...}
+// composite literal with a tainted Buf, or a variable whose .Buf field
+// was assigned a tainted value earlier in the function.
+func (tw *taintWalk) checkSubmitRequest(arg ast.Expr) {
+	e := ast.Unparen(arg)
+	if un, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(un.X)
+	}
+	if cl, ok := e.(*ast.CompositeLit); ok {
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Buf" && tw.taintedExpr(kv.Value) {
+				tw.pass.Reportf(kv.Value.Pos(), alignedHint,
+					"raw make([]byte) buffer submitted as Request.Buf; its address is not sector-aligned")
+			}
+		}
+		return
+	}
+	if key, ok := tw.key(e); ok && tw.tainted[key+".Buf"] {
+		tw.pass.Reportf(arg.Pos(), alignedHint,
+			"request's Buf was assigned a raw make([]byte) buffer before Submit")
+	}
+}
+
+// byteSliceArg returns the call argument bound to the signature's
+// []byte parameter (the buffer), tolerating a leading context parameter.
+func byteSliceArg(pass *Pass, sig *types.Signature, call *ast.CallExpr) ast.Expr {
+	params := sig.Params()
+	for i := 0; i < params.Len() && i < len(call.Args); i++ {
+		sl, ok := params.At(i).Type().Underlying().(*types.Slice)
+		if !ok {
+			continue
+		}
+		if basic, ok := sl.Elem().Underlying().(*types.Basic); ok && basic.Kind() == types.Uint8 {
+			return call.Args[i]
+		}
+	}
+	return nil
+}
+
+// isDurationErrorResults matches the backend read shape
+// (time.Duration, error).
+func isDurationErrorResults(res *types.Tuple) bool {
+	if res.Len() != 2 {
+		return false
+	}
+	named, ok := res.At(0).Type().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "time" || named.Obj().Name() != "Duration" {
+		return false
+	}
+	return types.Identical(res.At(1).Type(), types.Universe.Lookup("error").Type())
+}

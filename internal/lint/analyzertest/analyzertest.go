@@ -1,0 +1,141 @@
+// Package analyzertest is the fixture harness for gnnlint's analyzers.
+// A fixture is an ordinary Go package under internal/lint/testdata/src
+// (the testdata element hides it from go build and the gnnlint ./...
+// walk, while the import path still crosses internal/ so scoped
+// analyzers fire). Expectations are comments on the offending line:
+//
+//	buf := make([]byte, 64)          // want "raw make"
+//	_ = ctx                          // want:suppressed "Background"
+//
+// `want` matches a live finding on that line by regexp; all findings
+// must be matched and all expectations must fire, so the corpus proves
+// both that violations are caught and that correct code stays silent.
+// `want:suppressed` matches the gnnlint:ignore audit trail, proving the
+// directive actually intercepted a finding rather than the analyzer
+// never firing.
+package analyzertest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"gnndrive/internal/lint"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+	loaderErr  error
+)
+
+// sharedLoader memoizes one Loader per test binary so the stdlib and
+// module dependency type-checks are paid once, not per fixture.
+func sharedLoader() (*lint.Loader, error) {
+	loaderOnce.Do(func() {
+		loader, loaderErr = lint.NewLoader(".")
+	})
+	return loader, loaderErr
+}
+
+var wantRe = regexp.MustCompile(`//\s*want(:suppressed)?\s+"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file       string
+	line       int
+	suppressed bool
+	re         *regexp.Regexp
+	matched    bool
+}
+
+// Run loads the fixture package at dir (relative to the calling test's
+// package directory), runs the single analyzer over it, and compares
+// findings against the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	ld, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("fixture dir: %v", err)
+	}
+	pkgs, err := ld.Load(abs, true)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			for _, te := range pkg.TypeErrors {
+				t.Errorf("fixture must type-check: %s: %s", te.Fset.Position(te.Pos), te.Msg)
+			}
+			t.FailNow()
+		}
+		findings, suppressed := lint.RunPackage(pkg, []*lint.Analyzer{a})
+		expects, err := parseExpectations(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, findings, suppressed, expects)
+	}
+}
+
+func parseExpectations(pkg *lint.Package) ([]*expectation, error) {
+	var out []*expectation
+	for file, src := range pkg.Sources {
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", file, i+1, m[2], err)
+				}
+				out = append(out, &expectation{
+					file:       file,
+					line:       i + 1,
+					suppressed: m[1] != "",
+					re:         re,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+func check(t *testing.T, findings, suppressed []lint.Finding, expects []*expectation) {
+	t.Helper()
+	match := func(f lint.Finding, wantSuppressed bool) bool {
+		for _, e := range expects {
+			if e.matched || e.suppressed != wantSuppressed {
+				continue
+			}
+			if e.file == f.Pos.Filename && e.line == f.Pos.Line && e.re.MatchString(f.Message) {
+				e.matched = true
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range findings {
+		if !match(f, false) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, f := range suppressed {
+		if !match(f, true) {
+			t.Errorf("unexpected suppressed finding: %s (reason: %s)", f, f.SuppressReason)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			kind := "finding"
+			if e.suppressed {
+				kind = "suppressed finding"
+			}
+			t.Errorf("%s:%d: expected %s matching %q, got none", e.file, e.line, kind, e.re)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// A deliberately small statement-level CFG, built for refpair's
+// may-leak query and nothing else. Nodes are statements; structured
+// control flow (if/else, for, range, switch, type switch, select,
+// blocks) is lowered to edges; break and continue resolve against the
+// innermost enclosing loop or switch (labeled branches and goto are not
+// supported — the builder returns nil and the caller stays silent,
+// favoring no answer over a wrong one). A return statement is a node
+// with no successors; falling off the end of the body exits through an
+// implicit exit node.
+type cfgNode struct {
+	stmt  ast.Stmt
+	succs []*cfgNode
+}
+
+type cfg struct {
+	nodeOf map[ast.Stmt]*cfgNode
+}
+
+// releases reports whether this node's statement performs the
+// acquisition's release.
+func (n *cfgNode) releases(pass *Pass, a *acquisition) bool {
+	if n.stmt == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n.stmt, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok && isReleaseCall(pass, call, a) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// terminatesOK reports whether the statement ends the goroutine in a
+// way that excuses the release: panic or os.Exit.
+func (n *cfgNode) terminatesOK(pass *Pass) bool {
+	if n.stmt == nil {
+		return false
+	}
+	es, ok := n.stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name == "os" && fun.Sel.Name == "Exit"
+		}
+	}
+	return false
+}
+
+// cfgBuilder threads loop/switch context for break/continue resolution.
+type cfgBuilder struct {
+	g      *cfg
+	failed bool
+	// innermost-first stacks of branch targets
+	breakTargets    []*cfgNode
+	continueTargets []*cfgNode
+}
+
+// buildCFG lowers a function body; nil when the body uses control flow
+// the builder does not model.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{g: &cfg{nodeOf: make(map[ast.Stmt]*cfgNode)}}
+	exit := &cfgNode{} // implicit fall-off-the-end exit
+	b.block(body.List, exit)
+	if b.failed {
+		return nil
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) node(s ast.Stmt) *cfgNode {
+	n := &cfgNode{stmt: s}
+	b.g.nodeOf[s] = n
+	return n
+}
+
+// block lowers a statement list; entry of the list is returned via the
+// first lowered statement, and every fall-through path is wired to
+// next. Returns the entry node (next when the list is empty).
+func (b *cfgBuilder) block(stmts []ast.Stmt, next *cfgNode) *cfgNode {
+	entry := next
+	for i := len(stmts) - 1; i >= 0; i-- {
+		entry = b.stmt(stmts[i], entry)
+	}
+	return entry
+}
+
+// stmt lowers one statement whose fall-through continues at next,
+// returning the statement's entry node.
+func (b *cfgBuilder) stmt(s ast.Stmt, next *cfgNode) *cfgNode {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return b.node(s) // no successors: a function exit
+
+	case *ast.BranchStmt:
+		n := b.node(s)
+		switch s.Tok.String() {
+		case "break":
+			if s.Label != nil || len(b.breakTargets) == 0 {
+				b.failed = true
+				return n
+			}
+			n.succs = append(n.succs, b.breakTargets[len(b.breakTargets)-1])
+		case "continue":
+			if s.Label != nil || len(b.continueTargets) == 0 {
+				b.failed = true
+				return n
+			}
+			n.succs = append(n.succs, b.continueTargets[len(b.continueTargets)-1])
+		case "fallthrough":
+			// Handled by the switch lowering (cases are approximated as
+			// independently reachable), so treat as fall-through.
+			n.succs = append(n.succs, next)
+		default: // goto
+			b.failed = true
+		}
+		return n
+
+	case *ast.BlockStmt:
+		return b.block(s.List, next)
+
+	case *ast.IfStmt:
+		n := b.node(s) // the condition (and init)
+		thenEntry := b.block(s.Body.List, next)
+		n.succs = append(n.succs, thenEntry)
+		if s.Else != nil {
+			n.succs = append(n.succs, b.stmt(s.Else, next))
+		} else {
+			n.succs = append(n.succs, next)
+		}
+		return n
+
+	case *ast.ForStmt:
+		n := b.node(s) // init+cond header
+		b.breakTargets = append(b.breakTargets, next)
+		b.continueTargets = append(b.continueTargets, n)
+		bodyEntry := b.block(s.Body.List, n)
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+		n.succs = append(n.succs, bodyEntry)
+		// A condition-less `for` exits only via break/return, which the
+		// edges above already model; a conditional one can skip the body.
+		if s.Cond != nil {
+			n.succs = append(n.succs, next)
+		}
+		return n
+
+	case *ast.RangeStmt:
+		n := b.node(s)
+		b.breakTargets = append(b.breakTargets, next)
+		b.continueTargets = append(b.continueTargets, n)
+		bodyEntry := b.block(s.Body.List, n)
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+		n.succs = append(n.succs, bodyEntry, next)
+		return n
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		n := b.node(s)
+		var body *ast.BlockStmt
+		hasDefault := false
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			body = s.Body
+		case *ast.TypeSwitchStmt:
+			body = s.Body
+		case *ast.SelectStmt:
+			body = s.Body
+		}
+		b.breakTargets = append(b.breakTargets, next)
+		for _, cs := range body.List {
+			switch cs := cs.(type) {
+			case *ast.CaseClause:
+				if cs.List == nil {
+					hasDefault = true
+				}
+				n.succs = append(n.succs, b.block(cs.Body, next))
+			case *ast.CommClause:
+				if cs.Comm == nil {
+					hasDefault = true
+				}
+				n.succs = append(n.succs, b.block(cs.Body, next))
+			}
+		}
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		if _, isSelect := s.(*ast.SelectStmt); !hasDefault && !isSelect {
+			n.succs = append(n.succs, next) // no case matched
+		}
+		return n
+
+	case *ast.LabeledStmt:
+		b.failed = true // labels imply labeled branches or goto
+		return b.node(s)
+
+	default:
+		// Plain statement: assign, expr, defer, go, decl, send, incdec.
+		n := b.node(s)
+		n.succs = append(n.succs, next)
+		return n
+	}
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// A suppression directive has the form
+//
+//	//gnnlint:ignore <analyzer> <reason...>
+//
+// A trailing directive (code precedes it on the line) covers its own
+// line; a directive alone on a line covers the next line. The reason is
+// mandatory — a bare ignore is rejected as a finding in its own right —
+// and the analyzer must be one of the known analyzer names, so stale
+// directives surface instead of rotting silently.
+const directivePrefix = "//gnnlint:ignore"
+
+type directive struct {
+	analyzer string
+	reason   string
+}
+
+// directiveIndex maps filename → line → directives covering that line.
+type directiveIndex struct {
+	byLine    map[string]map[int][]directive
+	malformed []Finding
+}
+
+// match returns the reason of a directive covering (file, line) for the
+// named analyzer.
+func (d *directiveIndex) match(file string, line int, analyzer string) (string, bool) {
+	for _, dir := range d.byLine[file][line] {
+		if dir.analyzer == analyzer {
+			return dir.reason, true
+		}
+	}
+	return "", false
+}
+
+// indexDirectives scans every comment in the package for gnnlint:ignore
+// directives, recording well-formed ones by the line they cover and
+// malformed ones as findings attributed to the pseudo-analyzer
+// "directive".
+func indexDirectives(pkg *Package, known map[string]bool) *directiveIndex {
+	idx := &directiveIndex{byLine: make(map[string]map[int][]directive)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //gnnlint:ignoreXYZ — not a directive
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					idx.reject(pos, "bare gnnlint:ignore: name the analyzer and give a reason")
+					continue
+				case !known[fields[0]]:
+					idx.reject(pos, "gnnlint:ignore names unknown analyzer %q", fields[0])
+					continue
+				case len(fields) < 2:
+					idx.reject(pos, "gnnlint:ignore %s has no reason: suppressions must say why", fields[0])
+					continue
+				}
+				covered := pos.Line
+				if ownLine(pkg.Sources[pos.Filename], pos) {
+					covered = pos.Line + 1
+				}
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]directive)
+					idx.byLine[pos.Filename] = lines
+				}
+				lines[covered] = append(lines[covered], directive{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return idx
+}
+
+func (d *directiveIndex) reject(pos token.Position, format string, args ...any) {
+	d.malformed = append(d.malformed, Finding{
+		Pos:      pos,
+		Analyzer: "directive",
+		Message:  fmt.Sprintf(format, args...),
+		Hint:     "write //gnnlint:ignore <analyzer> <reason>",
+	})
+}
+
+// ownLine reports whether only whitespace precedes the comment on its
+// line, i.e. the directive stands alone and covers the next line.
+func ownLine(src []byte, pos token.Position) bool {
+	if src == nil {
+		return false
+	}
+	// pos.Column is 1-based; inspect the bytes before the comment.
+	start := pos.Offset - (pos.Column - 1)
+	for i := start; i < pos.Offset && i < len(src); i++ {
+		if src[i] != ' ' && src[i] != '\t' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,64 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gnndrive/internal/lint"
+)
+
+// TestMalformedDirectivesAreFindings loads a fixture full of bad
+// gnnlint:ignore forms and asserts each is reported as a "directive"
+// finding — and, because a malformed directive must never suppress,
+// that the underlying ctxbg findings still surface.
+func TestMalformedDirectivesAreFindings(t *testing.T) {
+	ld, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	abs, err := filepath.Abs("testdata/src/directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.Load(abs, true)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("expected one package, got %d", len(pkgs))
+	}
+	findings, suppressed := lint.RunPackage(pkgs[0], lint.All())
+	if len(suppressed) != 0 {
+		t.Errorf("malformed directives must not suppress anything, got %d suppressions", len(suppressed))
+	}
+	var directiveMsgs []string
+	var ctxbgCount int
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "directive":
+			directiveMsgs = append(directiveMsgs, f.Message)
+		case "ctxbg":
+			ctxbgCount++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if len(directiveMsgs) != 3 {
+		t.Fatalf("expected 3 malformed-directive findings, got %d: %v", len(directiveMsgs), directiveMsgs)
+	}
+	for i, want := range []string{"bare gnnlint:ignore", "unknown analyzer", "has no reason"} {
+		var hit bool
+		for _, msg := range directiveMsgs {
+			if strings.Contains(msg, want) {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("case %d: no directive finding mentions %q in %v", i, want, directiveMsgs)
+		}
+	}
+	if ctxbgCount != 3 {
+		t.Errorf("expected the 3 underlying ctxbg findings to survive, got %d", ctxbgCount)
+	}
+}

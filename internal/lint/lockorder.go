@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerLockOrder mechanizes the feature buffer's documented lock
+// order (internal/core/featbuf.go): acquiring the standby-list mutex
+// (fb.sb.mu) while holding a stripe mutex is forbidden — sb→stripe is
+// the only legal nesting. The reverse nesting deadlocks the moment a
+// reserver inside allocSlots (sb held, waiting to broadcast a stripe
+// cond) meets an extractor holding that stripe and blocking on sb.
+//
+// Recognition is structural, not keyed to package identity, so the
+// fixture corpus can replicate the shape: the sb mutex is a Lock() on a
+// `.sb.mu` selector chain (a field named sb holding a sync.Mutex named
+// mu), a stripe mutex is a Lock() on a `.mu` field of a struct type
+// whose name contains "stripe". "While held" is judged by a
+// source-order scan of each function — Lock raises the held depth,
+// Unlock lowers it, a deferred Unlock holds to function end — and
+// sb-acquisition is propagated transitively over the package-local call
+// graph, so a helper that locks sb is flagged at its call site inside a
+// stripe-held region.
+var AnalyzerLockOrder = &Analyzer{
+	Name:          "lockorder",
+	Doc:           "fb.sb.mu must not be acquired while a stripe mutex is held (sb→stripe order)",
+	SkipTestFiles: true,
+	Run:           runLockOrder,
+}
+
+type lockClass int
+
+const (
+	lockNone lockClass = iota
+	lockSB
+	lockStripe
+)
+
+func runLockOrder(pass *Pass) {
+	// Pass 1: which package functions acquire the sb mutex, directly or
+	// transitively through package-local calls?
+	acquiresSB := make(map[*types.Func]bool)
+	calls := make(map[*types.Func][]*types.Func)
+	var decls []*ast.FuncDecl
+	for _, f := range pass.SourceFiles() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls = append(decls, fd)
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if class, name := lockEvent(pass, call); class == lockSB && name == "Lock" {
+					acquiresSB[fn] = true
+				}
+				if callee := calleeFunc(pass, call); callee != nil && callee.Pkg() == pass.Pkg {
+					calls[fn] = append(calls[fn], callee)
+				}
+				return true
+			})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if acquiresSB[fn] {
+				continue
+			}
+			for _, c := range callees {
+				if acquiresSB[c] {
+					acquiresSB[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 2: simulate each function in source order and flag
+	// sb-acquisition while the stripe-held depth is positive.
+	for _, fd := range decls {
+		depth := 0
+		deferredHold := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				if class, name := lockEvent(pass, n.Call); class == lockStripe && name == "Unlock" {
+					deferredHold = true // balances a Lock, but only at return
+					return false
+				}
+				return true
+			case *ast.CallExpr:
+				class, name := lockEvent(pass, n)
+				switch {
+				case class == lockStripe && name == "Lock":
+					depth++
+				case class == lockStripe && name == "Unlock":
+					if !deferredHold && depth > 0 {
+						depth--
+					}
+				case class == lockSB && name == "Lock" && depth > 0:
+					pass.Reportf(n.Pos(),
+						"release the stripe mutex first, or restructure so sb work precedes the stripe section",
+						"acquires the sb mutex while a stripe mutex is held; the documented order is sb→stripe")
+				}
+				if depth > 0 {
+					if callee := calleeFunc(pass, n); callee != nil && acquiresSB[callee] && lockClassOfCall(pass, n) == lockNone {
+						pass.Reportf(n.Pos(),
+							"hoist the call out of the stripe-held region",
+							"calls %s, which acquires the sb mutex, while a stripe mutex is held (sb→stripe order)",
+							callee.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// lockEvent classifies a call as Lock/Unlock on the sb or stripe mutex.
+func lockEvent(pass *Pass, call *ast.CallExpr) (lockClass, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockNone, ""
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "Unlock" {
+		return lockNone, ""
+	}
+	if !isSyncMutex(pass, sel.X) {
+		return lockNone, ""
+	}
+	mu, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockNone, ""
+	}
+	// fb.sb.mu — the mutex is a field of a field named "sb".
+	if inner, ok := ast.Unparen(mu.X).(*ast.SelectorExpr); ok && inner.Sel.Name == "sb" {
+		return lockSB, name
+	}
+	// st.mu where st's type name contains "stripe".
+	if tv, ok := pass.Info.Types[mu.X]; ok {
+		t := tv.Type
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok &&
+			strings.Contains(strings.ToLower(named.Obj().Name()), "stripe") {
+			return lockStripe, name
+		}
+	}
+	return lockNone, ""
+}
+
+// lockClassOfCall lets the transitive check skip calls that are
+// themselves direct lock events (already handled above).
+func lockClassOfCall(pass *Pass, call *ast.CallExpr) lockClass {
+	class, _ := lockEvent(pass, call)
+	return class
+}
+
+func isSyncMutex(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Mutex"
+}
+
+// calleeFunc resolves a call's static callee (function or method) when
+// it is a plain identifier or selector; calls through function values
+// are out of scope.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Package alignedfix is the fixture corpus for the alignedio analyzer.
+// The sink shapes replicate the storage.Backend / uring method
+// signatures (the analyzer matches method shape, not package identity,
+// so the corpus stays self-contained).
+package alignedfix
+
+import (
+	"context"
+	"time"
+)
+
+// Dev replicates the backend read sinks: (time.Duration, error) results
+// distinguish them from io.ReaderAt.
+type Dev struct{}
+
+func (*Dev) ReadAt(p []byte, off int64) (time.Duration, error)     { return 0, nil }
+func (*Dev) ReadDirect(p []byte, off int64) (time.Duration, error) { return 0, nil }
+func (*Dev) ReadDirectCtx(ctx context.Context, p []byte, off int64) (time.Duration, error) {
+	return 0, nil
+}
+
+// Request and Submit replicate the async path.
+type Request struct {
+	Buf []byte
+	Off int64
+}
+
+func (*Dev) Submit(req *Request) {}
+
+// Ring replicates the uring submit sinks.
+type Ring struct{}
+
+func (*Ring) SubmitRead(p []byte, off int64, user uint64) error         { return nil }
+func (*Ring) SubmitBufferedRead(p []byte, off int64, user uint64) error { return nil }
+
+// AlignedBuf stands in for storage.AlignedBuf: any non-make source is
+// clean.
+func AlignedBuf(n, align int) []byte { return make([]byte, n) }
+
+type holder struct {
+	raw []byte
+}
+
+func bad(d *Dev) {
+	buf := make([]byte, 512)
+	_, _ = d.ReadDirect(buf, 0) // want "raw make.* buffer reaches backend ReadDirect"
+}
+
+func badCtx(ctx context.Context, d *Dev) {
+	buf := make([]byte, 512)
+	_, _ = d.ReadDirectCtx(ctx, buf[:256], 0) // want "reaches backend ReadDirectCtx"
+}
+
+func badField(d *Dev, h *holder) {
+	h.raw = make([]byte, 1024)
+	_, _ = d.ReadAt(h.raw[:512], 0) // want "reaches backend ReadAt"
+}
+
+func badSubmit(d *Dev) {
+	buf := make([]byte, 512)
+	d.Submit(&Request{Buf: buf, Off: 0}) // want "submitted as Request.Buf"
+}
+
+func badSubmitVar(d *Dev) {
+	req := &Request{}
+	req.Buf = make([]byte, 512)
+	d.Submit(req) // want "Buf was assigned a raw make"
+}
+
+func badRing(r *Ring) {
+	buf := make([]byte, 512)
+	_ = r.SubmitRead(buf, 0, 1) // want "submitted to the direct read path via SubmitRead"
+}
+
+func good(ctx context.Context, d *Dev, r *Ring) {
+	buf := AlignedBuf(512, 512)
+	_, _ = d.ReadDirect(buf, 0)
+	_, _ = d.ReadDirectCtx(ctx, buf, 0)
+	_ = r.SubmitRead(buf, 0, 1)
+	d.Submit(&Request{Buf: buf})
+
+	// Reassignment from a clean source clears the taint.
+	raw := make([]byte, 512)
+	raw = AlignedBuf(512, 512)
+	_, _ = d.ReadDirect(raw, 0)
+
+	// The buffered submit path tolerates unaligned memory by contract.
+	unaligned := make([]byte, 512)
+	_ = r.SubmitBufferedRead(unaligned, 0, 2)
+}
+
+func suppressed(d *Dev) {
+	buf := make([]byte, 512)
+	//gnnlint:ignore alignedio fixture: deliberately unaligned to exercise the EINVAL path
+	_, _ = d.ReadDirect(buf, 0) // want:suppressed "reaches backend ReadDirect"
+}

@@ -1,0 +1,9 @@
+// Package broken deliberately fails type-checking; the driver must
+// report the type error with a position and keep going instead of
+// panicking.
+package broken
+
+func oops() int {
+	var s string = 42
+	return s + 1
+}

@@ -1,0 +1,27 @@
+// Package ctxbgfix is the fixture corpus for the ctxbg analyzer: a true
+// positive for each forbidden constructor, correct ctx-threading code
+// that must stay silent, and a suppressed compat-wrapper case.
+package ctxbgfix
+
+import "context"
+
+func bad() context.Context {
+	return context.Background() // want "context.Background"
+}
+
+func alsoBad() {
+	ctx := context.TODO() // want "context.TODO"
+	_ = ctx
+}
+
+// good threads the caller's context — no finding.
+func good(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+// wrapped is the sanctioned shape: a public non-ctx wrapper with an
+// audited suppression.
+func wrapped() context.Context {
+	//gnnlint:ignore ctxbg fixture: public compat wrapper, callers own cancellation
+	return context.Background() // want:suppressed "context.Background"
+}

@@ -1,0 +1,20 @@
+// Package directivefix holds malformed suppression directives; each one
+// must be rejected as a finding in its own right, never silently honored.
+package directivefix
+
+import "context"
+
+func bare() context.Context {
+	//gnnlint:ignore
+	return context.Background()
+}
+
+func noReason() context.Context {
+	//gnnlint:ignore ctxbg
+	return context.Background()
+}
+
+func unknownAnalyzer() context.Context {
+	//gnnlint:ignore nosuchcheck because reasons
+	return context.Background()
+}

@@ -1,0 +1,40 @@
+// Package errsfix is the fixture corpus for the errsentinel analyzer:
+// identity comparisons and switch-cases on the module's sentinel names
+// are findings; errors.Is and comparisons against non-sentinel errors
+// are not; a suppressed case proves the directive intercepts.
+package errsfix
+
+import "errors"
+
+var (
+	ErrClosed    = errors.New("closed")
+	ErrCorrupt   = errors.New("corrupt")
+	errLocalOnly = errors.New("not a sentinel")
+)
+
+func bad(err error) bool {
+	return err == ErrClosed // want "sentinel ErrClosed compared with =="
+}
+
+func badNeq(err error) bool {
+	return err != ErrCorrupt // want "sentinel ErrCorrupt compared with !="
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrClosed: // want "switch-case compares sentinel ErrClosed"
+		return "closed"
+	default:
+		return ""
+	}
+}
+
+func good(err error) bool {
+	// errors.Is is the contract; a non-sentinel local compares freely.
+	return errors.Is(err, ErrClosed) || err == errLocalOnly
+}
+
+func suppressed(err error) bool {
+	//gnnlint:ignore errsentinel fixture: error is unwrapped by construction here
+	return err == ErrClosed // want:suppressed "sentinel ErrClosed"
+}

@@ -1,0 +1,70 @@
+// Package lockfix is the fixture corpus for the lockorder analyzer: it
+// replicates the feature buffer's lock shape (a standby mutex behind a
+// field named sb, stripe mutexes on a *Stripe-named struct) and
+// exercises the forbidden stripe→sb nesting directly, transitively
+// through a helper, the allowed sb→stripe order, and a suppressed case.
+package lockfix
+
+import "sync"
+
+type fooStripe struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+type Buf struct {
+	stripes []fooStripe
+	sb      struct {
+		mu   sync.Mutex
+		list []int32
+	}
+}
+
+func (b *Buf) bad() {
+	st := &b.stripes[0]
+	st.mu.Lock()
+	b.sb.mu.Lock() // want "acquires the sb mutex while a stripe mutex is held"
+	b.sb.mu.Unlock()
+	st.mu.Unlock()
+}
+
+// pushSB acquires the sb mutex; calling it under a stripe lock is the
+// transitive violation.
+func (b *Buf) pushSB(v int32) {
+	b.sb.mu.Lock()
+	b.sb.list = append(b.sb.list, v)
+	b.sb.mu.Unlock()
+}
+
+func (b *Buf) badTransitive() {
+	st := &b.stripes[1]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	b.pushSB(7) // want "calls pushSB, which acquires the sb mutex"
+}
+
+// good nests in the documented direction: sb first, stripe inside.
+func (b *Buf) good() {
+	b.sb.mu.Lock()
+	st := &b.stripes[0]
+	st.mu.Lock()
+	st.mu.Unlock()
+	b.sb.mu.Unlock()
+}
+
+// goodSequential holds the locks one after another, never nested.
+func (b *Buf) goodSequential() {
+	st := &b.stripes[0]
+	st.mu.Lock()
+	st.mu.Unlock()
+	b.pushSB(1)
+}
+
+func (b *Buf) suppressed() {
+	st := &b.stripes[0]
+	st.mu.Lock()
+	//gnnlint:ignore lockorder fixture: proving the directive intercepts the finding
+	b.sb.mu.Lock() // want:suppressed "while a stripe mutex is held"
+	b.sb.mu.Unlock()
+	st.mu.Unlock()
+}

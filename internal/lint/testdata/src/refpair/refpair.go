@@ -1,0 +1,123 @@
+// Package refpairfix is the fixture corpus for the refpair analyzer: it
+// replicates the Reservation and Staging acquire/release shapes and
+// exercises a leaking early return, the failed-acquire guard, deferred
+// and escaping values (all silent), and a suppressed case.
+package refpairfix
+
+import (
+	"context"
+	"errors"
+)
+
+type Reservation struct {
+	Alias []int32
+	Wait  []int64
+}
+
+type Buf struct{}
+
+func (b *Buf) ReserveCtx(ctx context.Context, nodes []int64) (*Reservation, error) {
+	return &Reservation{}, nil
+}
+func (b *Buf) Release(nodes []int64) {}
+
+func PutReservation(r *Reservation) {}
+
+type Staging struct{}
+
+func (s *Staging) AcquireCtx(ctx context.Context) (int32, error) { return 0, nil }
+func (s *Staging) Release(slot int32)                            {}
+
+var errBoom = errors.New("boom")
+
+// leak: the errBoom return path drops the reservation's refcounts.
+func leak(ctx context.Context, b *Buf, nodes []int64, fail bool) error {
+	res, err := b.ReserveCtx(ctx, nodes) // want "reservation acquired here may leak"
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errBoom
+	}
+	b.Release(nodes)
+	PutReservation(res)
+	return nil
+}
+
+// leakStaging: same shape on the staging pool.
+func leakStaging(ctx context.Context, s *Staging, fail bool) error {
+	slot, err := s.AcquireCtx(ctx) // want "staging slot acquired here may leak"
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errBoom
+	}
+	s.Release(slot)
+	return nil
+}
+
+// good: every path past a successful acquire releases.
+func good(ctx context.Context, b *Buf, nodes []int64, fail bool) error {
+	res, err := b.ReserveCtx(ctx, nodes)
+	if err != nil {
+		return err
+	}
+	if fail {
+		b.Release(nodes)
+		PutReservation(res)
+		return errBoom
+	}
+	b.Release(nodes)
+	PutReservation(res)
+	return nil
+}
+
+// goodDefer: the deferred release covers every path.
+func goodDefer(ctx context.Context, s *Staging) error {
+	slot, err := s.AcquireCtx(ctx)
+	if err != nil {
+		return err
+	}
+	defer s.Release(slot)
+	return work()
+}
+
+// goodEscape: the reservation leaves the function; release is the
+// consumer's job.
+func goodEscape(ctx context.Context, b *Buf, nodes []int64) (*Reservation, error) {
+	res, err := b.ReserveCtx(ctx, nodes)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// goodLoop: acquire and release inside one loop body.
+func goodLoop(ctx context.Context, b *Buf, batches [][]int64) error {
+	for _, nodes := range batches {
+		res, err := b.ReserveCtx(ctx, nodes)
+		if err != nil {
+			return err
+		}
+		b.Release(nodes)
+		PutReservation(res)
+	}
+	return nil
+}
+
+func suppressed(ctx context.Context, b *Buf, nodes []int64, fail bool) error {
+	//gnnlint:ignore refpair fixture: proving the directive intercepts the finding
+	res, err := b.ReserveCtx(ctx, nodes) // want:suppressed "may leak"
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errBoom
+	}
+	b.Release(nodes)
+	PutReservation(res)
+	return nil
+}
+
+func work() error { return nil }

@@ -98,6 +98,13 @@ func (f *File) Size() int64 { return f.size }
 // faulting missing pages from the device. It returns the total time spent
 // blocked on device I/O (zero on a full hit).
 func (f *File) Read(off int64, p []byte) (time.Duration, error) {
+	//gnnlint:ignore ctxbg mmap-compat read path; cancellable callers use ReadCtx
+	return f.ReadCtx(context.Background(), off, p)
+}
+
+// ReadCtx is Read with cancellation: ctx bounds the fault-in retries, so
+// a cancelled sampler stops re-issuing page reads against a sick device.
+func (f *File) ReadCtx(ctx context.Context, off int64, p []byte) (time.Duration, error) {
 	if off < 0 || off+int64(len(p)) > f.size {
 		return 0, fmt.Errorf("pagecache: read [%d,%d) outside file size %d", off, off+int64(len(p)), f.size)
 	}
@@ -105,7 +112,7 @@ func (f *File) Read(off int64, p []byte) (time.Duration, error) {
 	for done := 0; done < len(p); {
 		pos := off + int64(done)
 		pageNo := pos / PageSize
-		pg, w, err := f.c.getPage(f, pageNo)
+		pg, w, err := f.c.getPage(ctx, f, pageNo)
 		waited += w
 		if err != nil {
 			return waited, err
@@ -119,7 +126,7 @@ func (f *File) Read(off int64, p []byte) (time.Duration, error) {
 
 // getPage returns the page, faulting it in if absent. Concurrent faults on
 // the same page coalesce: one reader performs the device I/O, others wait.
-func (c *Cache) getPage(f *File, pageNo int64) (*page, time.Duration, error) {
+func (c *Cache) getPage(ctx context.Context, f *File, pageNo int64) (*page, time.Duration, error) {
 	key := pageKey{file: f.id, page: pageNo}
 	c.mu.Lock()
 	if pg, ok := c.pages[key]; ok {
@@ -142,9 +149,10 @@ func (c *Cache) getPage(f *File, pageNo int64) (*page, time.Duration, error) {
 	c.mu.Unlock()
 
 	c.misses.Add(1)
-	// Fault: buffered 4 KiB read from the device (clamped at file end of
-	// the underlying region).
-	pg.data = make([]byte, PageSize)
+	// Fault: sector-aligned 4 KiB read from the device (clamped at file
+	// end of the underlying region). The page is aligned so the same
+	// buffer stays legal if the backend is opened O_DIRECT.
+	pg.data = storage.AlignedBuf(PageSize, PageSize)
 	devOff := f.base + pageNo*PageSize
 	n := int64(PageSize)
 	if devOff+n > c.dev.Capacity() {
@@ -153,7 +161,7 @@ func (c *Cache) getPage(f *File, pageNo int64) (*page, time.Duration, error) {
 	var waited time.Duration
 	policy := faultPolicy
 	policy.OnRetry = func(int, error) { c.retries.Add(1) }
-	err := errutil.Retry(context.Background(), policy, func() error {
+	err := errutil.Retry(ctx, policy, func() error {
 		w, rerr := c.dev.ReadAt(pg.data[:n], devOff)
 		waited += w
 		return rerr

@@ -343,8 +343,18 @@ type RunOptions struct {
 	EvalVal bool
 }
 
-// Run executes sys on cfg for opts.Epochs epochs.
+// Run executes sys on cfg for opts.Epochs epochs. It is the
+// non-cancellable compat entry point; RunCtx is the real implementation.
 func Run(cfg Config, sys SystemKind, opts RunOptions) (Result, error) {
+	//gnnlint:ignore ctxbg public compat wrapper; callers that need cancellation use RunCtx
+	return RunCtx(context.Background(), cfg, sys, opts)
+}
+
+// RunCtx executes sys on cfg for opts.Epochs epochs under ctx: the
+// context threads through the epoch loop into the engine's training
+// steps, so cancelling it stops a run — including a resumed one —
+// between batches instead of waiting out the epoch.
+func RunCtx(ctx context.Context, cfg Config, sys SystemKind, opts RunOptions) (Result, error) {
 	cfg.fill()
 	if opts.Epochs == 0 {
 		opts.Epochs = 1
@@ -388,7 +398,13 @@ func Run(cfg Config, sys SystemKind, opts RunOptions) (Result, error) {
 	// A resumed run continues from its checkpoint cursor: epochs before
 	// startEpoch are already done and are not re-run.
 	for e := startEpoch; e < opts.Epochs; e++ {
-		st, err := runEpoch(e)
+		if err := ctx.Err(); err != nil {
+			if sampler != nil {
+				res.Windows = sampler.Stop()
+			}
+			return res, err
+		}
+		st, err := runEpoch(ctx, e)
 		if err != nil {
 			if sampler != nil {
 				res.Windows = sampler.Stop()
@@ -430,7 +446,7 @@ func evalVal(sys SystemKind, ds *graph.Dataset, cfg Config) (float64, error) {
 // GNNDrive run).
 func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 	budget *hostmem.Budget, cache *pagecache.Cache, rec *metrics.Recorder,
-	cfg Config) (func(int) (EpochStats, error), func(), int, error) {
+	cfg Config) (func(context.Context, int) (EpochStats, error), func(), int, error) {
 	switch sys {
 	case GNNDriveGPU, GNNDriveCPU:
 		o := core.DefaultOptions(cfg.Model)
@@ -483,12 +499,12 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 				return nil, nil, 0, rerr
 			}
 		}
-		return func(e int) (EpochStats, error) {
+		return func(ctx context.Context, e int) (EpochStats, error) {
 			step := 0
 			if e == startEpoch {
 				step = resumeStep
 			}
-			r, err := eng.TrainEpochFrom(context.Background(), e, step)
+			r, err := eng.TrainEpochFrom(ctx, e, step)
 			if err == nil && r.CheckpointErr != nil {
 				// Save failures degrade resume granularity, not training;
 				// surface them without failing the run.
@@ -519,7 +535,7 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 			return nil, nil, 0, err
 		}
 		valModel = sysm.Model()
-		return func(e int) (EpochStats, error) {
+		return func(_ context.Context, e int) (EpochStats, error) {
 			r, err := sysm.TrainEpoch(e)
 			return EpochStats{
 				Sample: r.Sample, Extract: r.Extract, Train: r.Train,
@@ -545,7 +561,7 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 			return nil, nil, 0, err
 		}
 		valModel = sysm.Model()
-		return func(e int) (EpochStats, error) {
+		return func(_ context.Context, e int) (EpochStats, error) {
 			r, err := sysm.TrainEpoch(e)
 			return EpochStats{
 				Sample: r.Sample, Extract: r.Extract, Train: r.Train,
@@ -569,7 +585,7 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 			return nil, nil, 0, err
 		}
 		valModel = sysm.Model()
-		return func(e int) (EpochStats, error) {
+		return func(_ context.Context, e int) (EpochStats, error) {
 			r, err := sysm.TrainEpoch(e)
 			return EpochStats{
 				Prep: r.Prep, Sample: r.Sample, Extract: r.Extract,

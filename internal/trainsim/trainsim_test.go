@@ -1,6 +1,7 @@
 package trainsim
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -252,6 +253,49 @@ func TestRunCheckpointAndResume(t *testing.T) {
 	}
 	if len(res3.Epochs) != 0 {
 		t.Fatalf("fully trained run re-ran %d epochs", len(res3.Epochs))
+	}
+}
+
+func TestRunCtxCancelDuringResumedEpoch(t *testing.T) {
+	defer DropDatasets()
+	dir := t.TempDir()
+	cfg := tinyCfg()
+	cfg.RealTrain = true
+	cfg.Hidden = 32
+	cfg.TrainLimit = 400
+	cfg.CheckpointDir = dir
+
+	// First launch completes one epoch so the relaunch actually resumes.
+	if _, err := Run(cfg, GNNDriveGPU, RunOptions{Epochs: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Relaunch resumed with a context that dies mid-run: the epoch loop
+	// must stop with the context's error instead of training all the
+	// remaining epochs.
+	cfg.Resume = true
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	res, err := RunCtx(ctx, cfg, GNNDriveGPU, RunOptions{Epochs: 10000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("resumed run returned %v, want context.Canceled", err)
+	}
+	if len(res.Epochs) >= 9999 {
+		t.Fatalf("cancellation did not interrupt the run: %d epochs completed", len(res.Epochs))
+	}
+
+	// A pre-cancelled context stops the loop before any epoch trains.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	res, err = RunCtx(done, cfg, GNNDriveGPU, RunOptions{Epochs: 10000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+	if len(res.Epochs) != 0 {
+		t.Fatalf("pre-cancelled run trained %d epochs", len(res.Epochs))
 	}
 }
 

@@ -2,6 +2,7 @@ package uring
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -130,7 +131,7 @@ func TestPeekCQE(t *testing.T) {
 func TestClosedRingRejectsSubmit(t *testing.T) {
 	_, r := testRing(t, 4)
 	r.Close()
-	if err := r.SubmitRead(make([]byte, 512), 0, 0); err != ErrClosed {
+	if err := r.SubmitRead(make([]byte, 512), 0, 0); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err %v", err)
 	}
 }
