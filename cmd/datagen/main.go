@@ -16,6 +16,7 @@ import (
 	"gnndrive/internal/gen"
 	"gnndrive/internal/graph"
 	"gnndrive/internal/ssd"
+	"gnndrive/internal/storage/integrity"
 )
 
 func main() {
@@ -38,7 +39,9 @@ func main() {
 		spec.Seed = *seed
 	}
 	start := time.Now()
-	ds, err := gen.BuildStandalone(spec, ssd.InstantConfig())
+	// Build through the integrity layer: every block is checksummed as it
+	// is written, so -out can persist a CRC32C sidecar with the container.
+	ds, ib, err := gen.BuildVerified(spec, ssd.InstantConfig(), integrity.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,5 +72,15 @@ func main() {
 		}
 		fi, _ := os.Stat(*out)
 		fmt.Printf("wrote %s (%.1f MB)\n", *out, float64(fi.Size())/1e6)
+		// The sidecar checksums the device image the build produced; a
+		// loader recreating the same geometry (graph.Load with an
+		// integrity-wrapped factory and 4 KiB of scratch) adopts it and
+		// reads verified from the start.
+		crc := *out + ".crc"
+		if err := ib.SaveSidecar(crc); err != nil {
+			log.Fatal(err)
+		}
+		ci, _ := os.Stat(crc)
+		fmt.Printf("wrote %s (%.1f KB checksum sidecar)\n", crc, float64(ci.Size())/1e3)
 	}
 }

@@ -18,6 +18,8 @@ import (
 	"gnndrive/internal/faults"
 	"gnndrive/internal/gen"
 	"gnndrive/internal/nn"
+	"gnndrive/internal/storage"
+	"gnndrive/internal/storage/integrity"
 	"gnndrive/internal/trainsim"
 )
 
@@ -39,7 +41,14 @@ func main() {
 	faultTransient := flag.Float64("fault-transient", 0, "inject transient read errors at this rate (0..1)")
 	faultShort := flag.Float64("fault-short", 0, "inject short reads at this rate (0..1)")
 	faultStraggler := flag.Float64("fault-straggler", 0, "inject latency stragglers at this rate (0..1)")
+	faultStragglerDelay := flag.Duration("fault-straggler-delay", 0, "extra latency per injected straggler (0 = injector default)")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "inject silent single-bit corruption at this rate (0..1; pair with -verify)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection schedule seed")
+	verify := flag.Bool("verify", false, "checksum-verify every read with read-repair (storage integrity layer)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge reads still in flight after this long onto the buffered path (implies -verify)")
+	breakerWindow := flag.Int("breaker-window", 0, "degradation breaker window in reads, 0 = off (implies -verify)")
+	breakerTrip := flag.Float64("breaker-trip", 0, "unhealthy fraction of the window that trips the breaker (default 0.5)")
+	breakerSlow := flag.Duration("breaker-slow", 0, "breaker counts reads slower than this as unhealthy (0 = errors only)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for crash-consistent run checkpoints (GNNDrive systems)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "also checkpoint every N trainer steps mid-epoch (requires -inorder)")
 	resume := flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir")
@@ -68,13 +77,28 @@ func main() {
 		Resume: *resume, StallDeadline: *stallDeadline,
 		Backend: *backend, DataFile: *dataFile,
 	}
-	if *faultTransient > 0 || *faultShort > 0 || *faultStraggler > 0 {
+	if *faultTransient > 0 || *faultShort > 0 || *faultStraggler > 0 || *faultCorrupt > 0 {
 		cfg.Faults = &faults.Config{
-			Seed:          *faultSeed,
-			TransientRate: *faultTransient,
-			ShortReadRate: *faultShort,
-			StragglerRate: *faultStraggler,
+			Seed:           *faultSeed,
+			TransientRate:  *faultTransient,
+			ShortReadRate:  *faultShort,
+			StragglerRate:  *faultStraggler,
+			StragglerDelay: *faultStragglerDelay,
+			CorruptRate:    *faultCorrupt,
 		}
+	}
+	if *verify || *hedgeAfter > 0 || *breakerWindow > 0 {
+		cfg.Integrity = &integrity.Options{
+			HedgeAfter: *hedgeAfter,
+			Breaker: integrity.BreakerOptions{
+				Window:    *breakerWindow,
+				TripRate:  *breakerTrip,
+				SlowAfter: *breakerSlow,
+			},
+			Logf: log.Printf,
+		}
+	} else if *faultCorrupt > 0 {
+		log.Print("warning: -fault-corrupt without -verify: corrupted bytes reach training undetected")
 	}
 	fmt.Printf("training %s on %s with %s (%d scaled-GB host memory, %s backend)\n",
 		kind, spec.Name, sys, *mem, *backend)
@@ -93,6 +117,11 @@ func main() {
 			fmt.Printf(" retries=%d fallbacks=%d escalations=%d",
 				e.Retries, e.Fallbacks, e.Escalations)
 		}
+		if cfg.Integrity != nil {
+			fmt.Printf(" cksum-fail=%d repaired=%d hedges=%d/%d",
+				e.Integrity.ChecksumFailures, e.Integrity.Repairs,
+				e.Integrity.HedgesWon, e.Integrity.HedgesIssued)
+		}
 		if e.Stalls > 0 {
 			fmt.Printf(" stalls=%d", e.Stalls)
 		}
@@ -105,6 +134,22 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("average epoch: %v\n", res.AvgEpoch().Round(time.Millisecond))
+	if cfg.Integrity != nil {
+		var s storage.IntegrityStats
+		for _, e := range res.Epochs {
+			s = s.Add(e.Integrity)
+		}
+		fmt.Printf("integrity: verified=%d unverified=%d cksum-fail=%d repaired=%d quarantined=%d\n",
+			s.VerifiedReads, s.UnverifiedReads, s.ChecksumFailures, s.Repairs, s.Quarantined)
+		fmt.Printf("           hedges issued=%d won=%d cancelled=%d; breaker trips=%d recoveries=%d degraded=%d\n",
+			s.HedgesIssued, s.HedgesWon, s.HedgesCancelled,
+			s.BreakerTrips, s.BreakerRecoveries, s.BreakerDegraded)
+	}
+	if cfg.Faults != nil {
+		fc := res.FaultCounts
+		fmt.Printf("faults injected: transient=%d media=%d short=%d straggler=%d corrupt=%d\n",
+			fc.Transient, fc.Media, fc.ShortRead, fc.Straggler, fc.SilentCorrupt)
+	}
 }
 
 func systemByName(s string) (trainsim.SystemKind, error) {

@@ -17,6 +17,7 @@ import (
 	"gnndrive/internal/nn"
 	"gnndrive/internal/pagecache"
 	"gnndrive/internal/sample"
+	"gnndrive/internal/storage"
 	"gnndrive/internal/tensor"
 	"gnndrive/internal/trace"
 )
@@ -548,6 +549,16 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 	var col metrics.BreakdownCollector
 	start := time.Now()
 
+	// When the dataset's backend carries an integrity layer, diff its
+	// counters over the epoch so the breakdown reports this epoch's
+	// checksum/repair/hedge/breaker activity, not the run's cumulative.
+	var integ storage.IntegrityStatser
+	var integStart storage.IntegrityStats
+	if is, ok := e.ds.Dev.(storage.IntegrityStatser); ok {
+		integ = is
+		integStart = is.IntegrityStats()
+	}
+
 	var planRNG *tensor.RNG
 	if e.opts.Shuffle {
 		planRNG = tensor.NewRNG(e.opts.Seed ^ (uint64(epoch)+1)*0x9e3779b97f4a7c15)
@@ -787,6 +798,11 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 	trainWG.Wait()
 	relWG.Wait()
 
+	if integ != nil {
+		d := integ.IntegrityStats().Sub(integStart)
+		col.AddIntegrity(d)
+		e.rec.AddIntegrity(d)
+	}
 	res := EpochResult{
 		Breakdown: col.Snapshot(time.Since(start)),
 		FB:        e.fb.Stats(),

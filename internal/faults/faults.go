@@ -45,6 +45,7 @@ const (
 	Media
 	ShortRead
 	Straggler
+	SilentCorrupt
 	numClasses
 )
 
@@ -59,6 +60,8 @@ func (c Class) String() string {
 		return "short-read"
 	case Straggler:
 		return "straggler"
+	case SilentCorrupt:
+		return "silent-corrupt"
 	}
 	return fmt.Sprintf("Class(%d)", int(c))
 }
@@ -74,8 +77,8 @@ func (r Range) overlaps(off, n int64) bool {
 
 // Config describes an injection schedule. Rates are probabilities in
 // [0, 1] evaluated per read request; they are tested in the order
-// transient, short read, straggler against one uniform draw, so their sum
-// should stay ≤ 1.
+// transient, short read, straggler, silent-corrupt against one uniform
+// draw, so their sum should stay ≤ 1.
 type Config struct {
 	// Seed makes the schedule reproducible; 0 means 1.
 	Seed uint64
@@ -90,6 +93,12 @@ type Config struct {
 	// (scaled by the device's TimeScale like every modeled duration);
 	// 0 means 5ms.
 	StragglerDelay time.Duration
+	// CorruptRate is the per-read probability of a silent bit flip: the
+	// read "succeeds" (no error, full length) but one bit of the returned
+	// buffer is inverted. This is the failure mode only the integrity
+	// layer's block checksums can catch — retries never see it because
+	// the device reports success.
+	CorruptRate float64
 	// MediaRanges lists permanently bad device ranges: any read
 	// overlapping one fails with ErrMedia on every attempt.
 	MediaRanges []Range
@@ -106,18 +115,28 @@ type Decision struct {
 	// Delay is extra service latency to add (straggler), before the
 	// device's TimeScale is applied.
 	Delay time.Duration
+	// Corrupt asks the backend to invert one bit of the bytes it returns,
+	// without reporting an error. CorruptBit selects which bit, as an
+	// index into the filled buffer (backends reduce it modulo the filled
+	// length in bits); it is derived deterministically from the same
+	// (seed, offset, attempt) hash as the decision itself.
+	Corrupt    bool
+	CorruptBit uint64
 }
 
 // Counts reports how many faults of each class have been injected.
 type Counts struct {
-	Transient int64
-	Media     int64
-	ShortRead int64
-	Straggler int64
+	Transient     int64
+	Media         int64
+	ShortRead     int64
+	Straggler     int64
+	SilentCorrupt int64
 }
 
 // Total sums all classes.
-func (c Counts) Total() int64 { return c.Transient + c.Media + c.ShortRead + c.Straggler }
+func (c Counts) Total() int64 {
+	return c.Transient + c.Media + c.ShortRead + c.Straggler + c.SilentCorrupt
+}
 
 // Injector produces deterministic fault decisions. Safe for concurrent
 // use by the device's channel goroutines.
@@ -174,6 +193,11 @@ func (in *Injector) Decide(off int64, n int) Decision {
 	case u < in.cfg.TransientRate+in.cfg.ShortReadRate+in.cfg.StragglerRate:
 		in.counts[Straggler].Add(1)
 		return Decision{Delay: in.cfg.StragglerDelay}
+	case u < in.cfg.TransientRate+in.cfg.ShortReadRate+in.cfg.StragglerRate+in.cfg.CorruptRate:
+		in.counts[SilentCorrupt].Add(1)
+		// A second independent hash picks the flipped bit, so the corrupted
+		// position is as reproducible as the decision itself.
+		return Decision{Corrupt: true, CorruptBit: bits64(in.cfg.Seed^0xa5a5a5a5a5a5a5a5, off, seq)}
 	}
 	return Decision{}
 }
@@ -181,19 +205,37 @@ func (in *Injector) Decide(off int64, n int) Decision {
 // Counts snapshots the per-class injection counters.
 func (in *Injector) Counts() Counts {
 	return Counts{
-		Transient: in.counts[Transient].Load(),
-		Media:     in.counts[Media].Load(),
-		ShortRead: in.counts[ShortRead].Load(),
-		Straggler: in.counts[Straggler].Load(),
+		Transient:     in.counts[Transient].Load(),
+		Media:         in.counts[Media].Load(),
+		ShortRead:     in.counts[ShortRead].Load(),
+		Straggler:     in.counts[Straggler].Load(),
+		SilentCorrupt: in.counts[SilentCorrupt].Load(),
 	}
 }
 
 // uniform hashes (seed, off, seq) to a float64 in [0, 1) via splitmix64.
 func uniform(seed uint64, off int64, seq uint64) float64 {
+	return float64(bits64(seed, off, seq)>>11) * (1.0 / (1 << 53))
+}
+
+// bits64 hashes (seed, off, seq) to 64 bits via splitmix64.
+func bits64(seed uint64, off int64, seq uint64) uint64 {
 	z := seed ^ uint64(off)*0x9e3779b97f4a7c15 ^ seq*0xd1342543de82ef95
 	z += 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
-	return float64(z>>11) * (1.0 / (1 << 53))
+	return z
+}
+
+// ApplyCorruption flips the decision's chosen bit in the filled prefix of
+// a read buffer. Backends call it after filling p from the medium so the
+// corruption is indistinguishable from in-flight bit rot: no error, full
+// length, one inverted bit. A no-op for clean decisions or empty buffers.
+func ApplyCorruption(dec Decision, p []byte) {
+	if !dec.Corrupt || len(p) == 0 {
+		return
+	}
+	bit := dec.CorruptBit % uint64(len(p)*8)
+	p[bit/8] ^= 1 << (bit % 8)
 }

@@ -120,9 +120,71 @@ func TestStragglerAddsDelay(t *testing.T) {
 	}
 }
 
+func TestSilentCorruptDeterministic(t *testing.T) {
+	cfg := Config{Seed: 21, CorruptRate: 1}
+	a, b := NewInjector(cfg), NewInjector(cfg)
+	for off := int64(0); off < 512*32; off += 512 {
+		da, db := a.Decide(off, 512), b.Decide(off, 512)
+		if da.Err != nil || !da.Corrupt {
+			t.Fatalf("offset %d: %+v, want clean corrupt decision", off, da)
+		}
+		if da.CorruptBit != db.CorruptBit {
+			t.Fatalf("offset %d: corrupt bit %d vs %d", off, da.CorruptBit, db.CorruptBit)
+		}
+	}
+	if got := a.Counts().SilentCorrupt; got != 32 {
+		t.Fatalf("silent-corrupt count %d, want 32", got)
+	}
+}
+
+func TestCorruptRateApproximate(t *testing.T) {
+	in := NewInjector(Config{Seed: 33, CorruptRate: 0.1})
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if in.Decide(int64(i)*512, 512).Corrupt {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.07 || rate > 0.13 {
+		t.Fatalf("observed corrupt rate %.4f, want ~0.10", rate)
+	}
+}
+
+func TestApplyCorruptionFlipsExactlyOneBit(t *testing.T) {
+	dec := Decision{Corrupt: true, CorruptBit: 8*5 + 3}
+	p := make([]byte, 16)
+	ApplyCorruption(dec, p)
+	if p[5] != 1<<3 {
+		t.Fatalf("buffer after corruption: %v", p)
+	}
+	flips := 0
+	for _, b := range p {
+		for ; b != 0; b &= b - 1 {
+			flips++
+		}
+	}
+	if flips != 1 {
+		t.Fatalf("%d bits flipped, want 1", flips)
+	}
+	// The bit index wraps modulo the filled length.
+	q := make([]byte, 2)
+	ApplyCorruption(Decision{Corrupt: true, CorruptBit: 16 + 1}, q)
+	if q[0] != 1<<1 || q[1] != 0 {
+		t.Fatalf("wrapped corruption: %v", q)
+	}
+	// Clean decisions and empty buffers are no-ops.
+	ApplyCorruption(Decision{}, q)
+	if q[0] != 1<<1 {
+		t.Fatalf("clean decision mutated the buffer: %v", q)
+	}
+	ApplyCorruption(dec, nil)
+}
+
 func TestCountsTotal(t *testing.T) {
-	c := Counts{Transient: 1, Media: 2, ShortRead: 3, Straggler: 4}
-	if c.Total() != 10 {
+	c := Counts{Transient: 1, Media: 2, ShortRead: 3, Straggler: 4, SilentCorrupt: 5}
+	if c.Total() != 15 {
 		t.Fatalf("total %d", c.Total())
 	}
 }
@@ -131,6 +193,7 @@ func TestClassString(t *testing.T) {
 	for c, want := range map[Class]string{
 		Transient: "transient", Media: "media",
 		ShortRead: "short-read", Straggler: "straggler",
+		SilentCorrupt: "silent-corrupt",
 	} {
 		if c.String() != want {
 			t.Fatalf("%d: %q", int(c), c.String())

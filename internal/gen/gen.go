@@ -23,6 +23,7 @@ import (
 	"gnndrive/internal/graph"
 	"gnndrive/internal/ssd"
 	"gnndrive/internal/storage"
+	"gnndrive/internal/storage/integrity"
 	"gnndrive/internal/tensor"
 )
 
@@ -166,6 +167,21 @@ func BuildStandalone(s Spec, cfg ssd.Config) (*graph.Dataset, error) {
 	return BuildWith(s, func(capacity int64) (storage.Backend, error) {
 		return ssd.New(capacity, cfg), nil
 	})
+}
+
+// BuildVerified is BuildStandalone through the integrity layer: the
+// dataset lands on a simulated device whose every block is checksummed as
+// it is written, and the returned wrapper can persist the table with
+// SaveSidecar so later loaders of the same image geometry start verified
+// from the first read.
+func BuildVerified(s Spec, cfg ssd.Config, opts integrity.Options) (*graph.Dataset, *integrity.Backend, error) {
+	ds, err := BuildWith(s, integrity.WrapFactory(func(capacity int64) (storage.Backend, error) {
+		return ssd.New(capacity, cfg), nil
+	}, opts))
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, ds.Dev.(*integrity.Backend), nil
 }
 
 // BuildWith creates a right-sized backend through the factory — the

@@ -2,10 +2,14 @@ package gen
 
 import (
 	"math"
+	"path/filepath"
 	"testing"
 
 	"gnndrive/internal/graph"
 	"gnndrive/internal/ssd"
+	"gnndrive/internal/storage"
+	"gnndrive/internal/storage/integrity"
+	"gnndrive/internal/storage/sim"
 )
 
 func buildTiny(t *testing.T) *graph.Dataset {
@@ -179,5 +183,43 @@ func TestBuildRejectsBadSpec(t *testing.T) {
 	bad.Classes = 1
 	if _, err := Build(bad, dev, 0); err == nil {
 		t.Fatal("expected spec error")
+	}
+}
+
+func TestBuildVerifiedEmitsAdoptableSidecar(t *testing.T) {
+	ds, ib, err := BuildVerified(Tiny(), ssd.InstantConfig(), integrity.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Dev.Close()
+	if ds.Dev != storage.Backend(ib) {
+		t.Fatal("dataset device is not the integrity wrapper")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "tiny.gnnd")
+	side := out + ".crc"
+	if err := graph.Save(ds, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := ib.SaveSidecar(side); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load the container through an integrity-wrapped factory adopting the
+	// sidecar. The load's geometry (exact array sizes + scratch) differs
+	// from the build's estimated capacity; the overlapping blocks adopt.
+	loaded, err := graph.Load(out, integrity.WrapFactory(sim.Factory(sim.InstantConfig()),
+		integrity.Options{SidecarPath: side}), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Dev.Close()
+	buf := storage.AlignedBuf(loaded.Dev.SectorSize(), loaded.Dev.SectorSize())
+	if _, err := loaded.Dev.ReadAt(buf, loaded.Layout.FeaturesOff); err != nil {
+		t.Fatalf("verified feature read: %v", err)
+	}
+	st := loaded.Dev.(storage.IntegrityStatser).IntegrityStats()
+	if st.VerifiedReads == 0 || st.UnverifiedReads != 0 || st.ChecksumFailures != 0 {
+		t.Fatalf("loaded dataset reads are not verified: %+v", st)
 	}
 }

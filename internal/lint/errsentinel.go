@@ -21,15 +21,21 @@ var AnalyzerErrSentinel = &Analyzer{
 }
 
 // sentinelNames is the contract's sentinel set (storage.ErrClosed and
-// ErrUnaligned with their ssd/uring aliases, and the checkpoint
-// sentinels). Matching is by package-level error variable name, so the
-// historical alias spellings are covered without naming every package.
+// ErrUnaligned with their ssd/uring aliases, the checkpoint sentinels,
+// and the integrity-layer sentinels — ErrChecksum/ErrQuarantined are
+// always surfaced wrapped, often doubly so, since a quarantined read
+// wraps both at once). Matching is by package-level error variable name,
+// so the historical alias spellings are covered without naming every
+// package.
 var sentinelNames = map[string]bool{
 	"ErrClosed":       true,
 	"ErrUnaligned":    true,
 	"ErrCorrupt":      true,
 	"ErrNoCheckpoint": true,
 	"ErrFingerprint":  true,
+	"ErrChecksum":     true,
+	"ErrQuarantined":  true,
+	"ErrNoSidecar":    true,
 }
 
 func runErrSentinel(pass *Pass) {

@@ -7,9 +7,11 @@ package errsfix
 import "errors"
 
 var (
-	ErrClosed    = errors.New("closed")
-	ErrCorrupt   = errors.New("corrupt")
-	errLocalOnly = errors.New("not a sentinel")
+	ErrClosed      = errors.New("closed")
+	ErrCorrupt     = errors.New("corrupt")
+	ErrChecksum    = errors.New("checksum mismatch")
+	ErrQuarantined = errors.New("quarantined")
+	errLocalOnly   = errors.New("not a sentinel")
 )
 
 func bad(err error) bool {
@@ -29,9 +31,24 @@ func badSwitch(err error) string {
 	}
 }
 
+func badChecksum(err error) bool {
+	return err == ErrChecksum // want "sentinel ErrChecksum compared with =="
+}
+
+func badQuarantined(err error) bool {
+	return ErrQuarantined != err // want "sentinel ErrQuarantined compared with !="
+}
+
 func good(err error) bool {
 	// errors.Is is the contract; a non-sentinel local compares freely.
 	return errors.Is(err, ErrClosed) || err == errLocalOnly
+}
+
+func goodIntegrity(err error) bool {
+	// The integrity sentinels arrive doubly wrapped (a quarantined read
+	// wraps ErrChecksum and ErrQuarantined at once): errors.Is matches
+	// either through the wrap chain.
+	return errors.Is(err, ErrChecksum) && errors.Is(err, ErrQuarantined)
 }
 
 func suppressed(err error) bool {

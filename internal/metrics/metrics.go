@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gnndrive/internal/storage"
 )
 
 // Recorder accumulates busy/wait counters from every pipeline component.
@@ -32,6 +34,11 @@ type Recorder struct {
 	// model; nil means "no GPU". Atomic: the engine installs it while a
 	// previously started sampler may already be reading.
 	gpuBusy atomic.Pointer[func() int64]
+
+	// integrity accumulates the storage integrity layer's counters
+	// (merged per epoch from backend snapshot diffs).
+	integrityMu sync.Mutex
+	integrity   storage.IntegrityStats
 }
 
 // NewRecorder creates an empty recorder.
@@ -93,6 +100,20 @@ func (r *Recorder) AddStalls(n int64) { r.stalls.Add(n) }
 
 // Stalls returns cumulative detected pipeline stalls.
 func (r *Recorder) Stalls() int64 { return r.stalls.Load() }
+
+// AddIntegrity merges an integrity-counter interval into the run totals.
+func (r *Recorder) AddIntegrity(d storage.IntegrityStats) {
+	r.integrityMu.Lock()
+	r.integrity = r.integrity.Add(d)
+	r.integrityMu.Unlock()
+}
+
+// Integrity returns the cumulative integrity counters recorded so far.
+func (r *Recorder) Integrity() storage.IntegrityStats {
+	r.integrityMu.Lock()
+	defer r.integrityMu.Unlock()
+	return r.integrity
+}
 
 // Window is one sampling interval of the utilization time series.
 type Window struct {
@@ -223,6 +244,11 @@ type Breakdown struct {
 	Escalations int64
 	// Stalls counts watchdog-detected pipeline stalls for the epoch.
 	Stalls int64
+
+	// Integrity holds the storage integrity layer's counters for the
+	// epoch (checksum verification, read-repair, hedged reads, breaker
+	// transitions); all-zero when no integrity layer is attached.
+	Integrity storage.IntegrityStats
 }
 
 // atomicDuration supports concurrent stage accumulation.
@@ -242,6 +268,12 @@ type BreakdownCollector struct {
 	fallbacks                             atomic.Int64
 	escalations                           atomic.Int64
 	stalls                                atomic.Int64
+
+	// integrity is set once per epoch from a backend snapshot diff, not
+	// accumulated sample-by-sample; the mutex keeps Snapshot readers
+	// consistent with a concurrent AddIntegrity.
+	integrityMu sync.Mutex
+	integrity   storage.IntegrityStats
 }
 
 // AddPrep adds data-preparation time.
@@ -283,9 +315,21 @@ func (c *BreakdownCollector) AddEscalations(n int64) { c.escalations.Add(n) }
 // AddStalls counts watchdog-detected pipeline stalls.
 func (c *BreakdownCollector) AddStalls(n int64) { c.stalls.Add(n) }
 
+// AddIntegrity merges an integrity-counter interval (the difference of
+// two backend snapshots) into the breakdown.
+func (c *BreakdownCollector) AddIntegrity(d storage.IntegrityStats) {
+	c.integrityMu.Lock()
+	c.integrity = c.integrity.Add(d)
+	c.integrityMu.Unlock()
+}
+
 // Snapshot finalizes the breakdown with the epoch wall-clock total.
 func (c *BreakdownCollector) Snapshot(total time.Duration) Breakdown {
+	c.integrityMu.Lock()
+	integ := c.integrity
+	c.integrityMu.Unlock()
 	return Breakdown{
+		Integrity: integ,
 		Prep:           c.prep.load(),
 		Sample:         c.sample.load(),
 		Extract:        c.extract.load(),

@@ -25,6 +25,10 @@ import (
 // faultPolicy retries page fault-ins that hit a transient device error or
 // a short read, so sample-stage topology reads survive the same injected
 // failures the extractor retries; media errors stay permanent.
+// storage.ErrChecksum / storage.ErrQuarantined are deliberately absent:
+// the integrity layer has already spent its own raw re-read budget before
+// surfacing either sentinel, so retrying the timed read here would only
+// replay a verification that cannot newly succeed.
 var faultPolicy = errutil.Policy{
 	Retryable: errutil.RetryableVia(faults.ErrTransient, faults.ErrShortRead),
 }

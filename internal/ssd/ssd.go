@@ -306,61 +306,89 @@ func (c *channel) run() {
 		now := time.Now()
 		svc := c.dev.serviceTime(len(req.Buf))
 		dec := c.dev.Decide(req.Off, len(req.Buf))
-		// Straggler latency is a modeled duration like any other.
-		svc += time.Duration(float64(dec.Delay) * c.dev.cfg.TimeScale)
 		start := now
 		if c.busyUntil.After(now) {
 			start = c.busyUntil
 		}
 		finish := start.Add(svc)
 		c.busyUntil = finish
-		abandoned := false
-		if wait := time.Until(finish); wait > sleepSlack {
-			if req.Ctx == nil {
-				time.Sleep(wait)
-			} else {
-				// Context-aware service wait: a cancelled request (epoch
-				// teardown) is not held hostage by a straggler's modeled
-				// delay. The channel's modeled clock already advanced, so
-				// the device stays "busy" for later requests either way.
-				timer := time.NewTimer(wait)
-				select {
-				case <-timer.C:
-				case <-req.Ctx.Done():
-					timer.Stop()
-					abandoned = true
-				}
-			}
-		}
-		if abandoned {
-			req.Err = fmt.Errorf("ssd: read [%d,%d) abandoned: %w",
-				req.Off, req.Off+int64(len(req.Buf)), req.Ctx.Err())
-			req.Latency = time.Since(req.Submitted)
-			c.dev.reads.Add(1)
-			c.dev.latencyNanos.Add(int64(req.Latency))
-			if req.Done != nil {
-				req.Done(req)
-			}
+		if dec.Delay > 0 {
+			// Straggler latency models a slow individual transfer (internal
+			// retries, ECC re-reads) — not channel occupancy. The request is
+			// parked aside for the extra modeled delay while the channel
+			// serves the next queued request, so a duplicate (hedged) read
+			// of the same range can genuinely overtake the straggler.
+			extra := time.Duration(float64(dec.Delay) * c.dev.cfg.TimeScale)
+			c.dev.wg.Add(1)
+			go func(req *Request, dec faults.Decision, svc time.Duration, finish time.Time) {
+				defer c.dev.wg.Done()
+				c.finish(req, dec, svc, finish)
+			}(req, dec, svc+extra, finish.Add(extra))
 			continue
 		}
-		filled := len(req.Buf)
-		if dec.Err != nil {
-			// Short reads deliver a prefix; other faults deliver nothing.
-			filled = dec.Bytes
-			req.Err = dec.Err
-			c.dev.faults.Add(1)
+		c.finish(req, dec, svc, finish)
+	}
+}
+
+// finish waits out the request's modeled completion time (ctx-aware),
+// then fills the buffer, applies the fault decision, and completes it.
+// svc is the total modeled service duration for the busy/queue counters.
+func (c *channel) finish(req *Request, dec faults.Decision, svc time.Duration, finish time.Time) {
+	abandoned := false
+	if wait := time.Until(finish); wait > sleepSlack {
+		if req.Ctx == nil {
+			time.Sleep(wait)
+		} else {
+			// Context-aware service wait: a cancelled request (epoch
+			// teardown) is not held hostage by a straggler's modeled
+			// delay. The channel's modeled clock already advanced, so
+			// the device stays "busy" for later requests either way.
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-req.Ctx.Done():
+				timer.Stop()
+				abandoned = true
+			}
 		}
-		copy(req.Buf[:filled], c.dev.image[req.Off:req.Off+int64(filled)])
+	}
+	if abandoned {
+		req.Err = fmt.Errorf("ssd: read [%d,%d) abandoned: %w",
+			req.Off, req.Off+int64(len(req.Buf)), req.Ctx.Err())
 		req.Latency = time.Since(req.Submitted)
 		c.dev.reads.Add(1)
-		c.dev.bytesRead.Add(int64(filled))
-		c.dev.busyNanos.Add(int64(svc))
-		if q := req.Latency - svc; q > 0 {
-			c.dev.queueNanos.Add(int64(q))
-		}
 		c.dev.latencyNanos.Add(int64(req.Latency))
 		if req.Done != nil {
 			req.Done(req)
 		}
+		return
+	}
+	filled := len(req.Buf)
+	if dec.Err != nil {
+		// Short reads deliver a prefix; other faults deliver nothing.
+		filled = dec.Bytes
+		req.Err = dec.Err
+		c.dev.faults.Add(1)
+	}
+	copy(req.Buf[:filled], c.dev.image[req.Off:req.Off+int64(filled)])
+	if req.Err == nil {
+		// Silent corruption flips a bit of the returned bytes, not of
+		// the image: the medium is fine, the transfer lied. Counted as
+		// a fault even though the request reports success.
+		if dec.Corrupt {
+			c.dev.faults.Add(1)
+		}
+		faults.ApplyCorruption(dec, req.Buf[:filled])
+	}
+	req.Latency = time.Since(req.Submitted)
+	c.dev.reads.Add(1)
+	c.dev.bytesRead.Add(int64(filled))
+	c.dev.busyNanos.Add(int64(svc))
+	if q := req.Latency - svc; q > 0 {
+		c.dev.queueNanos.Add(int64(q))
+	}
+	c.dev.latencyNanos.Add(int64(req.Latency))
+	if req.Done != nil {
+		req.Done(req)
 	}
 }

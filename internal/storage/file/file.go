@@ -33,6 +33,7 @@ import (
 	"time"
 	"unsafe"
 
+	"gnndrive/internal/faults"
 	"gnndrive/internal/storage"
 )
 
@@ -308,6 +309,15 @@ func (b *Backend) serve(req *storage.Request) {
 			req.Err = err
 			filled = 0
 		}
+	}
+	if req.Err == nil {
+		// Silent corruption flips a bit of the returned bytes after the
+		// pread — the file is intact, the transfer lied. Counted as a
+		// fault even though the request reports success.
+		if dec.Corrupt {
+			b.faults.Add(1)
+		}
+		faults.ApplyCorruption(dec, req.Buf[:filled])
 	}
 	b.complete(req, start, filled)
 }

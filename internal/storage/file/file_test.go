@@ -7,6 +7,7 @@ import (
 
 	"gnndrive/internal/storage"
 	"gnndrive/internal/storage/file"
+	"gnndrive/internal/storage/integrity"
 	"gnndrive/internal/storage/storagetest"
 )
 
@@ -27,6 +28,33 @@ func TestConformance(t *testing.T) {
 // is forced so every environment exercises it).
 func TestConformanceNoDirect(t *testing.T) {
 	storagetest.Run(t, func(t *testing.T) storage.Backend {
+		b, err := file.Create(filepath.Join(t.TempDir(), "data.img"), storagetest.Capacity,
+			file.Options{DisableDirect: true})
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		return b
+	})
+}
+
+// The integrity wrapper over the file backend must itself satisfy the
+// full Backend contract — it is a drop-in layer, not a restricted view.
+func TestConformanceIntegrityWrapped(t *testing.T) {
+	storagetest.Run(t, func(t *testing.T) storage.Backend {
+		b, err := integrity.Wrap(newBackend(t), integrity.Options{})
+		if err != nil {
+			t.Fatalf("integrity.Wrap: %v", err)
+		}
+		return b
+	})
+}
+
+func TestIntegrity(t *testing.T) {
+	storagetest.RunIntegrity(t, newBackend)
+}
+
+func TestIntegrityNoDirect(t *testing.T) {
+	storagetest.RunIntegrity(t, func(t *testing.T) storage.Backend {
 		b, err := file.Create(filepath.Join(t.TempDir(), "data.img"), storagetest.Capacity,
 			file.Options{DisableDirect: true})
 		if err != nil {

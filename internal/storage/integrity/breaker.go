@@ -1,0 +1,169 @@
+package integrity
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerOptions tune the degradation circuit breaker: a sliding window
+// of read outcomes whose unhealthy rate (errors, checksum failures, and
+// reads slower than SlowAfter) trips a global direct→buffered
+// degradation. The open breaker cools down, then lets exactly one direct
+// read through as a half-open probe: a clean probe closes the breaker
+// (recovery), a failed one re-opens it for another cooldown.
+//
+// The breaker generalizes the extractor's one-shot per-op fallback
+// (§4.4): instead of each read discovering the direct path's failure
+// individually, a sick backend is degraded once, globally, and probed
+// back to health.
+type BreakerOptions struct {
+	// Window is the sliding-window size in reads; 0 disables the breaker.
+	Window int
+	// MinSamples gates tripping until the window has at least this many
+	// outcomes (default Window/2), so a single early error cannot trip.
+	MinSamples int
+	// TripRate is the unhealthy fraction of the window that trips the
+	// breaker (default 0.5).
+	TripRate float64
+	// SlowAfter classifies a read as unhealthy when its completion
+	// latency exceeds this; 0 disables latency tracking (errors only).
+	SlowAfter time.Duration
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe (default 100ms).
+	Cooldown time.Duration
+}
+
+func (o *BreakerOptions) fill() {
+	if o.MinSamples <= 0 {
+		o.MinSamples = o.Window / 2
+	}
+	if o.MinSamples < 1 {
+		o.MinSamples = 1
+	}
+	if o.TripRate <= 0 {
+		o.TripRate = 0.5
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 100 * time.Millisecond
+	}
+}
+
+// Breaker states.
+const (
+	brClosed int32 = iota
+	brOpen
+	brHalfOpen
+)
+
+type breaker struct {
+	opts BreakerOptions
+
+	mu        sync.Mutex
+	window    []bool // true = unhealthy outcome
+	idx       int
+	filled    int
+	unhealthy int // running count of true entries in the window
+	state     int32
+	openedAt  time.Time
+
+	trips      atomic.Int64
+	recoveries atomic.Int64
+	degraded   atomic.Int64
+}
+
+func newBreaker(opts BreakerOptions) *breaker {
+	opts.fill()
+	return &breaker{opts: opts, window: make([]bool, opts.Window)}
+}
+
+// allowDirect decides the path for a direct-eligible request: (true,
+// false) closed — go direct; (false, false) open — degrade to buffered;
+// (true, true) the cooldown elapsed and this request is the half-open
+// probe. While a probe is outstanding every other request stays
+// buffered.
+func (k *breaker) allowDirect() (direct, probe bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	switch k.state {
+	case brClosed:
+		return true, false
+	case brOpen:
+		if time.Since(k.openedAt) >= k.opts.Cooldown {
+			k.state = brHalfOpen
+			return true, true
+		}
+		return false, false
+	default: // half-open: probe outstanding
+		return false, false
+	}
+}
+
+// outcome records one completed read's health. A probe completion
+// resolves the half-open state: clean closes the breaker (recovery,
+// window reset), unhealthy re-opens it. Regular outcomes slide the
+// window and trip the breaker when the unhealthy rate crosses TripRate
+// with MinSamples seen.
+func (k *breaker) outcome(bad, probe bool, logf func(string, ...any)) {
+	k.mu.Lock()
+	if probe && k.state == brHalfOpen {
+		if bad {
+			k.state = brOpen
+			k.openedAt = time.Now()
+		} else {
+			k.state = brClosed
+			k.reset()
+			k.recoveries.Add(1)
+			k.mu.Unlock()
+			logf("integrity: breaker recovered, direct I/O restored")
+			return
+		}
+	}
+	if old := k.window[k.idx]; k.filled == len(k.window) && old {
+		k.unhealthy--
+	}
+	k.window[k.idx] = bad
+	if bad {
+		k.unhealthy++
+	}
+	k.idx = (k.idx + 1) % len(k.window)
+	if k.filled < len(k.window) {
+		k.filled++
+	}
+	tripped := false
+	if k.state == brClosed && k.filled >= k.opts.MinSamples &&
+		float64(k.unhealthy) >= k.opts.TripRate*float64(k.filled) {
+		k.state = brOpen
+		k.openedAt = time.Now()
+		k.trips.Add(1)
+		k.reset()
+		tripped = true
+	}
+	k.mu.Unlock()
+	if tripped {
+		logf("integrity: breaker tripped, degrading direct reads to buffered for %v", k.opts.Cooldown)
+	}
+}
+
+// probeAborted returns a context-cancelled probe's half-open slot: the
+// probe said nothing about health, so the breaker re-opens with the
+// cooldown already consumed — the next direct request probes again
+// immediately.
+func (k *breaker) probeAborted() {
+	k.mu.Lock()
+	if k.state == brHalfOpen {
+		k.state = brOpen
+		k.openedAt = time.Now().Add(-k.opts.Cooldown)
+	}
+	k.mu.Unlock()
+}
+
+// reset clears the sliding window (state transitions start from a clean
+// slate so stale outcomes cannot immediately re-trip or hold the breaker
+// open).
+func (k *breaker) reset() {
+	for i := range k.window {
+		k.window[i] = false
+	}
+	k.idx, k.filled, k.unhealthy = 0, 0, 0
+}

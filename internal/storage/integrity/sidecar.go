@@ -1,0 +1,148 @@
+package integrity
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// ErrNoSidecar is returned by LoadSidecar when the path does not exist.
+// Wrap treats it as "legacy dataset": verification starts untracked with
+// a logged warning instead of failing.
+var ErrNoSidecar = errors.New("integrity: checksum sidecar not found")
+
+// sidecarMagic identifies the checksum-sidecar format, version 1:
+//
+//	magic[8] | blockSize int64 | capacity int64 | nblocks int64 |
+//	state[nblocks] byte | sums[nblocks] uint32, all little-endian.
+const sidecarMagic = "GNNDCRC1"
+
+// SaveSidecar persists the checksum table (per-block CRC32C sums and
+// tracking states) so a later process can Wrap the same dataset with
+// verification enabled from the first read. The write is atomic
+// (temp file + rename). Conventionally the sidecar lives next to the
+// dataset container as "<container>.crc".
+func (b *Backend) SaveSidecar(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".crc-*")
+	if err != nil {
+		return fmt.Errorf("integrity: save sidecar: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	n := int64(len(b.sums))
+	hdr := make([]byte, 8+3*8)
+	copy(hdr, sidecarMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(b.block))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(b.inner.Capacity()))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(n))
+	if _, err := w.Write(hdr); err != nil {
+		tmp.Close()
+		return fmt.Errorf("integrity: save sidecar: %w", err)
+	}
+	states := make([]byte, n)
+	for i := range b.state {
+		states[i] = byte(b.state[i].Load())
+	}
+	if _, err := w.Write(states); err != nil {
+		tmp.Close()
+		return fmt.Errorf("integrity: save sidecar: %w", err)
+	}
+	sums := make([]byte, 4*n)
+	for i := range b.sums {
+		binary.LittleEndian.PutUint32(sums[4*i:], b.sums[i].Load())
+	}
+	if _, err := w.Write(sums); err != nil {
+		tmp.Close()
+		return fmt.Errorf("integrity: save sidecar: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("integrity: save sidecar: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("integrity: save sidecar: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("integrity: save sidecar: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("integrity: save sidecar: %w", err)
+	}
+	return nil
+}
+
+// LoadSidecar adopts a persisted checksum table. The sidecar's block size
+// must match the wrapper's (a sidecar written at a different granularity
+// is rejected, not reinterpreted); the block counts may differ, because a
+// block's index maps to the same byte offset regardless of device
+// capacity — a sidecar saved from an image with a larger or smaller
+// scratch tail adopts over the overlapping range, and blocks beyond
+// either geometry simply stay untracked.
+// A missing file returns an error wrapping ErrNoSidecar.
+func (b *Backend) LoadSidecar(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("%w: %s", ErrNoSidecar, path)
+		}
+		return fmt.Errorf("integrity: load sidecar: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	hdr := make([]byte, 8+3*8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return fmt.Errorf("integrity: load sidecar %s: header: %w", path, err)
+	}
+	if string(hdr[:8]) != sidecarMagic {
+		return fmt.Errorf("integrity: load sidecar %s: bad magic %q", path, hdr[:8])
+	}
+	bs := int64(binary.LittleEndian.Uint64(hdr[8:]))
+	n := int64(binary.LittleEndian.Uint64(hdr[24:]))
+	if bs != b.block {
+		return fmt.Errorf("integrity: load sidecar %s: block size %d, wrapper uses %d", path, bs, b.block)
+	}
+	if fi, serr := f.Stat(); serr == nil && (n < 0 || int64(len(hdr))+5*n != fi.Size()) {
+		return fmt.Errorf("integrity: load sidecar %s: %d blocks inconsistent with %d-byte file", path, n, fi.Size())
+	}
+	states := make([]byte, n)
+	if _, err := io.ReadFull(r, states); err != nil {
+		return fmt.Errorf("integrity: load sidecar %s: states: %w", path, err)
+	}
+	sums := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, sums); err != nil {
+		return fmt.Errorf("integrity: load sidecar %s: sums: %w", path, err)
+	}
+	if m := int64(len(b.sums)); n > m {
+		n = m
+	}
+	for i := int64(0); i < n; i++ {
+		st := uint32(states[i])
+		if st > stateQuarantined {
+			return fmt.Errorf("integrity: load sidecar %s: block %d has state %d", path, i, st)
+		}
+		// Publish sum before state (same ordering contract as noteWrite).
+		b.sums[i].Store(binary.LittleEndian.Uint32(sums[4*i:]))
+		b.state[i].Store(st)
+	}
+	return nil
+}
+
+// dirOf returns the directory of path for CreateTemp, "." for a bare
+// file name (CreateTemp treats "" as os.TempDir, which could cross
+// filesystems and break the atomic rename).
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return path[:i]
+		}
+	}
+	return "."
+}

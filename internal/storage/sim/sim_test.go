@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"gnndrive/internal/storage"
+	"gnndrive/internal/storage/integrity"
 	"gnndrive/internal/storage/sim"
 	"gnndrive/internal/storage/storagetest"
 )
@@ -20,6 +21,24 @@ func TestConformanceDefaultTiming(t *testing.T) {
 	}
 	storagetest.Run(t, func(t *testing.T) storage.Backend {
 		return sim.New(storagetest.Capacity, sim.DefaultConfig())
+	})
+}
+
+// The integrity wrapper over the simulator must itself satisfy the full
+// Backend contract — it is a drop-in layer, not a restricted view.
+func TestConformanceIntegrityWrapped(t *testing.T) {
+	storagetest.Run(t, func(t *testing.T) storage.Backend {
+		b, err := integrity.Wrap(sim.New(storagetest.Capacity, sim.InstantConfig()), integrity.Options{})
+		if err != nil {
+			t.Fatalf("integrity.Wrap: %v", err)
+		}
+		return b
+	})
+}
+
+func TestIntegrity(t *testing.T) {
+	storagetest.RunIntegrity(t, func(t *testing.T) storage.Backend {
+		return sim.New(storagetest.Capacity, sim.InstantConfig())
 	})
 }
 

@@ -46,6 +46,91 @@ var ErrClosed = errors.New("storage: backend closed")
 // historical ssd.ErrUnaligned and uring.ErrUnaligned spellings alias it.
 var ErrUnaligned = errors.New("storage: direct read not sector-aligned")
 
+// ErrChecksum is returned by the integrity layer (storage/integrity) when
+// a read's block checksum does not match the recorded CRC32C and the
+// repair budget could not heal it. Like the other sentinels it is matched
+// with errors.Is; it is never retryable — the integrity layer has already
+// spent its re-read budget before surfacing it.
+var ErrChecksum = errors.New("storage: block checksum mismatch")
+
+// ErrQuarantined is returned by the integrity layer for reads touching a
+// block that previously failed verification persistently: the block is
+// fenced off until it is rewritten. Errors carrying this sentinel also
+// match ErrChecksum, so callers that only classify the failure as
+// corruption need a single errors.Is.
+var ErrQuarantined = errors.New("storage: block quarantined")
+
+// IntegrityStats are the cumulative counters of the integrity layer:
+// checksum verification, read-repair, hedged reads, and the degradation
+// circuit breaker. The zero value means "no integrity layer".
+type IntegrityStats struct {
+	// VerifiedReads counts reads whose covered blocks all verified clean
+	// (possibly after repair); UnverifiedReads counts reads that touched
+	// at least one block with no recorded checksum (legacy data written
+	// outside the integrity layer and not covered by a sidecar).
+	VerifiedReads   int64
+	UnverifiedReads int64
+	// ChecksumFailures counts block-checksum mismatches detected;
+	// Repairs counts mismatched blocks healed by an untimed re-read;
+	// Quarantined counts blocks fenced off after the repair budget ran
+	// out (every later read of them fails with ErrQuarantined).
+	ChecksumFailures int64
+	Repairs          int64
+	Quarantined      int64
+	// Hedge counters: duplicate reads issued after the latency threshold,
+	// hedges that completed first (won), and hedges cancelled because the
+	// primary won.
+	HedgesIssued    int64
+	HedgesWon       int64
+	HedgesCancelled int64
+	// Breaker counters: trips into the open (direct→buffered) state,
+	// half-open probes that closed it again, and direct requests served
+	// buffered while it was open.
+	BreakerTrips      int64
+	BreakerRecoveries int64
+	BreakerDegraded   int64
+}
+
+// Add returns the field-wise sum s + o.
+func (s IntegrityStats) Add(o IntegrityStats) IntegrityStats {
+	s.VerifiedReads += o.VerifiedReads
+	s.UnverifiedReads += o.UnverifiedReads
+	s.ChecksumFailures += o.ChecksumFailures
+	s.Repairs += o.Repairs
+	s.Quarantined += o.Quarantined
+	s.HedgesIssued += o.HedgesIssued
+	s.HedgesWon += o.HedgesWon
+	s.HedgesCancelled += o.HedgesCancelled
+	s.BreakerTrips += o.BreakerTrips
+	s.BreakerRecoveries += o.BreakerRecoveries
+	s.BreakerDegraded += o.BreakerDegraded
+	return s
+}
+
+// Sub returns the field-wise difference s - o (an interval between two
+// snapshots).
+func (s IntegrityStats) Sub(o IntegrityStats) IntegrityStats {
+	s.VerifiedReads -= o.VerifiedReads
+	s.UnverifiedReads -= o.UnverifiedReads
+	s.ChecksumFailures -= o.ChecksumFailures
+	s.Repairs -= o.Repairs
+	s.Quarantined -= o.Quarantined
+	s.HedgesIssued -= o.HedgesIssued
+	s.HedgesWon -= o.HedgesWon
+	s.HedgesCancelled -= o.HedgesCancelled
+	s.BreakerTrips -= o.BreakerTrips
+	s.BreakerRecoveries -= o.BreakerRecoveries
+	s.BreakerDegraded -= o.BreakerDegraded
+	return s
+}
+
+// IntegrityStatser is implemented by backends that carry an integrity
+// layer (storage/integrity's wrapper). Consumers that want the counters
+// without a package dependency assert this interface on their Backend.
+type IntegrityStatser interface {
+	IntegrityStats() IntegrityStats
+}
+
 // Request is one asynchronous read submitted to a backend.
 type Request struct {
 	Buf  []byte
@@ -78,7 +163,7 @@ type Request struct {
 type Stats struct {
 	Reads     int64
 	BytesRead int64
-	Faults    int64         // requests completed with an injected error
+	Faults    int64         // requests completed with an injected fault (error or silent corruption)
 	BusyTime  time.Duration // summed service time
 	QueueTime time.Duration // summed wait before service
 	// TotalLatency sums submit-to-complete time over all reads.

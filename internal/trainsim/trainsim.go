@@ -36,6 +36,7 @@ import (
 	"gnndrive/internal/sample"
 	"gnndrive/internal/storage"
 	"gnndrive/internal/storage/file"
+	"gnndrive/internal/storage/integrity"
 	"gnndrive/internal/storage/sim"
 )
 
@@ -129,6 +130,15 @@ type Config struct {
 	// transient errors; the baselines surface them.
 	Faults *faults.Config
 
+	// Integrity, when non-nil, wraps the dataset backend in the checksum
+	// verification layer (storage/integrity): every read is verified
+	// against per-block CRC32C, mismatches are repaired by raw re-reads,
+	// and — when the options enable them — slow reads are hedged and the
+	// degradation breaker can trip direct I/O down to buffered. For the
+	// file backend a checksum sidecar (<data file>.crc) is persisted after
+	// the dataset build.
+	Integrity *integrity.Options
+
 	// CheckpointDir enables GNNDrive's crash-consistent run
 	// checkpointing into this directory (ignored by the baselines).
 	CheckpointDir string
@@ -185,6 +195,11 @@ type EpochStats struct {
 	// StallDeadline configured; at most 1 per epoch, which also fails
 	// the epoch).
 	Stalls int64
+
+	// Integrity reports the epoch's checksum/repair/hedge/breaker
+	// activity (GNNDrive systems with Config.Integrity set; all-zero
+	// otherwise).
+	Integrity storage.IntegrityStats
 }
 
 // Result is a full run.
@@ -195,6 +210,10 @@ type Result struct {
 	Windows []metrics.Window
 	// ValAcc per epoch (real training only, when requested).
 	ValAcc []float64
+	// FaultCounts is the injector's tally for the run when Config.Faults
+	// was set: how many faults of each class were actually injected
+	// (a chaos run that injected nothing proves nothing).
+	FaultCounts faults.Counts
 }
 
 // AvgEpoch returns the mean wall-clock epoch time.
@@ -235,17 +254,23 @@ var (
 	dsTemp = map[string]string{}
 )
 
-// newBackend builds the storage backend for one dataset cell. For the
-// file backend with no explicit DataFile it also returns the temp path it
-// created, so DropDatasets can remove it.
-func newBackend(cfg Config, spec gen.Spec, capacity int64) (storage.Backend, string, error) {
+// newBackend builds the storage backend for one dataset cell, wrapping it
+// in the integrity layer when the config asks for one. It returns the
+// backend, the data-file path ("" for sim), and the temp path it created
+// (file backend with no explicit DataFile), so DropDatasets can remove it.
+func newBackend(cfg Config, spec gen.Spec, capacity int64) (storage.Backend, string, string, error) {
+	var (
+		dev  storage.Backend
+		path string
+		temp string
+	)
 	switch cfg.Backend {
 	case "", "sim":
 		scfg := sim.DefaultConfig()
 		scfg.TimeScale = cfg.Scale
-		return sim.New(capacity, scfg), "", nil
+		dev = sim.New(capacity, scfg)
 	case "file":
-		path, temp := cfg.DataFile, ""
+		path = cfg.DataFile
 		if path == "" {
 			path = filepath.Join(os.TempDir(),
 				fmt.Sprintf("gnndrive-%s-%d-%g.img", spec.Name, spec.Dim, cfg.Scale))
@@ -253,11 +278,36 @@ func newBackend(cfg Config, spec gen.Spec, capacity int64) (storage.Backend, str
 		}
 		b, err := file.Create(path, capacity, file.Options{})
 		if err != nil {
-			return nil, "", err
+			return nil, "", "", err
 		}
-		return b, temp, nil
+		dev = b
+	default:
+		return nil, "", "", fmt.Errorf("trainsim: unknown backend %q (want sim or file)", cfg.Backend)
 	}
-	return nil, "", fmt.Errorf("trainsim: unknown backend %q (want sim or file)", cfg.Backend)
+	if cfg.Integrity != nil {
+		w, err := integrity.Wrap(dev, *cfg.Integrity)
+		if err != nil {
+			dev.Close()
+			return nil, "", "", err
+		}
+		dev = w
+	}
+	return dev, path, temp, nil
+}
+
+// integrityKey flattens the scalar integrity knobs into the dataset cache
+// key, so cells with different verification configs never share a wrapped
+// backend. The repair classifier and Logf are funcs and stay out of the
+// key; the budget scalars and breaker geometry are what change behavior.
+func integrityKey(o *integrity.Options) string {
+	if o == nil {
+		return "none"
+	}
+	return fmt.Sprintf("%d:%v:%v:%d:%v:%d:%d:%g:%v:%v:%s",
+		o.BlockSize, o.DisableRepair, o.HedgeAfter,
+		o.Repair.MaxAttempts, o.Repair.BaseDelay,
+		o.Breaker.Window, o.Breaker.MinSamples, o.Breaker.TripRate,
+		o.Breaker.SlowAfter, o.Breaker.Cooldown, o.SidecarPath)
 }
 
 // buildDataset returns the cached dataset for the config.
@@ -266,13 +316,14 @@ func buildDataset(cfg Config) (*graph.Dataset, error) {
 	if cfg.Dim != 0 {
 		spec.Dim = cfg.Dim
 	}
-	key := fmt.Sprintf("%s/%d/%g/%s/%s", spec.Name, spec.Dim, cfg.Scale, cfg.Backend, cfg.DataFile)
+	key := fmt.Sprintf("%s/%d/%g/%s/%s/%s", spec.Name, spec.Dim, cfg.Scale,
+		cfg.Backend, cfg.DataFile, integrityKey(cfg.Integrity))
 	dsMu.Lock()
 	defer dsMu.Unlock()
 	if ds, ok := dsCache[key]; ok {
 		return ds, nil
 	}
-	dev, temp, err := newBackend(cfg, spec, spec.SizeBytes()+ScratchBytes)
+	dev, path, temp, err := newBackend(cfg, spec, spec.SizeBytes()+ScratchBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -283,6 +334,14 @@ func buildDataset(cfg Config) (*graph.Dataset, error) {
 			os.Remove(temp)
 		}
 		return nil, err
+	}
+	// The build wrote every dataset byte through the integrity wrapper, so
+	// its checksum table is complete: persist it next to the data file so
+	// later processes can open the same file verified from the first read.
+	if ib, ok := dev.(*integrity.Backend); ok && path != "" {
+		if serr := ib.SaveSidecar(path + ".crc"); serr != nil {
+			fmt.Printf("trainsim: checksum sidecar save failed: %v\n", serr)
+		}
 	}
 	dsCache[key] = ds
 	if temp != "" {
@@ -311,6 +370,7 @@ func DropDatasets() {
 		ds.Dev.Close()
 		if path, ok := dsTemp[k]; ok {
 			os.Remove(path)
+			os.Remove(path + ".crc")
 			delete(dsTemp, k)
 		}
 		delete(dsCache, k)
@@ -354,7 +414,7 @@ func Run(cfg Config, sys SystemKind, opts RunOptions) (Result, error) {
 // context threads through the epoch loop into the engine's training
 // steps, so cancelling it stops a run — including a resumed one —
 // between batches instead of waiting out the epoch.
-func RunCtx(ctx context.Context, cfg Config, sys SystemKind, opts RunOptions) (Result, error) {
+func RunCtx(ctx context.Context, cfg Config, sys SystemKind, opts RunOptions) (res Result, err error) {
 	cfg.fill()
 	if opts.Epochs == 0 {
 		opts.Epochs = 1
@@ -369,8 +429,14 @@ func RunCtx(ctx context.Context, cfg Config, sys SystemKind, opts RunOptions) (R
 		ds = &trimmed
 	}
 	if cfg.Faults != nil {
-		ds.Dev.SetInjector(faults.NewInjector(*cfg.Faults))
-		defer ds.Dev.SetInjector(nil)
+		inj := faults.NewInjector(*cfg.Faults)
+		ds.Dev.SetInjector(inj)
+		defer func() {
+			// Tally before detaching: every return path (including
+			// cancellation) reports how much chaos was actually injected.
+			res.FaultCounts = inj.Counts()
+			ds.Dev.SetInjector(nil)
+		}()
 	}
 	budget := hostmem.NewBudget(int64(cfg.HostMemoryGB) * GB)
 	cache := pagecache.New(ds.Dev, budget)
@@ -385,7 +451,7 @@ func RunCtx(ctx context.Context, cfg Config, sys SystemKind, opts RunOptions) (R
 		sampler = rec.StartSampler(opts.SampleUtil, 6, 6)
 	}
 
-	res := Result{System: sys}
+	res = Result{System: sys}
 	runEpoch, closer, startEpoch, err := buildSystem(sys, ds, dev, budget, cache, rec, cfg)
 	if err != nil {
 		if sampler != nil {
@@ -517,6 +583,7 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 				Loss: r.Loss, Acc: r.Acc,
 				Retries: r.Retries, Fallbacks: r.Fallbacks,
 				Escalations: r.Escalations, Stalls: r.Stalls,
+				Integrity: r.Integrity,
 			}, err
 		}, eng.Close, startEpoch, nil
 
