@@ -53,7 +53,7 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "also checkpoint every N trainer steps mid-epoch (requires -inorder)")
 	resume := flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir")
 	stallDeadline := flag.Duration("stall-deadline", 0, "fail the epoch if the pipeline makes no progress for this long (0 = off)")
-	backend := flag.String("backend", "sim", "storage backend: sim (modeled SSD) or file (real file, direct I/O best-effort)")
+	backend := flag.String("backend", "sim", "storage backend: sim (modeled SSD), file (real file, direct I/O best-effort), or linuring (real file via io_uring, falls back to file)")
 	dataFile := flag.String("data-file", "", "backing file for -backend file (default: a temp file)")
 	flag.Parse()
 
@@ -75,7 +75,7 @@ func main() {
 		Hidden: *hidden, Seed: *seed, InOrder: *inorder, TrainLimit: *limit,
 		CheckpointDir: *ckptDir, CheckpointEverySteps: *ckptEvery,
 		Resume: *resume, StallDeadline: *stallDeadline,
-		Backend: *backend, DataFile: *dataFile,
+		Backend: *backend, DataFile: *dataFile, Logf: log.Printf,
 	}
 	if *faultTransient > 0 || *faultShort > 0 || *faultStraggler > 0 || *faultCorrupt > 0 {
 		cfg.Faults = &faults.Config{

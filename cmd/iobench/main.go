@@ -21,6 +21,7 @@ import (
 	"gnndrive/internal/ssd"
 	"gnndrive/internal/storage"
 	"gnndrive/internal/storage/file"
+	"gnndrive/internal/storage/linuring"
 )
 
 func main() {
@@ -32,7 +33,7 @@ func main() {
 	reads := flag.Int("reads", 12000, "total reads")
 	scale := flag.Float64("scale", 2.0, "time-model stretch")
 	sweep := flag.Bool("sweep", false, "run the full Fig. B.1 grid instead")
-	backend := flag.String("backend", "sim", "storage backend: sim (modeled SSD) or file (real file)")
+	backend := flag.String("backend", "sim", "storage backend: sim (modeled SSD), file (real file), or linuring (real file via io_uring, falls back to file)")
 	dataFile := flag.String("data-file", "", "backing file for -backend file (default: a temp file)")
 	flag.Parse()
 
@@ -69,8 +70,30 @@ func main() {
 		}
 		fmt.Printf("backend: file %s (O_DIRECT active: %v)\n", path, fb.DirectActive())
 		dev = fb
+	case "linuring":
+		path := *dataFile
+		if path == "" {
+			f, err := os.CreateTemp("", "gnndrive-iobench-*.img")
+			if err != nil {
+				log.Fatal(err)
+			}
+			path = f.Name()
+			f.Close()
+			defer os.Remove(path)
+		}
+		lb, err := linuring.FallbackFactory(path, linuring.Options{Logf: log.Printf})(*fileMB << 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rb, ok := lb.(linuring.RingStatser); ok {
+			fmt.Printf("backend: linuring %s (O_DIRECT active: %v, ring entries: %d)\n",
+				path, rb.DirectActive(), rb.RingStats().Entries)
+		} else {
+			fmt.Printf("backend: linuring unavailable, serving via file %s\n", path)
+		}
+		dev = lb
 	default:
-		log.Fatalf("unknown -backend %q (want sim or file)", *backend)
+		log.Fatalf("unknown -backend %q (want sim, file, or linuring)", *backend)
 	}
 	defer dev.Close()
 	res, err := iobench.Run(dev, iobench.Spec{

@@ -429,6 +429,16 @@ func (e *Engine) finishSetup(ds *graph.Dataset, dev *device.Device,
 		e.ownStaging = true
 	}
 
+	// Offer the staging pool's backing allocation to the backend as a
+	// fixed io_uring buffer region: on the linuring backend every
+	// staging-slot read then goes out as READ_FIXED, skipping per-read
+	// page pinning. Registration is strictly optional — a refusal
+	// (RLIMIT_MEMLOCK, table limits, non-ring backend) changes nothing
+	// but the opcode, so the error is dropped by design.
+	if reg, ok := ds.Dev.(storage.BufferRegistrar); ok && e.staging != nil {
+		_ = reg.RegisterBuffers(e.staging.Region())
+	}
+
 	e.indexFile = graph.IndicesFile(ds, cache)
 	rec.SetGPUProvider(func() int64 { return int64(dev.ComputeBusy()) })
 

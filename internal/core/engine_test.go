@@ -16,6 +16,7 @@ import (
 	"gnndrive/internal/ssd"
 	"gnndrive/internal/storage"
 	"gnndrive/internal/storage/file"
+	"gnndrive/internal/storage/linuring"
 )
 
 type testRig struct {
@@ -30,17 +31,31 @@ type testRig struct {
 // instant simulator (default) or a real file in a test temp dir (the
 // file lands under TMPDIR, so TMPDIR=/dev/shm measures tmpfs).
 func datasetOn(t testing.TB, backend string) (*graph.Dataset, error) {
-	if backend == "file" {
+	return datasetOnSpec(t, backend, gen.Tiny())
+}
+
+// datasetOnSpec is datasetOn with the dataset spec under the caller's
+// control (the cold-extract benchmarks need one larger than Tiny). The
+// "linuring" backend uses the fallback ladder, so a rig requested on it
+// still builds where the kernel refuses io_uring — benchmarks that must
+// measure the real ring guard with linuring.Supported first.
+func datasetOnSpec(t testing.TB, backend string, spec gen.Spec) (*graph.Dataset, error) {
+	switch backend {
+	case "file", "linuring":
 		dir, err := os.MkdirTemp("", "gnndrive-core-test-")
 		if err != nil {
 			return nil, err
 		}
 		t.Cleanup(func() { os.RemoveAll(dir) })
-		return gen.BuildWith(gen.Tiny(), func(capacity int64) (storage.Backend, error) {
-			return file.Create(filepath.Join(dir, "data.img"), capacity, file.Options{})
+		path := filepath.Join(dir, "data.img")
+		if backend == "linuring" {
+			return gen.BuildWith(spec, linuring.FallbackFactory(path, linuring.Options{}))
+		}
+		return gen.BuildWith(spec, func(capacity int64) (storage.Backend, error) {
+			return file.Create(path, capacity, file.Options{})
 		})
 	}
-	return gen.BuildStandalone(gen.Tiny(), ssd.InstantConfig())
+	return gen.BuildStandalone(spec, ssd.InstantConfig())
 }
 
 // newRig builds a rig on the backend selected by GNNDRIVE_TEST_BACKEND
@@ -51,8 +66,12 @@ func newRig(t testing.TB, devCfg device.Config, budgetBytes int64) *testRig {
 }
 
 func newRigOn(t testing.TB, devCfg device.Config, budgetBytes int64, backend string) *testRig {
+	return newRigSpec(t, devCfg, budgetBytes, backend, gen.Tiny())
+}
+
+func newRigSpec(t testing.TB, devCfg device.Config, budgetBytes int64, backend string, spec gen.Spec) *testRig {
 	t.Helper()
-	ds, err := datasetOn(t, backend)
+	ds, err := datasetOnSpec(t, backend, spec)
 	if err != nil {
 		t.Fatal(err)
 	}

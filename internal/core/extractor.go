@@ -163,20 +163,23 @@ func (x *extractor) runPlan(ctx context.Context, b *sample.Batch, res *Reservati
 	var firstErr error
 	budget := eng.opts.RetryBudget
 
-	// submit issues op's read on its already-assigned staging slot,
+	// submit stages op's read on its already-assigned staging slot,
 	// degrading to a buffered read when direct I/O rejects the alignment.
 	// Reads are bound to ctx so an injected straggler delay cannot hold
-	// the teardown hostage for its full modeled duration.
+	// the teardown hostage for its full modeled duration. Staged reads
+	// only reach the device at the wave's ring.Flush — one batched
+	// submission (a single io_uring_enter on the linuring backend) per
+	// wave instead of one kernel round trip per read.
 	submit := func(op int) error {
 		sbuf := eng.staging.Buf(opSlot[op])[:plan[op].Len]
 		if buffered[op] || eng.opts.BufferedIO {
-			return x.ring.SubmitBufferedReadCtx(ctx, sbuf, plan[op].DevOff, uint64(op))
+			return x.ring.QueueBufferedReadCtx(ctx, sbuf, plan[op].DevOff, uint64(op))
 		}
-		err := x.ring.SubmitReadCtx(ctx, sbuf, plan[op].DevOff, uint64(op))
+		err := x.ring.QueueReadCtx(ctx, sbuf, plan[op].DevOff, uint64(op))
 		if errors.Is(err, storage.ErrUnaligned) {
 			buffered[op] = true
 			st.fallbacks++
-			return x.ring.SubmitBufferedReadCtx(ctx, sbuf, plan[op].DevOff, uint64(op))
+			return x.ring.QueueBufferedReadCtx(ctx, sbuf, plan[op].DevOff, uint64(op))
 		}
 		return err
 	}
@@ -212,6 +215,9 @@ func (x *extractor) runPlan(ctx context.Context, b *sample.Batch, res *Reservati
 			next++
 			inflight++
 		}
+		// Publish the whole wave at once; without this, WaitCQE below
+		// would wait on reads the device has not yet seen.
+		x.ring.Flush()
 		if inflight == 0 {
 			if firstErr != nil || next >= len(plan) {
 				break
@@ -235,6 +241,7 @@ func (x *extractor) runPlan(ctx context.Context, b *sample.Batch, res *Reservati
 				eng.staging.Release(slot)
 				firstErr = err
 			} else {
+				x.ring.Flush() // a lone retry flushes immediately
 				inflight++
 			}
 		default:

@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"gnndrive/internal/device"
 	"gnndrive/internal/sample"
+	"gnndrive/internal/storage"
 )
 
 // buildBatchOf builds a fake sampled batch over the given node IDs.
@@ -185,6 +187,61 @@ func TestBufferedExtractionMatchesDirect(t *testing.T) {
 			t.Fatalf("buffered/direct disagree at %d", i)
 		}
 	}
+}
+
+// batchCountingBackend wraps a backend and counts how the extractor
+// submits to it: whole plans must arrive through SubmitBatch (one batch
+// per submission wave — a single io_uring_enter on the ring backend),
+// never as per-read Submit calls.
+type batchCountingBackend struct {
+	storage.Backend
+	batches    atomic.Int64
+	batchedOps atomic.Int64
+	singles    atomic.Int64
+}
+
+func (b *batchCountingBackend) Submit(req *storage.Request) {
+	b.singles.Add(1)
+	b.Backend.Submit(req)
+}
+
+func (b *batchCountingBackend) SubmitBatch(reqs []*storage.Request) {
+	b.batches.Add(1)
+	b.batchedOps.Add(int64(len(reqs)))
+	for _, r := range reqs {
+		b.Backend.Submit(r)
+	}
+}
+
+// A read plan that fits the ring depth must reach the backend as exactly
+// one batch: the extractor queues the whole wave and flushes once.
+func TestExtractPlanSubmitsOneBatch(t *testing.T) {
+	e := newExtractorEngine(t)
+	counter := &batchCountingBackend{Backend: e.ds.Dev}
+	e.ds.Dev = counter
+	x := newExtractor(e)
+	nodes := []int64{3, 77, 1500, 42}
+	item, st, err := x.extractBatch(context.Background(), buildBatchOf(0, nodes...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = item
+	if st.bytesRead == 0 {
+		t.Fatal("extraction read nothing")
+	}
+	if got := counter.batches.Load(); got != 1 {
+		t.Fatalf("plan reached the backend in %d batches, want 1", got)
+	}
+	if got := counter.singles.Load(); got != 0 {
+		t.Fatalf("%d reads bypassed the batched path", got)
+	}
+	if got := counter.batchedOps.Load(); got == 0 {
+		t.Fatal("batched submission carried no reads")
+	}
+	if got := x.ring.Flushes(); got != 1 {
+		t.Fatalf("ring flushed %d times, want 1", got)
+	}
+	e.fb.Release(nodes)
 }
 
 func TestBuildExactPlanOneReadPerNode(t *testing.T) {

@@ -106,8 +106,8 @@ func TestFeatureBufferRetireReassignRace(t *testing.T) {
 		numNodes = 256
 		dim      = 2
 		workers  = 8
-		hot      = 2  // shared by every worker, always marked valid
-		private  = 4  // drawn from a per-worker disjoint window
+		hot      = 2 // shared by every worker, always marked valid
+		private  = 4 // drawn from a per-worker disjoint window
 		window   = 24
 		rounds   = 200
 		epochs   = 3

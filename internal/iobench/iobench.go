@@ -127,27 +127,34 @@ func runAsync(dev storage.Backend, spec Spec) (Result, error) {
 	submitted, collected := 0, 0
 	start := time.Now()
 	for collected < spec.Reads {
-		if submitted < spec.Reads && ring.Inflight() < spec.Depth {
+		// Refill every free slot, then publish the whole batch with one
+		// Flush — on a batching backend (linuring) that is a single
+		// io_uring_enter regardless of how many reads were queued.
+		for submitted < spec.Reads && ring.Inflight() < spec.Depth {
 			off := int64(rng.Intn(int(spec.FileBytes/512))) * 512
 			buf := bufs[submitted%spec.Depth]
 			var err error
 			if spec.Buffered {
-				err = ring.SubmitBufferedRead(buf, off, uint64(submitted))
+				err = ring.QueueBufferedRead(buf, off, uint64(submitted))
 			} else {
-				err = ring.SubmitRead(buf, off, uint64(submitted))
+				err = ring.QueueRead(buf, off, uint64(submitted))
 			}
 			if err != nil {
 				return Result{}, err
 			}
 			submitted++
-			continue
 		}
+		ring.Flush()
+		// Collect one completion blocking, then drain whatever else has
+		// already landed so the next refill is as wide as possible.
 		c := ring.WaitCQE()
-		if c.Err != nil {
-			return Result{}, c.Err
+		for ok := true; ok; c, ok = ring.PeekCQE() {
+			if c.Err != nil {
+				return Result{}, c.Err
+			}
+			latSum += c.Latency
+			collected++
 		}
-		latSum += c.Latency
-		collected++
 	}
 	elapsed := time.Since(start)
 	return Result{

@@ -169,10 +169,16 @@ func (tw *taintWalk) isRawMake(call *ast.CallExpr) bool {
 //   - ReadAt/ReadAtCtx/ReadDirect/ReadDirectCtx returning
 //     (time.Duration, error) — the backend read family (io.ReaderAt's
 //     (int, error) shape is deliberately excluded);
-//   - SubmitRead/SubmitReadCtx — the uring direct-submit path
-//     (SubmitBufferedRead tolerates unaligned memory by contract);
+//   - SubmitRead/SubmitReadCtx and the staged QueueRead/QueueReadCtx —
+//     the uring direct-submit paths (SubmitBufferedRead and
+//     QueueBufferedRead* tolerate unaligned memory by contract);
 //   - Submit(*Request) — taint arrives via the Buf field of a composite
-//     literal or a prior req.Buf assignment.
+//     literal or a prior req.Buf assignment;
+//   - SubmitBatch([]*Request) — each *Request element of a slice
+//     literal is checked like a Submit argument;
+//   - RegisterBuffers(...[]byte) — fixed-buffer regions handed to the
+//     io_uring backend must be AlignedBuf-derived, or registration is
+//     refused (and would pin unaligned pages if it were not).
 func (tw *taintWalk) checkSink(call *ast.CallExpr) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -195,7 +201,7 @@ func (tw *taintWalk) checkSink(call *ast.CallExpr) {
 			tw.pass.Reportf(buf.Pos(), alignedHint,
 				"raw make([]byte) buffer reaches backend %s; its address is not sector-aligned", fn.Name())
 		}
-	case "SubmitRead", "SubmitReadCtx":
+	case "SubmitRead", "SubmitReadCtx", "QueueRead", "QueueReadCtx":
 		if buf := byteSliceArg(tw.pass, sig, call); buf != nil && tw.taintedExpr(buf) {
 			tw.pass.Reportf(buf.Pos(), alignedHint,
 				"raw make([]byte) buffer submitted to the direct read path via %s", fn.Name())
@@ -205,6 +211,35 @@ func (tw *taintWalk) checkSink(call *ast.CallExpr) {
 			return
 		}
 		tw.checkSubmitRequest(call.Args[0])
+	case "SubmitBatch":
+		if sig.Params().Len() != 1 || len(call.Args) != 1 {
+			return
+		}
+		tw.checkSubmitBatch(call.Args[0])
+	case "RegisterBuffers":
+		if !isVariadicByteSlices(sig) || call.Ellipsis.IsValid() {
+			return
+		}
+		for _, arg := range call.Args {
+			if tw.taintedExpr(arg) {
+				tw.pass.Reportf(arg.Pos(), alignedHint,
+					"raw make([]byte) region registered as a fixed buffer via RegisterBuffers; its address is not sector-aligned")
+			}
+		}
+	}
+}
+
+// checkSubmitBatch inspects a SubmitBatch argument: each *Request
+// element of a slice literal gets the Submit treatment. A batch built
+// in a plain variable is out of the intra-procedural walk's scope,
+// matching the analyzer's false-positive posture.
+func (tw *taintWalk) checkSubmitBatch(arg ast.Expr) {
+	cl, ok := ast.Unparen(arg).(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	for _, elt := range cl.Elts {
+		tw.checkSubmitRequest(elt)
 	}
 }
 
@@ -249,6 +284,24 @@ func byteSliceArg(pass *Pass, sig *types.Signature, call *ast.CallExpr) ast.Expr
 		}
 	}
 	return nil
+}
+
+// isVariadicByteSlices matches RegisterBuffers' shape: one variadic
+// ...[]byte parameter.
+func isVariadicByteSlices(sig *types.Signature) bool {
+	if !sig.Variadic() || sig.Params().Len() != 1 {
+		return false
+	}
+	outer, ok := sig.Params().At(0).Type().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	inner, ok := outer.Elem().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := inner.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint8
 }
 
 // isDurationErrorResults matches the backend read shape

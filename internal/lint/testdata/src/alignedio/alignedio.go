@@ -25,13 +25,21 @@ type Request struct {
 	Off int64
 }
 
-func (*Dev) Submit(req *Request) {}
+func (*Dev) Submit(req *Request)                {}
+func (*Dev) SubmitBatch(reqs []*Request)        {}
+func (*Dev) RegisterBuffers(rs ...[]byte) error { return nil }
 
-// Ring replicates the uring submit sinks.
+// Ring replicates the uring submit sinks, staged queue variants
+// included.
 type Ring struct{}
 
 func (*Ring) SubmitRead(p []byte, off int64, user uint64) error         { return nil }
 func (*Ring) SubmitBufferedRead(p []byte, off int64, user uint64) error { return nil }
+func (*Ring) QueueRead(p []byte, off int64, user uint64) error          { return nil }
+func (*Ring) QueueReadCtx(ctx context.Context, p []byte, off int64, user uint64) error {
+	return nil
+}
+func (*Ring) QueueBufferedRead(p []byte, off int64, user uint64) error { return nil }
 
 // AlignedBuf stands in for storage.AlignedBuf: any non-make source is
 // clean.
@@ -72,6 +80,25 @@ func badRing(r *Ring) {
 	_ = r.SubmitRead(buf, 0, 1) // want "submitted to the direct read path via SubmitRead"
 }
 
+func badQueue(ctx context.Context, r *Ring) {
+	buf := make([]byte, 512)
+	_ = r.QueueRead(buf, 0, 1)                // want "submitted to the direct read path via QueueRead"
+	_ = r.QueueReadCtx(ctx, buf[:256], 64, 2) // want "submitted to the direct read path via QueueReadCtx"
+}
+
+func badBatch(d *Dev) {
+	buf := make([]byte, 512)
+	d.SubmitBatch([]*Request{
+		{Buf: AlignedBuf(512, 512)},
+		{Buf: buf, Off: 512}, // want "submitted as Request.Buf"
+	})
+}
+
+func badRegister(d *Dev) {
+	region := make([]byte, 4096)
+	_ = d.RegisterBuffers(region) // want "region registered as a fixed buffer via RegisterBuffers"
+}
+
 func good(ctx context.Context, d *Dev, r *Ring) {
 	buf := AlignedBuf(512, 512)
 	_, _ = d.ReadDirect(buf, 0)
@@ -84,13 +111,26 @@ func good(ctx context.Context, d *Dev, r *Ring) {
 	raw = AlignedBuf(512, 512)
 	_, _ = d.ReadDirect(raw, 0)
 
-	// The buffered submit path tolerates unaligned memory by contract.
+	// The buffered submit and queue paths tolerate unaligned memory by
+	// contract.
 	unaligned := make([]byte, 512)
 	_ = r.SubmitBufferedRead(unaligned, 0, 2)
+	_ = r.QueueBufferedRead(unaligned, 0, 3)
+
+	// Aligned memory through the new sinks is clean.
+	_ = r.QueueRead(buf, 0, 4)
+	d.SubmitBatch([]*Request{{Buf: buf}, {Buf: AlignedBuf(512, 512)}})
+	_ = d.RegisterBuffers(buf, AlignedBuf(4096, 512))
 }
 
 func suppressed(d *Dev) {
 	buf := make([]byte, 512)
 	//gnnlint:ignore alignedio fixture: deliberately unaligned to exercise the EINVAL path
 	_, _ = d.ReadDirect(buf, 0) // want:suppressed "reaches backend ReadDirect"
+}
+
+func suppressedRegister(d *Dev) {
+	buf := make([]byte, 512)
+	//gnnlint:ignore alignedio fixture: registration refusal path under test
+	_ = d.RegisterBuffers(buf) // want:suppressed "registered as a fixed buffer"
 }

@@ -329,7 +329,7 @@ func (c *BreakdownCollector) Snapshot(total time.Duration) Breakdown {
 	integ := c.integrity
 	c.integrityMu.Unlock()
 	return Breakdown{
-		Integrity: integ,
+		Integrity:      integ,
 		Prep:           c.prep.load(),
 		Sample:         c.sample.load(),
 		Extract:        c.extract.load(),

@@ -31,7 +31,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-	"unsafe"
 
 	"gnndrive/internal/faults"
 	"gnndrive/internal/storage"
@@ -305,7 +304,7 @@ func (b *Backend) serve(req *storage.Request) {
 	if filled > 0 {
 		// An injected short-read prefix is not sector-sized, so it must
 		// bypass the O_DIRECT descriptor even for direct requests.
-		if err := b.pread(req.Buf[:filled], req.Off, req.Direct && req.Err == nil); err != nil && req.Err == nil {
+		if err := b.pread(req, req.Buf[:filled], req.Off, req.Direct && req.Err == nil); err != nil && req.Err == nil {
 			req.Err = err
 			filled = 0
 		}
@@ -336,17 +335,27 @@ func (b *Backend) complete(req *storage.Request, serviceStart time.Time, filled 
 
 // pread reads into p from the direct descriptor when the request asked
 // for direct I/O and both the descriptor and the buffer address permit,
-// else from the buffered one (counted as a degradation for direct asks).
-func (b *Backend) pread(p []byte, off int64, direct bool) error {
+// else from the buffered one. Every buffered service of a direct ask is
+// a degradation, counted once per request via the shared stamp — the
+// runtime-rejection retry below re-enters the degraded branch for the
+// same request and must not double-count it.
+func (b *Backend) pread(req *storage.Request, p []byte, off int64, direct bool) error {
 	f := b.buffered
 	if direct {
-		if b.direct != nil && addrAligned(p, b.sector) {
+		if b.direct != nil && storage.AddrAligned(p, b.sector) {
 			f = b.direct
 		} else {
-			b.directDegraded.Add(1)
+			req.CountDegraded(&b.directDegraded)
 		}
 	}
 	n, err := f.ReadAt(p, off)
+	if err != nil && f == b.direct && isDirectRejection(err) {
+		// The kernel accepted the descriptor at open but rejected this
+		// transfer (the device's own alignment granularity can exceed the
+		// configured sector size). Retry the same request buffered.
+		req.CountDegraded(&b.directDegraded)
+		n, err = b.buffered.ReadAt(p, off)
+	}
 	if err == io.EOF && n == len(p) {
 		err = nil
 	}
@@ -388,15 +397,6 @@ func (b *Backend) Close() error {
 		}
 	}
 	return err
-}
-
-// addrAligned reports whether p's backing address is an align multiple
-// (the O_DIRECT memory-alignment requirement).
-func addrAligned(p []byte, align int) bool {
-	if len(p) == 0 {
-		return true
-	}
-	return uintptr(unsafe.Pointer(&p[0]))%uintptr(align) == 0
 }
 
 // sleepCtx sleeps d, returning false early if ctx is cancelled first.

@@ -49,9 +49,9 @@ var errMismatch = errors.New("integrity: re-read still mismatches")
 
 // Per-block verification state.
 const (
-	stateUntracked uint32 = iota // no checksum recorded: read unverified
-	stateTracked                 // checksum recorded: read verified
-	stateQuarantined             // persistent mismatch: reads fail
+	stateUntracked   uint32 = iota // no checksum recorded: read unverified
+	stateTracked                   // checksum recorded: read verified
+	stateQuarantined               // persistent mismatch: reads fail
 )
 
 // Options tune the wrapper. The zero value enables checksum verification

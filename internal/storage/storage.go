@@ -157,6 +157,35 @@ type Request struct {
 	// Latency is the total submit-to-complete duration (queueing +
 	// service), available inside Done and after completion.
 	Latency time.Duration
+
+	// degraded is the once-per-request degradation stamp consumed by
+	// CountDegraded: backends that serve a direct ask through a buffered
+	// path — possibly more than once, when a runtime O_DIRECT rejection
+	// re-enters the degraded branch as a retry — count the request
+	// exactly once.
+	degraded atomic.Bool
+}
+
+// CountDegraded records that this direct request was served through a
+// buffered path, incrementing ctr only on the request's first
+// degradation. Retry paths that re-serve the same Request (the file
+// backend's runtime O_DIRECT rejection fallback, linuring's buffered
+// re-submit after an EINVAL completion) re-enter the degraded branch and
+// must not inflate the counter a second time.
+func (r *Request) CountDegraded(ctr *atomic.Int64) {
+	if r.degraded.CompareAndSwap(false, true) {
+		ctr.Add(1)
+	}
+}
+
+// ResetForReuse clears completion and bookkeeping state so a pooled
+// Request can be reused as a new logical read. Buf, Off, User, Direct,
+// Ctx, and Done are the caller's to refill.
+func (r *Request) ResetForReuse() {
+	r.Err = nil
+	r.Submitted = time.Time{}
+	r.Latency = 0
+	r.degraded.Store(false)
 }
 
 // Stats are cumulative backend counters.
@@ -227,6 +256,42 @@ type Backend interface {
 	Close() error
 }
 
+// BatchSubmitter is implemented by backends that can submit many
+// asynchronous reads in one kernel round trip: the linuring backend
+// encodes the whole slice as SQEs and issues a single io_uring_enter.
+// Each request still completes individually through its Done callback,
+// exactly as if it had been passed to Submit.
+type BatchSubmitter interface {
+	SubmitBatch(reqs []*Request)
+}
+
+// SubmitAll submits reqs through b's batched path when it has one,
+// falling back to per-request Submit calls. A nil or empty slice is a
+// no-op.
+func SubmitAll(b Backend, reqs []*Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	if bs, ok := b.(BatchSubmitter); ok {
+		bs.SubmitBatch(reqs)
+		return
+	}
+	for _, r := range reqs {
+		b.Submit(r)
+	}
+}
+
+// BufferRegistrar is implemented by backends that can pre-register fixed
+// I/O memory (io_uring registered buffers): reads whose Buf lies inside a
+// registered region skip the per-read page pinning the kernel otherwise
+// performs. Registration is cumulative and idempotent per region, and
+// always optional — an error leaves the backend fully functional on its
+// unregistered path. Regions must be sector-aligned AlignedBuf (or
+// staging-pool) memory and stay alive until Close.
+type BufferRegistrar interface {
+	RegisterBuffers(regions ...[]byte) error
+}
+
 // Factory builds a backend of at least the given capacity. graph.Load and
 // the dataset builders take a Factory so the same container file can be
 // materialized onto any backend.
@@ -274,6 +339,15 @@ func (i *Injection) Decide(off int64, n int) faults.Decision {
 		return in.Decide(off, n)
 	}
 	return faults.Decision{}
+}
+
+// AddrAligned reports whether p's backing address is an align multiple
+// (the O_DIRECT memory-alignment requirement; empty slices pass).
+func AddrAligned(p []byte, align int) bool {
+	if len(p) == 0 || align <= 1 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&p[0]))%uintptr(align) == 0
 }
 
 // AlignedBuf returns an n-byte slice whose backing address is a multiple

@@ -34,6 +34,7 @@ func Run(t *testing.T, newBackend Factory) {
 	t.Run("AlignmentSentinel", func(t *testing.T) { testAlignment(t, newBackend) })
 	t.Run("Bounds", func(t *testing.T) { testBounds(t, newBackend) })
 	t.Run("AsyncSubmit", func(t *testing.T) { testAsyncSubmit(t, newBackend) })
+	t.Run("BatchSubmit", func(t *testing.T) { testBatchSubmit(t, newBackend) })
 	t.Run("CtxCancelMidRead", func(t *testing.T) { testCtxCancel(t, newBackend) })
 	t.Run("SubmitAfterClose", func(t *testing.T) { testSubmitAfterClose(t, newBackend) })
 	t.Run("StatsMonotone", func(t *testing.T) { testStatsMonotone(t, newBackend) })
@@ -180,6 +181,57 @@ func testAsyncSubmit(t *testing.T, newBackend Factory) {
 		if !bytes.Equal(bufs[i], img[int64(i)*sec:int64(i+1)*sec]) {
 			t.Fatalf("request %d returned wrong bytes", i)
 		}
+	}
+}
+
+// testBatchSubmit drives the SubmitAll seam: backends implementing
+// storage.BatchSubmitter take the whole plan in one call (linuring: one
+// io_uring_enter), the rest degrade to per-request Submit — either way
+// every request must complete individually through its Done callback,
+// and a doomed request in the middle of a batch must not sink its
+// neighbours.
+func testBatchSubmit(t *testing.T, newBackend Factory) {
+	b := open(t, newBackend)
+	sec := int64(b.SectorSize())
+	const n = 32
+	img := make([]byte, n*sec)
+	pattern(img, 0)
+	if err := b.WriteRaw(img, 0); err != nil {
+		t.Fatalf("WriteRaw: %v", err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n+1)
+	reqs := make([]*storage.Request, 0, n+1)
+	bufs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		bufs[i] = storage.AlignedBuf(int(sec), b.SectorSize())
+		req := &storage.Request{Buf: bufs[i], Off: int64(i) * sec, User: uint64(i), Direct: i%2 == 0}
+		req.Done = func(r *storage.Request) {
+			errs[r.User] = r.Err
+			wg.Done()
+		}
+		reqs = append(reqs, req)
+	}
+	// One out-of-bounds request rides in the middle of the batch.
+	doomed := &storage.Request{Buf: make([]byte, sec), Off: b.Capacity(), User: n}
+	doomed.Done = func(r *storage.Request) {
+		errs[r.User] = r.Err
+		wg.Done()
+	}
+	reqs = append(reqs[:n/2], append([]*storage.Request{doomed}, reqs[n/2:]...)...)
+	wg.Add(n + 1)
+	storage.SubmitAll(b, reqs)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("batch request %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(bufs[i], img[int64(i)*sec:int64(i+1)*sec]) {
+			t.Fatalf("batch request %d returned wrong bytes", i)
+		}
+	}
+	if errs[n] == nil {
+		t.Fatalf("out-of-bounds batch request succeeded")
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"gnndrive/internal/storage"
 	"gnndrive/internal/storage/file"
 	"gnndrive/internal/storage/integrity"
+	"gnndrive/internal/storage/linuring"
 	"gnndrive/internal/storage/sim"
 )
 
@@ -116,13 +117,19 @@ type Config struct {
 	GPUDirect bool
 
 	// Backend selects the storage backend the dataset lives on: "sim"
-	// (default — the modeled SSD, timing scaled by Scale) or "file" (a
+	// (default — the modeled SSD, timing scaled by Scale), "file" (a
 	// real file served by storage/file with best-effort O_DIRECT; timing
-	// is the actual disk's, so modeled-latency comparisons do not apply).
+	// is the actual disk's, so modeled-latency comparisons do not apply),
+	// or "linuring" (a real file served through a Linux io_uring with
+	// batched submission, degrading to "file" where the kernel refuses).
 	Backend string
 	// DataFile is the backing path for Backend "file". Empty means a
 	// per-cell temp file under os.TempDir(), removed by DropDatasets.
 	DataFile string
+	// Logf, when non-nil, receives backend diagnostics (currently the
+	// linuring backend's one-line fallback notice when io_uring is
+	// unavailable and the file worker pool serves instead).
+	Logf func(format string, args ...any)
 
 	// Faults, when non-nil, attaches a storage fault-injection schedule to
 	// the dataset device for the duration of the run (detached afterwards:
@@ -281,8 +288,22 @@ func newBackend(cfg Config, spec gen.Spec, capacity int64) (storage.Backend, str
 			return nil, "", "", err
 		}
 		dev = b
+	case "linuring":
+		path = cfg.DataFile
+		if path == "" {
+			path = filepath.Join(os.TempDir(),
+				fmt.Sprintf("gnndrive-%s-%d-%g.img", spec.Name, spec.Dim, cfg.Scale))
+			temp = path
+		}
+		// FallbackFactory degrades to the file worker pool where the
+		// kernel refuses io_uring, so a "linuring" config runs anywhere.
+		b, err := linuring.FallbackFactory(path, linuring.Options{Logf: cfg.Logf})(capacity)
+		if err != nil {
+			return nil, "", "", err
+		}
+		dev = b
 	default:
-		return nil, "", "", fmt.Errorf("trainsim: unknown backend %q (want sim or file)", cfg.Backend)
+		return nil, "", "", fmt.Errorf("trainsim: unknown backend %q (want sim, file, or linuring)", cfg.Backend)
 	}
 	if cfg.Integrity != nil {
 		w, err := integrity.Wrap(dev, *cfg.Integrity)

@@ -41,6 +41,18 @@ type Ring struct {
 	cq       chan CQE
 	inflight atomic.Int64
 	closed   atomic.Bool
+
+	// pending holds requests staged by the Queue* methods until Flush
+	// hands them to the backend in one batch (one io_uring_enter on the
+	// linuring backend). Like a real SQ, the staging side is owned by the
+	// ring's one submitter goroutine — Queue*/Flush are not safe for
+	// concurrent use, while WaitCQE/PeekCQE remain so.
+	pending []*storage.Request
+	// reqFree recycles completed Requests: each carries a Done closure
+	// bound once, and the CQE channel's depth-sized buffer means the
+	// completion is parked before the request is reused.
+	reqFree chan *storage.Request
+	flushes atomic.Int64
 }
 
 // NewRing creates a ring with the given I/O depth on dev.
@@ -49,10 +61,11 @@ func NewRing(dev storage.Backend, depth int) *Ring {
 		depth = 1
 	}
 	return &Ring{
-		dev:   dev,
-		depth: depth,
-		slots: make(chan struct{}, depth),
-		cq:    make(chan CQE, depth),
+		dev:     dev,
+		depth:   depth,
+		slots:   make(chan struct{}, depth),
+		cq:      make(chan CQE, depth),
+		reqFree: make(chan *storage.Request, depth),
 	}
 }
 
@@ -91,6 +104,39 @@ func (r *Ring) SubmitBufferedReadCtx(ctx context.Context, p []byte, off int64, u
 }
 
 func (r *Ring) submit(ctx context.Context, p []byte, off int64, user uint64, direct bool) error {
+	if err := r.queue(ctx, p, off, user, direct); err != nil {
+		return err
+	}
+	r.Flush()
+	return nil
+}
+
+// QueueRead stages an asynchronous direct read without submitting it;
+// Flush hands every staged read to the backend in one batch. Alignment
+// is validated here, so a caller can still degrade the op to a buffered
+// queue entry before anything reaches the device. Blocks when depth
+// requests are staged or in flight.
+func (r *Ring) QueueRead(p []byte, off int64, user uint64) error {
+	return r.queue(nil, p, off, user, true)
+}
+
+// QueueReadCtx is QueueRead with the request bound to ctx, like
+// SubmitReadCtx.
+func (r *Ring) QueueReadCtx(ctx context.Context, p []byte, off int64, user uint64) error {
+	return r.queue(ctx, p, off, user, true)
+}
+
+// QueueBufferedRead is QueueRead without the alignment constraint.
+func (r *Ring) QueueBufferedRead(p []byte, off int64, user uint64) error {
+	return r.queue(nil, p, off, user, false)
+}
+
+// QueueBufferedReadCtx is QueueBufferedRead bound to ctx.
+func (r *Ring) QueueBufferedReadCtx(ctx context.Context, p []byte, off int64, user uint64) error {
+	return r.queue(ctx, p, off, user, false)
+}
+
+func (r *Ring) queue(ctx context.Context, p []byte, off int64, user uint64, direct bool) error {
 	if r.closed.Load() {
 		return ErrClosed
 	}
@@ -101,21 +147,62 @@ func (r *Ring) submit(ctx context.Context, p []byte, off int64, user uint64, dir
 	}
 	r.slots <- struct{}{}
 	r.inflight.Add(1)
-	req := &storage.Request{
-		Buf:    p,
-		Off:    off,
-		User:   user,
-		Direct: direct,
-		Ctx:    ctx,
-		Done: func(rq *storage.Request) {
-			r.cq <- CQE{User: rq.User, Err: rq.Err, Latency: rq.Latency}
-		},
-	}
-	r.dev.Submit(req)
+	req := r.getReq()
+	req.Buf, req.Off, req.User, req.Direct, req.Ctx = p, off, user, direct, ctx
+	r.pending = append(r.pending, req)
 	return nil
 }
 
-// WaitCQE blocks until a completion is available.
+// getReq returns a recycled Request (its Done closure already bound to
+// this ring's CQ) or builds a fresh one.
+func (r *Ring) getReq() *storage.Request {
+	select {
+	case req := <-r.reqFree:
+		req.ResetForReuse()
+		return req
+	default:
+	}
+	req := &storage.Request{}
+	req.Done = func(rq *storage.Request) {
+		// The CQE is copied out before the request is recycled; the CQ
+		// buffer holds depth entries, so neither send can block.
+		r.cq <- CQE{User: rq.User, Err: rq.Err, Latency: rq.Latency}
+		select {
+		case r.reqFree <- rq:
+		default:
+		}
+	}
+	return req
+}
+
+// Flush submits every staged read to the backend in one batch — a
+// single SubmitBatch call, which the linuring backend turns into a
+// single io_uring_enter — and returns how many were submitted. A flush
+// with nothing staged is free.
+func (r *Ring) Flush() int {
+	n := len(r.pending)
+	if n == 0 {
+		return 0
+	}
+	r.flushes.Add(1)
+	storage.SubmitAll(r.dev, r.pending)
+	for i := range r.pending {
+		r.pending[i] = nil
+	}
+	r.pending = r.pending[:0]
+	return n
+}
+
+// Flushes returns how many non-empty Flush calls the ring has issued —
+// the extractor's one-flush-per-wave contract is asserted against it.
+func (r *Ring) Flushes() int64 { return r.flushes.Load() }
+
+// Pending returns the number of staged-but-unflushed reads.
+func (r *Ring) Pending() int { return len(r.pending) }
+
+// WaitCQE blocks until a completion is available. A staged read only
+// completes after Flush — callers interleaving Queue* with WaitCQE must
+// flush before waiting or they wait on reads the device never saw.
 func (r *Ring) WaitCQE() CQE {
 	c := <-r.cq
 	r.inflight.Add(-1)
@@ -135,8 +222,10 @@ func (r *Ring) PeekCQE() (CQE, bool) {
 	}
 }
 
-// Drain collects all in-flight completions and returns them.
+// Drain flushes any staged reads, then collects all in-flight
+// completions and returns them.
 func (r *Ring) Drain() []CQE {
+	r.Flush()
 	n := r.Inflight()
 	out := make([]CQE, 0, n)
 	for i := 0; i < n; i++ {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gnndrive/internal/ssd"
+	"gnndrive/internal/storage"
 )
 
 func testRing(t *testing.T, depth int) (*ssd.Device, *Ring) {
@@ -144,5 +145,130 @@ func TestErrorCQEOnBadRange(t *testing.T) {
 	c := r.WaitCQE()
 	if c.Err == nil || c.User != 3 {
 		t.Fatalf("cqe %+v, want range error", c)
+	}
+}
+
+// fakeBatchDev records how submissions arrive: SubmitBatch calls with
+// their widths versus individual Submit calls, completing every request
+// inline.
+type fakeBatchDev struct {
+	*ssd.Device
+	batches [][]int64 // offsets per SubmitBatch call
+	singles int
+}
+
+func (d *fakeBatchDev) Submit(req *storage.Request) {
+	d.singles++
+	d.Device.Submit(req)
+}
+
+func (d *fakeBatchDev) SubmitBatch(reqs []*storage.Request) {
+	offs := make([]int64, len(reqs))
+	for i, r := range reqs {
+		offs[i] = r.Off
+		d.Device.Submit(r)
+	}
+	d.batches = append(d.batches, offs)
+}
+
+// Queue + Flush must deliver every staged read in one SubmitBatch call
+// (one io_uring_enter on the linuring backend), and WaitCQE must then
+// observe every completion.
+func TestQueueFlushBatchesSubmission(t *testing.T) {
+	inner := ssd.New(1<<16, ssd.InstantConfig())
+	t.Cleanup(func() { inner.Close() })
+	dev := &fakeBatchDev{Device: inner}
+	r := NewRing(dev, 16)
+	const n = 8
+	bufs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		bufs[i] = make([]byte, 512)
+		if err := r.QueueRead(bufs[i], int64(i)*512, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Pending(); got != n {
+		t.Fatalf("Pending %d before flush, want %d", got, n)
+	}
+	if got := r.Flush(); got != n {
+		t.Fatalf("Flush submitted %d, want %d", got, n)
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("Pending %d after flush", r.Pending())
+	}
+	if len(dev.batches) != 1 || len(dev.batches[0]) != n || dev.singles != 0 {
+		t.Fatalf("batches %v singles %d, want one %d-wide batch", dev.batches, dev.singles, n)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		c := r.WaitCQE()
+		if c.Err != nil {
+			t.Fatalf("cqe %d: %v", c.User, c.Err)
+		}
+		seen[c.User] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("saw %d distinct completions, want %d", len(seen), n)
+	}
+	if got := r.Flushes(); got != 1 {
+		t.Fatalf("Flushes %d, want 1", got)
+	}
+	// Empty flush is free and uncounted.
+	if got := r.Flush(); got != 0 {
+		t.Fatalf("empty Flush submitted %d", got)
+	}
+	if got := r.Flushes(); got != 1 {
+		t.Fatalf("Flushes %d after empty flush, want 1", got)
+	}
+}
+
+// Queued reads recycle completed Requests; the queue path must fully
+// reinitialize a reused Request (no stale error or latency bleed).
+func TestQueuedRequestReuseIsClean(t *testing.T) {
+	_, r := testRing(t, 4)
+	// First round: an out-of-bounds read leaves an error on the Request.
+	if err := r.QueueRead(make([]byte, 512), 1<<16, 1); err != nil {
+		t.Fatal(err)
+	}
+	r.Flush()
+	if c := r.WaitCQE(); c.Err == nil {
+		t.Fatal("out-of-bounds read succeeded")
+	}
+	// Second round reuses the pooled Request and must complete clean.
+	if err := r.QueueRead(make([]byte, 512), 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	r.Flush()
+	if c := r.WaitCQE(); c.Err != nil || c.User != 2 {
+		t.Fatalf("reused request: %+v", c)
+	}
+}
+
+// Drain must flush staged reads first or it would wait on reads the
+// device never saw.
+func TestDrainFlushesPending(t *testing.T) {
+	_, r := testRing(t, 8)
+	for i := 0; i < 4; i++ {
+		if err := r.QueueRead(make([]byte, 512), int64(i)*512, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cqes := r.Drain()
+	if len(cqes) != 4 {
+		t.Fatalf("Drain returned %d, want 4", len(cqes))
+	}
+	for _, c := range cqes {
+		if c.Err != nil {
+			t.Fatalf("cqe %d: %v", c.User, c.Err)
+		}
+	}
+}
+
+// A closed ring rejects staging exactly like direct submission.
+func TestClosedRingRejectsQueue(t *testing.T) {
+	_, r := testRing(t, 4)
+	r.Close()
+	if err := r.QueueRead(make([]byte, 512), 0, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err %v", err)
 	}
 }
