@@ -123,6 +123,18 @@ type Options struct {
 	// ErrPipelineStalled and a diagnostics snapshot is recorded on the
 	// tracer. 0 disables the watchdog.
 	StallDeadline time.Duration
+	// OnStall, when non-nil, receives the watchdog's structured
+	// diagnostics snapshot when the stall fires (once per stalled
+	// epoch, from the watchdog goroutine). Supervisors use it to decide
+	// requeue-vs-fail without parsing the trace string.
+	OnStall func(StallDiagnostics)
+
+	// IOGate, when non-nil, rations this engine's extract reads against
+	// a shared submit path: every in-flight backend read holds one
+	// permit. The serve daemon hands each job a fair-share view of one
+	// token pool; nil leaves reads bounded only by ring depth and
+	// staging slots.
+	IOGate IOGate
 
 	// ckptSink overrides the checkpoint storage seam (fault-injection
 	// tests); nil uses the real filesystem.
@@ -261,6 +273,10 @@ type Engine struct {
 	// ckptSaver commits run state to Options.CheckpointDir (nil when
 	// checkpointing is disabled).
 	ckptSaver *checkpoint.Saver
+	// ckptReq holds a pending on-demand checkpoint request
+	// (RequestCheckpoint); the trainer consumes it at the next step
+	// boundary.
+	ckptReq atomic.Pointer[ckptRequest]
 
 	// testExtractHook, when non-nil, runs at the top of every extract
 	// iteration. Test seam: the watchdog tests inject a stall here.
@@ -529,6 +545,42 @@ func (e *Engine) RunEpochCtx(ctx context.Context, epoch int) (EpochResult, error
 	return e.trainEpochSegment(ctx, epoch, e.ds.TrainIdx, nil, 0)
 }
 
+// ckptRequest is one pending on-demand checkpoint demand; done closes
+// when the trainer has consumed it.
+type ckptRequest struct{ done chan struct{} }
+
+// RequestCheckpoint asks the trainer to commit a checkpoint at the next
+// step boundary and returns a channel that closes once the request has
+// been consumed — by an actual mid-epoch save (InOrder real-train runs,
+// where the step cursor is exact) or by the end of the current epoch
+// segment, whose boundary save supersedes it. This is the daemon's
+// drain hook: request, wait with a grace timeout (an engine idle
+// between epochs holds the request until its next segment), then
+// cancel. With checkpointing disabled the returned channel is already
+// closed. Concurrent requests coalesce onto one pending demand.
+//
+// Safe to call from any goroutine — including concurrently with the
+// run finishing — so it reads only immutable and atomic engine state
+// (never e.closed, which belongs to the owner goroutine). A request
+// that lands after the final segment simply waits out the caller's
+// grace timeout.
+func (e *Engine) RequestCheckpoint() <-chan struct{} {
+	if e.ckptSaver == nil {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	req := &ckptRequest{done: make(chan struct{})}
+	for {
+		if cur := e.ckptReq.Load(); cur != nil {
+			return cur.done
+		}
+		if e.ckptReq.CompareAndSwap(nil, req) {
+			return req.done
+		}
+	}
+}
+
 // batchSeed derives one mini-batch's sampling stream from the run seed
 // and the batch's identity (splitmix64-style mixing). Samplers reseed
 // with it before every batch, so the sampled neighborhood is a pure
@@ -610,12 +662,15 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 	// becomes a bounded, diagnosable failure instead of a silent hang.
 	var hb heartbeats
 	if deadline := e.opts.StallDeadline; deadline > 0 {
-		dog := startWatchdog(&hb, deadline, func() string {
+		dog := startWatchdog(&hb, deadline, func() StallDiagnostics {
 			return e.stallDiagnostics(&hb, extractQ, trainQ, releaseQ)
-		}, func(diag string) {
+		}, func(diag StallDiagnostics) {
 			col.AddStalls(1)
 			e.rec.AddStalls(1)
-			e.opts.Tracer.Annotate(trace.StageWatchdog, "stall: "+diag)
+			e.opts.Tracer.Annotate(trace.StageWatchdog, "stall: "+diag.String())
+			if f := e.opts.OnStall; f != nil {
+				f(diag)
+			}
 			fail(fmt.Errorf("%w: no progress for %v (%s)", ErrPipelineStalled, deadline, diag))
 		})
 		defer dog.Stop()
@@ -731,6 +786,9 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 	// regardless of ordering.
 	midEpochSave := e.ckptSaver != nil && e.opts.InOrder &&
 		e.opts.CheckpointEverySteps > 0 && stepSync == nil
+	// On-demand saves (RequestCheckpoint, the daemon's drain path) need
+	// the same exact-cursor guarantee but no periodic cadence.
+	demandSave := e.ckptSaver != nil && e.opts.InOrder && stepSync == nil
 	var trainWG sync.WaitGroup
 	trainWG.Add(1)
 	go func() {
@@ -778,6 +836,17 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 				if err := e.saveRunState(epoch, step); err != nil && ckptErr == nil {
 					ckptErr = err
 				}
+			}
+			if req := e.ckptReq.Swap(nil); req != nil {
+				// On-demand checkpoint (drain): commit at this exact step
+				// cursor when the mode allows it; otherwise the request is
+				// satisfied by the upcoming epoch-boundary save.
+				if demandSave && step < len(plan.Batches) {
+					if err := e.saveRunState(epoch, step); err != nil && ckptErr == nil {
+						ckptErr = err
+					}
+				}
+				close(req.done)
 			}
 			// The reservation's alias list was consumed by the backward
 			// pass (or the device model); the releaser recycles it after
@@ -834,6 +903,11 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 		if serr := e.saveRunState(epoch+1, 0); serr != nil && ckptErr == nil {
 			ckptErr = serr
 		}
+	}
+	if req := e.ckptReq.Swap(nil); req != nil {
+		// Segment over: the boundary save above (or the failure that ended
+		// the segment) supersedes the request. Never strand the waiter.
+		close(req.done)
 	}
 	res.CheckpointErr = ckptErr
 	return res, err

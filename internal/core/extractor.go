@@ -162,6 +162,15 @@ func (x *extractor) runPlan(ctx context.Context, b *sample.Batch, res *Reservati
 	xferWG := &x.xferWG
 	var firstErr error
 	budget := eng.opts.RetryBudget
+	// Every in-flight read holds one IOGate permit from acquisition to
+	// its true completion; retries keep theirs (the read never stopped
+	// being in flight from the shared submit path's point of view).
+	gate := eng.opts.IOGate
+	release := func(n int) {
+		if gate != nil {
+			gate.Release(n)
+		}
+	}
 
 	// submit stages op's read on its already-assigned staging slot,
 	// degrading to a buffered read when direct I/O rejects the alignment.
@@ -194,14 +203,28 @@ func (x *extractor) runPlan(ctx context.Context, b *sample.Batch, res *Reservati
 		}
 		// Submit while healthy, work remains, and the ring has room.
 		for firstErr == nil && next < len(plan) && inflight < x.ring.Depth() {
+			// Fair-share gate first, staging slot second: blocking on the
+			// gate while holding a slot would idle pool capacity other
+			// tenants could use.
+			if gate != nil && !gate.TryAcquire(1) {
+				if inflight > 0 {
+					break // a completion will return a permit
+				}
+				if err := gate.Acquire(ctx, 1); err != nil {
+					firstErr = err
+					break
+				}
+			}
 			slot, ok := eng.staging.TryAcquire()
 			if !ok {
 				if inflight > 0 {
+					release(1)
 					break // a completion will free a slot
 				}
 				var err error
 				slot, err = eng.staging.AcquireCtx(ctx)
 				if err != nil {
+					release(1)
 					firstErr = err
 					break
 				}
@@ -209,6 +232,7 @@ func (x *extractor) runPlan(ctx context.Context, b *sample.Batch, res *Reservati
 			opSlot[next] = slot
 			if err := submit(next); err != nil {
 				eng.staging.Release(slot)
+				release(1)
 				firstErr = err
 				break
 			}
@@ -232,6 +256,7 @@ func (x *extractor) runPlan(ctx context.Context, b *sample.Batch, res *Reservati
 		slot := opSlot[op]
 		switch {
 		case cqe.Err == nil:
+			release(1)
 			x.transferOp(b, res, plan[op], slot, xferWG)
 		case firstErr == nil && retryableRead(cqe.Err) && attempts[op] < budget:
 			attempts[op]++
@@ -239,6 +264,7 @@ func (x *extractor) runPlan(ctx context.Context, b *sample.Batch, res *Reservati
 			x.backoff(ctx, attempts[op])
 			if err := submit(op); err != nil {
 				eng.staging.Release(slot)
+				release(1)
 				firstErr = err
 			} else {
 				x.ring.Flush() // a lone retry flushes immediately
@@ -246,6 +272,7 @@ func (x *extractor) runPlan(ctx context.Context, b *sample.Batch, res *Reservati
 			}
 		default:
 			eng.staging.Release(slot)
+			release(1)
 			if firstErr == nil {
 				st.escalations++
 				firstErr = fmt.Errorf("extract: read [%d,%d) failed after %d attempts: %w",
@@ -278,9 +305,19 @@ func (x *extractor) runPlanSync(ctx context.Context, b *sample.Batch, res *Reser
 	policy := x.policy
 	policy.OnRetry = func(int, error) { st.retries++ }
 	direct := !eng.opts.BufferedIO
+	gate := eng.opts.IOGate
 	for _, op := range plan {
+		if gate != nil {
+			if err := gate.Acquire(ctx, 1); err != nil {
+				xferWG.Wait()
+				return err
+			}
+		}
 		slot, err := eng.staging.AcquireCtx(ctx)
 		if err != nil {
+			if gate != nil {
+				gate.Release(1)
+			}
 			xferWG.Wait()
 			return err
 		}
@@ -302,6 +339,9 @@ func (x *extractor) runPlanSync(ctx context.Context, b *sample.Batch, res *Reser
 			eng.rec.AddIOWait(waited)
 			return rerr
 		})
+		if gate != nil {
+			gate.Release(1)
+		}
 		if err != nil {
 			eng.staging.Release(slot)
 			st.escalations++

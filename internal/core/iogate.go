@@ -1,0 +1,21 @@
+package core
+
+import "context"
+
+// IOGate rations extract-read submissions between engines that share one
+// storage path. Each in-flight backend read holds one permit from gate
+// Acquire to the read's true completion (success or escalation; retries
+// keep their permit). A multi-tenant supervisor hands each engine a gate
+// view backed by one shared token pool, turning "every job floors the
+// submit queue" into fair-share scheduling without the engines
+// coordinating directly. Implementations must be safe for concurrent
+// use by all of an engine's extractors.
+type IOGate interface {
+	// Acquire blocks until n permits are granted, ctx is cancelled, or
+	// the gate is shut down.
+	Acquire(ctx context.Context, n int) error
+	// TryAcquire grants n permits only if immediately available.
+	TryAcquire(n int) bool
+	// Release returns n permits.
+	Release(n int)
+}

@@ -6,9 +6,9 @@ package core
 // that into a bounded failure: every stage bumps a monotonic heartbeat
 // counter on progress, a supervisor goroutine polls them, and if no
 // counter moves for Options.StallDeadline the epoch is cancelled with
-// ErrPipelineStalled and a diagnostics snapshot (queue depths,
+// ErrPipelineStalled and a StallDiagnostics snapshot (queue depths,
 // feature-buffer occupancy, staging slots, in-flight work, goroutine
-// count) is recorded on the tracer.
+// count) is recorded on the tracer and handed to Options.OnStall.
 
 import (
 	"errors"
@@ -40,9 +40,69 @@ func (h *heartbeats) total() int64 {
 	return h.sample.Load() + h.extract.Load() + h.train.Load() + h.release.Load()
 }
 
-func (h *heartbeats) String() string {
+// HeartbeatCounts is the per-stage progress snapshot inside a
+// StallDiagnostics.
+type HeartbeatCounts struct {
+	Sample  int64
+	Extract int64
+	Train   int64
+	Release int64
+}
+
+func (h HeartbeatCounts) String() string {
 	return fmt.Sprintf("sample=%d extract=%d train=%d release=%d",
-		h.sample.Load(), h.extract.Load(), h.train.Load(), h.release.Load())
+		h.Sample, h.Extract, h.Train, h.Release)
+}
+
+// StallDiagnostics is the watchdog's structured snapshot of a wedged
+// pipeline: which stage stopped beating, how deep each hand-off queue
+// is, the feature buffer's occupancy, and how many staging slots are
+// free. Supervisors (the serve daemon) consume the fields directly;
+// String() renders the historical trace format.
+type StallDiagnostics struct {
+	Heartbeats HeartbeatCounts
+
+	ExtractQLen, ExtractQCap int
+	TrainQLen, TrainQCap     int
+	ReleaseQLen, ReleaseQCap int
+
+	// Feature-buffer occupancy; HasFB guards validity (an engine torn
+	// down mid-snapshot has none).
+	HasFB          bool
+	FBSlots        int
+	FBStandby      int
+	FBRefs         int64
+	FBLoads        int64
+	FBReuseHits    int64
+	FBSharedWaits  int64
+	FBStandbyWaits int64
+
+	// Staging pool occupancy; for a quota view, free and total reflect
+	// the view's own allowance.
+	HasStaging                bool
+	StagingFree, StagingSlots int
+
+	Goroutines int
+}
+
+// String renders the diagnostics in the stable single-line format the
+// tracer and error text have always carried.
+func (d StallDiagnostics) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "heartbeats[%s]", d.Heartbeats)
+	fmt.Fprintf(&sb, " queues[extract=%d/%d train=%d/%d release=%d/%d]",
+		d.ExtractQLen, d.ExtractQCap, d.TrainQLen, d.TrainQCap,
+		d.ReleaseQLen, d.ReleaseQCap)
+	if d.HasFB {
+		fmt.Fprintf(&sb, " fb[slots=%d standby=%d refs=%d loads=%d reuse=%d shared-waits=%d standby-waits=%d]",
+			d.FBSlots, d.FBStandby, d.FBRefs,
+			d.FBLoads, d.FBReuseHits, d.FBSharedWaits, d.FBStandbyWaits)
+	}
+	if d.HasStaging {
+		fmt.Fprintf(&sb, " staging[free=%d/%d]", d.StagingFree, d.StagingSlots)
+	}
+	fmt.Fprintf(&sb, " goroutines=%d", d.Goroutines)
+	return sb.String()
 }
 
 // watchdog supervises one epoch's pipeline.
@@ -54,10 +114,10 @@ type watchdog struct {
 // startWatchdog launches the supervisor goroutine. It polls the
 // heartbeat sum at a fraction of the deadline; if the sum is unchanged
 // for at least deadline, onStall is invoked once with the diagnostics
-// string and the supervisor exits. Stop it with stop() before reading
+// snapshot and the supervisor exits. Stop it with stop() before reading
 // the epoch result (idempotent teardown: a stalled watchdog that
 // already fired still stops cleanly).
-func startWatchdog(hb *heartbeats, deadline time.Duration, diag func() string, onStall func(diagnostics string)) *watchdog {
+func startWatchdog(hb *heartbeats, deadline time.Duration, diag func() StallDiagnostics, onStall func(StallDiagnostics)) *watchdog {
 	w := &watchdog{stop: make(chan struct{}), done: make(chan struct{})}
 	go func() {
 		defer close(w.done)
@@ -100,21 +160,34 @@ func (w *watchdog) Stop() {
 // live while we look — but a wedged pipeline is static, which is
 // exactly when the snapshot is read.
 func (e *Engine) stallDiagnostics(hb *heartbeats,
-	extractQ chan *sample.Batch, trainQ, releaseQ chan *trainItem) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "heartbeats[%s]", hb)
-	fmt.Fprintf(&sb, " queues[extract=%d/%d train=%d/%d release=%d/%d]",
-		len(extractQ), cap(extractQ), len(trainQ), cap(trainQ),
-		len(releaseQ), cap(releaseQ))
+	extractQ chan *sample.Batch, trainQ, releaseQ chan *trainItem) StallDiagnostics {
+	d := StallDiagnostics{
+		Heartbeats: HeartbeatCounts{
+			Sample:  hb.sample.Load(),
+			Extract: hb.extract.Load(),
+			Train:   hb.train.Load(),
+			Release: hb.release.Load(),
+		},
+		ExtractQLen: len(extractQ), ExtractQCap: cap(extractQ),
+		TrainQLen: len(trainQ), TrainQCap: cap(trainQ),
+		ReleaseQLen: len(releaseQ), ReleaseQCap: cap(releaseQ),
+		Goroutines: runtime.NumGoroutine(),
+	}
 	if fb := e.fb; fb != nil {
 		st := fb.Stats()
-		fmt.Fprintf(&sb, " fb[slots=%d standby=%d refs=%d loads=%d reuse=%d shared-waits=%d standby-waits=%d]",
-			fb.Slots(), fb.StandbyLen(), fb.TotalRefs(),
-			st.Loads, st.ReuseHits, st.SharedWaits, st.StandbyWaits)
+		d.HasFB = true
+		d.FBSlots = fb.Slots()
+		d.FBStandby = fb.StandbyLen()
+		d.FBRefs = fb.TotalRefs()
+		d.FBLoads = st.Loads
+		d.FBReuseHits = st.ReuseHits
+		d.FBSharedWaits = st.SharedWaits
+		d.FBStandbyWaits = st.StandbyWaits
 	}
 	if s := e.staging; s != nil {
-		fmt.Fprintf(&sb, " staging[free=%d/%d]", s.FreeSlots(), s.Slots())
+		d.HasStaging = true
+		d.StagingFree = s.FreeSlots()
+		d.StagingSlots = s.Slots()
 	}
-	fmt.Fprintf(&sb, " goroutines=%d", runtime.NumGoroutine())
-	return sb.String()
+	return d
 }

@@ -62,6 +62,16 @@ type Policy struct {
 	// OnRetry, when non-nil, observes each retry about to happen
 	// (attempt is 1-based: the attempt that just failed).
 	OnRetry func(attempt int, err error)
+	// Unit, when non-nil, replaces the built-in seeded hash as the
+	// jitter source. It must return a value in [0, 1) for the given
+	// retry number (1-based). Tests inject a constant so backoff
+	// schedules are exact rather than statistical.
+	Unit func(attempt int) float64
+	// Sleep, when non-nil, replaces the real backoff sleep inside
+	// Retry. Implementations must honor ctx cancellation (a nil ctx
+	// never cancels). Tests inject a recorder or no-op to drive retry
+	// loops without wall-clock waits.
+	Sleep func(ctx context.Context, d time.Duration) error
 }
 
 func (p Policy) withDefaults() Policy {
@@ -102,7 +112,12 @@ func (p Policy) Delay(attempt int) time.Duration {
 	if d > float64(p.MaxDelay) {
 		d = float64(p.MaxDelay)
 	}
-	u := splitmixUnit(p.Seed ^ uint64(attempt)*0x9e3779b97f4a7c15)
+	var u float64
+	if p.Unit != nil {
+		u = p.Unit(attempt)
+	} else {
+		u = splitmixUnit(p.Seed ^ uint64(attempt)*0x9e3779b97f4a7c15)
+	}
 	return time.Duration(d * (1 - p.Jitter*u))
 }
 
@@ -123,12 +138,16 @@ func RetryableVia(targets ...error) func(error) bool {
 // attempt budget, or ctx is cancelled. The returned error preserves the
 // underlying cause for errors.Is; on budget exhaustion it is annotated
 // with the attempt count. Cancellation during a backoff sleep returns
-// ctx.Err() promptly.
+// ctx.Err() promptly. A nil ctx disables cancellation entirely (same
+// convention as storage.Request.Ctx) for callers that have no lifecycle
+// to tie the loop to.
 func Retry(ctx context.Context, p Policy, fn func() error) error {
 	p = p.withDefaults()
 	for attempt := 1; ; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return err
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 		err := fn()
 		if err == nil {
@@ -143,13 +162,29 @@ func Retry(ctx context.Context, p Policy, fn func() error) error {
 		if p.OnRetry != nil {
 			p.OnRetry(attempt, err)
 		}
-		timer := time.NewTimer(p.Delay(attempt))
-		select {
-		case <-ctx.Done():
-			timer.Stop()
-			return ctx.Err()
-		case <-timer.C:
+		if err := p.sleep(ctx, p.Delay(attempt)); err != nil {
+			return err
 		}
+	}
+}
+
+// sleep blocks for d or until ctx is cancelled, delegating to the
+// injectable Policy.Sleep when set.
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-done:
+		return ctx.Err()
+	case <-timer.C:
+		return nil
 	}
 }
 

@@ -1,10 +1,12 @@
 package errutil
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestFirstErrorKeepsFirst(t *testing.T) {
@@ -41,5 +43,84 @@ func TestFirstErrorMixedTypesConcurrent(t *testing.T) {
 	wg.Wait()
 	if !f.Failed() {
 		t.Fatal("should have recorded an error")
+	}
+}
+
+// TestRetryInjectableUnitAndSleep pins the deterministic-test seam: with
+// Unit pinned to zero the backoff schedule is the exact exponential
+// sequence, and the injected Sleep observes it without wall-clock waits.
+func TestRetryInjectableUnitAndSleep(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    time.Second,
+		Unit:        func(int) float64 { return 0 },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	calls := 0
+	boom := errors.New("boom")
+	err := Retry(context.Background(), p, func() error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept = %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept[%d] = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+// TestRetryNilContext pins the nil-ctx contract: cancellation is simply
+// disabled, the loop still runs to budget exhaustion, and the injected
+// Sleep sees the nil context unchanged.
+func TestRetryNilContext(t *testing.T) {
+	calls, sleeps := 0, 0
+	p := Policy{
+		MaxAttempts: 3,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			if ctx != nil {
+				t.Fatalf("Sleep ctx = %v, want nil passed through", ctx)
+			}
+			sleeps++
+			return nil
+		},
+	}
+	boom := errors.New("boom")
+	//nolint:staticcheck // nil ctx is the documented cancellation-disabled mode
+	err := Retry(nil, p, func() error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 || sleeps != 2 {
+		t.Fatalf("calls = %d sleeps = %d, want 3 and 2", calls, sleeps)
+	}
+}
+
+// TestRetrySleepErrorAborts verifies an injected Sleep error (e.g. a
+// simulated drain) stops the loop immediately with that error.
+func TestRetrySleepErrorAborts(t *testing.T) {
+	stop := errors.New("drained")
+	p := Policy{
+		MaxAttempts: 5,
+		Sleep:       func(context.Context, time.Duration) error { return stop },
+	}
+	calls := 0
+	err := Retry(context.Background(), p, func() error { calls++; return errors.New("boom") })
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want %v", err, stop)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
 	}
 }

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"sync"
+
+	"gnndrive/internal/storage"
+)
+
+// Snapshot is a point-in-time copy of one Recorder's counters, shaped
+// for JSON export (the serve daemon's /metrics endpoint reports one per
+// job plus a daemon-wide aggregate).
+type Snapshot struct {
+	CPUBusyNs   int64                  `json:"cpu_busy_ns"`
+	IOWaitNs    int64                  `json:"io_wait_ns"`
+	Retries     int64                  `json:"retries"`
+	Fallbacks   int64                  `json:"fallbacks"`
+	Escalations int64                  `json:"escalations"`
+	Stalls      int64                  `json:"stalls"`
+	Integrity   storage.IntegrityStats `json:"integrity"`
+}
+
+// Snapshot copies the recorder's counters. Concurrent adders keep
+// running; the snapshot is internally consistent per counter, not
+// across counters (standard monitoring semantics).
+func (r *Recorder) Snapshot() Snapshot {
+	return Snapshot{
+		CPUBusyNs:   r.cpuBusy.Load(),
+		IOWaitNs:    r.ioWait.Load(),
+		Retries:     r.retries.Load(),
+		Fallbacks:   r.fallbacks.Load(),
+		Escalations: r.escalations.Load(),
+		Stalls:      r.stalls.Load(),
+		Integrity:   r.Integrity(),
+	}
+}
+
+// Registry hands out one Recorder per job and snapshots them all for the
+// per-job metrics breakdown. Recorders survive Drop only as snapshots;
+// a re-created id starts fresh.
+type Registry struct {
+	mu   sync.Mutex
+	recs map[string]*Recorder
+}
+
+// NewRegistry returns an empty per-job recorder registry.
+func NewRegistry() *Registry {
+	return &Registry{recs: make(map[string]*Recorder)}
+}
+
+// Recorder returns the recorder registered under id, creating it on
+// first use.
+func (g *Registry) Recorder(id string) *Recorder {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.recs[id]
+	if !ok {
+		r = NewRecorder()
+		g.recs[id] = r
+	}
+	return r
+}
+
+// Drop forgets the recorder registered under id.
+func (g *Registry) Drop(id string) {
+	g.mu.Lock()
+	delete(g.recs, id)
+	g.mu.Unlock()
+}
+
+// SnapshotAll snapshots every registered recorder, keyed by id.
+func (g *Registry) SnapshotAll() map[string]Snapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]Snapshot, len(g.recs))
+	for id, r := range g.recs {
+		out[id] = r.Snapshot()
+	}
+	return out
+}

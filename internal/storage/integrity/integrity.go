@@ -90,6 +90,14 @@ type Options struct {
 	// warning — until they are rewritten through the wrapper.
 	SidecarPath string
 
+	// BaseContext, when non-nil, bounds repair I/O issued from backend
+	// completion callbacks whose requests legitimately carry no context
+	// of their own. Factories thread the owning process or daemon
+	// lifecycle here so repair backoff sleeps become cancellable on
+	// drain; nil leaves such repairs bounded by the attempt budget
+	// alone (errutil.Retry tolerates a nil context).
+	BaseContext context.Context
+
 	// Logf receives warnings (missing sidecar, quarantine events);
 	// nil discards them.
 	Logf func(format string, args ...any)
@@ -363,7 +371,11 @@ func (b *Backend) verify(ctx context.Context, p []byte, off int64) error {
 // escalates with both corruption sentinels.
 func (b *Backend) repairBlock(ctx context.Context, p []byte, off, end, i, bs, be int64) error {
 	if ctx == nil {
-		ctx = context.TODO() //gnnlint:ignore ctxbg repair runs inside backend completion callbacks whose requests legitimately carry no context; the budget is bounded by attempts, not cancellation
+		// Requests arriving through backend completion callbacks carry no
+		// context; fall back to the wrapper's construction-time lifecycle
+		// so daemon drain can cancel repair sleeps. A nil base keeps the
+		// loop bounded by the attempt budget alone.
+		ctx = b.opts.BaseContext
 	}
 	scratch := b.getBuf(int(be - bs))
 	defer b.putBuf(scratch)

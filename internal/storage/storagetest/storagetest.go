@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -37,6 +38,7 @@ func Run(t *testing.T, newBackend Factory) {
 	t.Run("BatchSubmit", func(t *testing.T) { testBatchSubmit(t, newBackend) })
 	t.Run("CtxCancelMidRead", func(t *testing.T) { testCtxCancel(t, newBackend) })
 	t.Run("SubmitAfterClose", func(t *testing.T) { testSubmitAfterClose(t, newBackend) })
+	t.Run("CloseRacesBatchSubmit", func(t *testing.T) { testCloseRacesBatchSubmit(t, newBackend) })
 	t.Run("StatsMonotone", func(t *testing.T) { testStatsMonotone(t, newBackend) })
 	t.Run("InjectorWiring", func(t *testing.T) { testInjectorWiring(t, newBackend) })
 }
@@ -279,6 +281,141 @@ func testSubmitAfterClose(t *testing.T, newBackend Factory) {
 	case <-time.After(5 * time.Second):
 		t.Fatalf("submit after close never completed")
 	}
+}
+
+// testCloseRacesBatchSubmit races Close against batches mid-flight on
+// the SubmitAll seam (SubmitBatch on batched backends, per-request
+// Submit elsewhere). The contract under the race: every submitted
+// request completes exactly once, with either clean bytes or ErrClosed —
+// never a panic, a lost completion, or a double Done. A daemon draining
+// while extract plans are in flight leans on exactly this.
+func testCloseRacesBatchSubmit(t *testing.T, newBackend Factory) {
+	b := newBackend(t)
+	t.Cleanup(func() { b.Close() }) // Close is idempotent
+	sec := int64(b.SectorSize())
+	const nBlocks = 64
+	img := make([]byte, nBlocks*sec)
+	pattern(img, 0)
+	if err := b.WriteRaw(img, 0); err != nil {
+		t.Fatalf("WriteRaw: %v", err)
+	}
+
+	const batch = 8
+	var (
+		firstBad  errMu
+		submitted atomic.Int64
+		completed atomic.Int64
+		inflight  sync.WaitGroup
+		closing   = make(chan struct{})
+		drained   = make(chan struct{})
+	)
+	go func() {
+		defer close(drained)
+		for i := 0; ; i++ {
+			select {
+			case <-closing:
+				return
+			default:
+			}
+			reqs := make([]*storage.Request, batch)
+			counts := make([]atomic.Int32, batch)
+			for j := range reqs {
+				j := j
+				blk := int64((i*batch + j) % nBlocks)
+				buf := storage.AlignedBuf(int(sec), b.SectorSize())
+				inflight.Add(1)
+				submitted.Add(1)
+				reqs[j] = &storage.Request{
+					Buf: buf, Off: blk * sec, Direct: j%2 == 0,
+					Done: func(r *storage.Request) {
+						if n := counts[j].Add(1); n != 1 {
+							firstBad.set(errors.New("request completed more than once"))
+						}
+						switch {
+						case r.Err == nil:
+							if !bytes.Equal(buf, img[blk*sec:(blk+1)*sec]) {
+								firstBad.set(errors.New("successful read returned wrong bytes"))
+							}
+						case errors.Is(r.Err, storage.ErrClosed):
+							// racing Close: acceptable outcome
+						default:
+							firstBad.set(r.Err)
+						}
+						completed.Add(1)
+						inflight.Done()
+					},
+				}
+			}
+			storage.SubmitAll(b, reqs)
+		}
+	}()
+
+	// Let a few batches get genuinely in flight, then slam the door.
+	time.Sleep(2 * time.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close during batches: %v", err)
+	}
+	close(closing)
+	<-drained
+
+	allDone := make(chan struct{})
+	go func() { inflight.Wait(); close(allDone) }()
+	select {
+	case <-allDone:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("lost completions: %d submitted, %d completed", submitted.Load(), completed.Load())
+	}
+	if err := firstBad.get(); err != nil {
+		t.Fatalf("racing request misbehaved: %v", err)
+	}
+	if submitted.Load() != completed.Load() {
+		t.Fatalf("%d submitted but %d completed", submitted.Load(), completed.Load())
+	}
+
+	// A whole batch submitted strictly after Close must complete — each
+	// request individually — with ErrClosed.
+	var wg sync.WaitGroup
+	late := make([]*storage.Request, batch)
+	lateErrs := make([]error, batch)
+	for j := range late {
+		j := j
+		wg.Add(1)
+		late[j] = &storage.Request{
+			Buf: storage.AlignedBuf(int(sec), b.SectorSize()), Off: int64(j) * sec,
+			Done: func(r *storage.Request) {
+				lateErrs[j] = r.Err
+				wg.Done()
+			},
+		}
+	}
+	storage.SubmitAll(b, late)
+	wg.Wait()
+	for j, err := range lateErrs {
+		if !errors.Is(err, storage.ErrClosed) {
+			t.Fatalf("post-close batch request %d: got %v, want ErrClosed", j, err)
+		}
+	}
+}
+
+// errMu records the first unexpected error seen by racing completion
+// callbacks (storagetest avoids importing errutil to stay leaf-level).
+type errMu struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errMu) set(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errMu) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
 }
 
 func testStatsMonotone(t *testing.T, newBackend Factory) {

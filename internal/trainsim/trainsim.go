@@ -99,6 +99,34 @@ type Config struct {
 	// FeatureBufferX multiplies GNNDrive's auto-sized feature buffer
 	// (Fig. 12); 0 or 1 = default.
 	FeatureBufferX float64
+	// FeatureSlots pins the feature-buffer capacity directly (GNNDrive
+	// systems; overrides FeatureBufferX). The serve daemon uses it to
+	// carve a fixed per-job slice out of one admission budget.
+	FeatureSlots int
+
+	// SharedStaging, when non-nil, is an externally owned staging pool —
+	// typically a quota view carved from a multi-tenant daemon's shared
+	// pool — that the GNNDrive engine stages through instead of
+	// allocating its own (see core.Options.SharedStaging). The caller
+	// keeps ownership: the run never closes it.
+	SharedStaging *core.Staging
+	// IOGate, when non-nil, rations the engine's extract-read
+	// submissions against a shared token budget (see core.IOGate).
+	IOGate core.IOGate
+	// Rec, when non-nil, substitutes for the run's internally allocated
+	// metrics recorder so a supervisor can keep per-job counters.
+	Rec *metrics.Recorder
+	// OnStall, when non-nil, receives the pipeline watchdog's structured
+	// diagnostics when a stall trips (GNNDrive with a StallDeadline).
+	OnStall func(core.StallDiagnostics)
+	// OnEngine, when non-nil, observes the live engine right after
+	// construction (GNNDrive systems only). The serve daemon uses the
+	// handle to request demand checkpoints during drain; the engine is
+	// only valid until the run returns.
+	OnEngine func(*core.Engine)
+	// OnEpoch, when non-nil, observes each completed epoch's stats
+	// before the next epoch starts (all systems).
+	OnEpoch func(epoch int, st EpochStats)
 
 	// RealTrain runs real float32 math (Fig. 14); otherwise modeled.
 	RealTrain bool
@@ -202,6 +230,11 @@ type EpochStats struct {
 	// StallDeadline configured; at most 1 per epoch, which also fails
 	// the epoch).
 	Stalls int64
+
+	// StepLosses is the per-step loss sequence in trainer order
+	// (GNNDrive real-training runs; nil otherwise). Deterministic for a
+	// fixed seed, so resume tests can compare trajectories step by step.
+	StepLosses []float32
 
 	// Integrity reports the epoch's checksum/repair/hedge/breaker
 	// activity (GNNDrive systems with Config.Integrity set; all-zero
@@ -331,14 +364,20 @@ func integrityKey(o *integrity.Options) string {
 		o.Breaker.SlowAfter, o.Breaker.Cooldown, o.SidecarPath)
 }
 
+// cacheKey identifies one dataset cell. BaseContext and callback fields
+// stay out on purpose: they don't change the bytes on the device.
+func cacheKey(cfg Config, spec gen.Spec) string {
+	return fmt.Sprintf("%s/%d/%g/%s/%s/%s", spec.Name, spec.Dim, cfg.Scale,
+		cfg.Backend, cfg.DataFile, integrityKey(cfg.Integrity))
+}
+
 // buildDataset returns the cached dataset for the config.
 func buildDataset(cfg Config) (*graph.Dataset, error) {
 	spec := cfg.Dataset
 	if cfg.Dim != 0 {
 		spec.Dim = cfg.Dim
 	}
-	key := fmt.Sprintf("%s/%d/%g/%s/%s/%s", spec.Name, spec.Dim, cfg.Scale,
-		cfg.Backend, cfg.DataFile, integrityKey(cfg.Integrity))
+	key := cacheKey(cfg, spec)
 	dsMu.Lock()
 	defer dsMu.Unlock()
 	if ds, ok := dsCache[key]; ok {
@@ -380,6 +419,32 @@ func DeviceStats(cfg Config) storage.Stats {
 		return storage.Stats{}
 	}
 	return ds.Dev.Stats()
+}
+
+// DropDataset evicts the single dataset cell the config maps to, closing
+// its backend and removing any auto-created backing file. A no-op when
+// the cell was never built. The serve daemon calls it when a job is
+// fully done, so one tenant's dataset doesn't pin memory for the rest.
+func DropDataset(cfg Config) {
+	cfg.fill()
+	spec := cfg.Dataset
+	if cfg.Dim != 0 {
+		spec.Dim = cfg.Dim
+	}
+	key := cacheKey(cfg, spec)
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	ds, ok := dsCache[key]
+	if !ok {
+		return
+	}
+	ds.Dev.Close()
+	if path, ok := dsTemp[key]; ok {
+		os.Remove(path)
+		os.Remove(path + ".crc")
+		delete(dsTemp, key)
+	}
+	delete(dsCache, key)
 }
 
 // DropDatasets clears the dataset cache (frees memory between sweeps) and
@@ -461,7 +526,10 @@ func RunCtx(ctx context.Context, cfg Config, sys SystemKind, opts RunOptions) (r
 	}
 	budget := hostmem.NewBudget(int64(cfg.HostMemoryGB) * GB)
 	cache := pagecache.New(ds.Dev, budget)
-	rec := metrics.NewRecorder()
+	rec := cfg.Rec
+	if rec == nil {
+		rec = metrics.NewRecorder()
+	}
 	dev := newDevice(sys, cfg)
 	defer dev.Close()
 
@@ -473,7 +541,7 @@ func RunCtx(ctx context.Context, cfg Config, sys SystemKind, opts RunOptions) (r
 	}
 
 	res = Result{System: sys}
-	runEpoch, closer, startEpoch, err := buildSystem(sys, ds, dev, budget, cache, rec, cfg)
+	runEpoch, closer, startEpoch, model, err := buildSystem(sys, ds, dev, budget, cache, rec, cfg)
 	if err != nil {
 		if sampler != nil {
 			sampler.Stop()
@@ -500,8 +568,11 @@ func RunCtx(ctx context.Context, cfg Config, sys SystemKind, opts RunOptions) (r
 			return res, err
 		}
 		res.Epochs = append(res.Epochs, st)
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(e, st)
+		}
 		if opts.EvalVal {
-			acc, err := evalVal(sys, ds, cfg)
+			acc, err := evalVal(ds, model, cfg)
 			if err != nil {
 				acc = 0
 			}
@@ -514,26 +585,26 @@ func RunCtx(ctx context.Context, cfg Config, sys SystemKind, opts RunOptions) (r
 	return res, nil
 }
 
-// valModel lets evalVal reach the live model of the last-built system.
-var valModel *nn.Model
-
-func evalVal(sys SystemKind, ds *graph.Dataset, cfg Config) (float64, error) {
-	if valModel == nil {
+// evalVal scores the run's live model on the validation split. The model
+// is threaded through from buildSystem (not a package global) so
+// concurrent runs in one process never read each other's weights.
+func evalVal(ds *graph.Dataset, model *nn.Model, cfg Config) (float64, error) {
+	if model == nil {
 		return 0, fmt.Errorf("trainsim: no model")
 	}
 	fan := cfg.Fanouts
 	if len(fan) == 0 {
 		fan = core.DefaultOptions(cfg.Model).Fanouts
 	}
-	return core.EvaluateModel(ds, valModel, fan, ds.ValIdx, cfg.Seed)
+	return core.EvaluateModel(ds, model, fan, ds.ValIdx, cfg.Seed)
 }
 
 // buildSystem constructs the system and returns an epoch runner, a
-// closer, and the epoch to start from (non-zero only for a resumed
-// GNNDrive run).
+// closer, the epoch to start from (non-zero only for a resumed GNNDrive
+// run), and the live model for validation scoring.
 func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 	budget *hostmem.Budget, cache *pagecache.Cache, rec *metrics.Recorder,
-	cfg Config) (func(context.Context, int) (EpochStats, error), func(), int, error) {
+	cfg Config) (func(context.Context, int) (EpochStats, error), func(), int, *nn.Model, error) {
 	switch sys {
 	case GNNDriveGPU, GNNDriveCPU:
 		o := core.DefaultOptions(cfg.Model)
@@ -548,15 +619,20 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 		o.CheckpointDir = cfg.CheckpointDir
 		o.CheckpointEverySteps = cfg.CheckpointEverySteps
 		o.StallDeadline = cfg.StallDeadline
+		o.SharedStaging = cfg.SharedStaging
+		o.IOGate = cfg.IOGate
+		o.OnStall = cfg.OnStall
 		if cfg.Hidden != 0 {
 			o.Hidden = cfg.Hidden
 		}
-		if cfg.FeatureBufferX > 0 {
+		if cfg.FeatureSlots > 0 {
+			o.FeatureSlots = cfg.FeatureSlots
+		} else if cfg.FeatureBufferX > 0 {
 			// Fig. 12 sweep: multiples of the minimum working set
 			// (Ne x Mb), clamped to the device allowance and graph size.
 			mb, err := sample.EstimateMaxBatchNodes(ds, o.BatchSize, o.Fanouts, 4, o.Seed)
 			if err != nil {
-				return nil, nil, 0, err
+				return nil, nil, 0, nil, err
 			}
 			slots := int(cfg.FeatureBufferX * float64(o.Extractors*mb))
 			if lim := int(dev.MemBytes() * 9 / 10 / ds.FeatBytes()); dev.Kind() == device.GPU && slots > lim {
@@ -569,9 +645,11 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 		}
 		eng, err := core.New(ds, dev, budget, cache, rec, o)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, nil, err
 		}
-		valModel = eng.Model()
+		if cfg.OnEngine != nil {
+			cfg.OnEngine(eng)
+		}
 		startEpoch, resumeStep := 0, 0
 		if cfg.Resume && cfg.CheckpointDir != "" {
 			ep, st, rerr := eng.ResumeRunState()
@@ -583,7 +661,7 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 				// (first launch with -resume in the restart loop).
 			default:
 				eng.Close()
-				return nil, nil, 0, rerr
+				return nil, nil, 0, nil, rerr
 			}
 		}
 		return func(ctx context.Context, e int) (EpochStats, error) {
@@ -604,9 +682,10 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 				Loss: r.Loss, Acc: r.Acc,
 				Retries: r.Retries, Fallbacks: r.Fallbacks,
 				Escalations: r.Escalations, Stalls: r.Stalls,
-				Integrity: r.Integrity,
+				Integrity:  r.Integrity,
+				StepLosses: r.StepLosses,
 			}, err
-		}, eng.Close, startEpoch, nil
+		}, eng.Close, startEpoch, eng.Model(), nil
 
 	case PyGPlus:
 		o := pygplus.DefaultOptions(cfg.Model)
@@ -620,9 +699,8 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 		o.TimeScale = cfg.Scale
 		sysm, err := pygplus.New(ds, dev, budget, cache, rec, o)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, nil, err
 		}
-		valModel = sysm.Model()
 		return func(_ context.Context, e int) (EpochStats, error) {
 			r, err := sysm.TrainEpoch(e)
 			return EpochStats{
@@ -631,7 +709,7 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 				BytesRead: r.BytesRead, BytesReused: r.BytesReused,
 				Loss: r.Loss, Acc: r.Acc,
 			}, err
-		}, sysm.Close, 0, nil
+		}, sysm.Close, 0, sysm.Model(), nil
 
 	case Ginex:
 		o := ginex.DefaultOptions(cfg.Model)
@@ -646,9 +724,8 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 		o.ScratchLen = ScratchBytes / 2
 		sysm, err := ginex.New(ds, dev, budget, rec, o)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, nil, err
 		}
-		valModel = sysm.Model()
 		return func(_ context.Context, e int) (EpochStats, error) {
 			r, err := sysm.TrainEpoch(e)
 			return EpochStats{
@@ -657,7 +734,7 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 				BytesRead: r.BytesRead, BytesReused: r.BytesReused,
 				Loss: r.Loss, Acc: r.Acc,
 			}, err
-		}, sysm.Close, 0, nil
+		}, sysm.Close, 0, sysm.Model(), nil
 
 	case Marius:
 		o := marius.DefaultOptions(cfg.Model)
@@ -670,9 +747,8 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 		}
 		sysm, err := marius.New(ds, dev, budget, rec, o)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, nil, err
 		}
-		valModel = sysm.Model()
 		return func(_ context.Context, e int) (EpochStats, error) {
 			r, err := sysm.TrainEpoch(e)
 			return EpochStats{
@@ -681,9 +757,9 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 				BytesRead: r.BytesRead, BytesReused: r.BytesReused,
 				Loss: r.Loss, Acc: r.Acc,
 			}, err
-		}, sysm.Close, 0, nil
+		}, sysm.Close, 0, sysm.Model(), nil
 	}
-	return nil, nil, 0, fmt.Errorf("trainsim: unknown system %v", sys)
+	return nil, nil, 0, nil, fmt.Errorf("trainsim: unknown system %v", sys)
 }
 
 func applyCommon(batch *int, fanouts *[]int, cfg Config) {
