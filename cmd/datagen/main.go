@@ -3,6 +3,7 @@
 // container for cmd/gnndrive -load:
 //
 //	datagen -dataset papers100m-s -out papers.gnnd
+//	datagen -dataset papers100m-s -layout packed -out papers.gnnd
 //	datagen -dataset mag240m-s -dim 512 -stats
 package main
 
@@ -13,8 +14,11 @@ import (
 	"os"
 	"time"
 
+	"gnndrive/internal/core"
 	"gnndrive/internal/gen"
 	"gnndrive/internal/graph"
+	"gnndrive/internal/layout"
+	"gnndrive/internal/nn"
 	"gnndrive/internal/ssd"
 	"gnndrive/internal/storage/integrity"
 )
@@ -26,6 +30,11 @@ func main() {
 	out := flag.String("out", "", "write a .gnnd container to this path")
 	stats := flag.Bool("stats", true, "print dataset statistics")
 	seed := flag.Uint64("seed", 0, "override generator seed")
+	layoutName := flag.String("layout", "strided", "feature layout: strided (dense node-ID order) or packed (offline batch-aware packing; -out also writes a .pidx segment index)")
+	segmentKB := flag.Int("segment-kb", 0, "packed segment size in KiB (0 = default 256)")
+	traceModel := flag.String("trace-model", "sage", "model whose default batch/fanouts drive the packing trace")
+	traceBatch := flag.Int("trace-batch", 0, "packing-trace batch size (0 = model default; match gnndrive -batch)")
+	traceSeed := flag.Uint64("trace-seed", 1, "packing-trace seed (match gnndrive -seed)")
 	flag.Parse()
 
 	spec, err := gen.ByName(*name)
@@ -48,6 +57,33 @@ func main() {
 	defer ds.Dev.Close()
 	if err := ds.Validate(); err != nil {
 		log.Fatal(err)
+	}
+	switch *layoutName {
+	case "", "strided":
+	case "packed":
+		kind, err := nn.ModelByName(*traceModel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := core.DefaultOptions(kind)
+		if *traceBatch != 0 {
+			o.BatchSize = *traceBatch
+		}
+		t0 := time.Now()
+		tr, err := gen.SampleTrace(ds, o.BatchSize, o.Fanouts, *traceSeed, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := layout.PackInPlace(ds.Dev, ds.Layout.FeaturesOff, int(ds.FeatBytes()),
+			ds.NumNodes, tr, layout.PackOptions{SegmentBytes: *segmentKB << 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds.Addr = p
+		fmt.Printf("packed    %d/%d nodes traced into %d KiB segments in %v\n",
+			tr.Len(), ds.NumNodes, p.SegmentBytes()>>10, time.Since(t0).Round(time.Millisecond))
+	default:
+		log.Fatalf("unknown -layout %q (want strided or packed)", *layoutName)
 	}
 	if *stats {
 		var maxDeg int64
@@ -72,6 +108,10 @@ func main() {
 		}
 		fi, _ := os.Stat(*out)
 		fmt.Printf("wrote %s (%.1f MB)\n", *out, float64(fi.Size())/1e6)
+		if ds.Addr != nil {
+			pi, _ := os.Stat(*out + ".pidx")
+			fmt.Printf("wrote %s.pidx (%.1f KB segment index)\n", *out, float64(pi.Size())/1e3)
+		}
 		// The sidecar checksums the device image the build produced; a
 		// loader recreating the same geometry (graph.Load with an
 		// integrity-wrapped factory and 4 KiB of scratch) adopts it and

@@ -55,6 +55,8 @@ func main() {
 	stallDeadline := flag.Duration("stall-deadline", 0, "fail the epoch if the pipeline makes no progress for this long (0 = off)")
 	backend := flag.String("backend", "sim", "storage backend: sim (modeled SSD), file (real file, direct I/O best-effort), or linuring (real file via io_uring, falls back to file)")
 	dataFile := flag.String("data-file", "", "backing file for -backend file (default: a temp file)")
+	layoutName := flag.String("layout", "strided", "feature layout: strided, or packed (offline batch-aware packing before training; see cmd/datagen -layout)")
+	load := flag.String("load", "", "load this .gnnd container (with its .pidx/.crc sidecars) instead of generating; -dataset/-dim/-layout are ignored")
 	flag.Parse()
 
 	spec, err := gen.ByName(*dataset)
@@ -76,6 +78,7 @@ func main() {
 		CheckpointDir: *ckptDir, CheckpointEverySteps: *ckptEvery,
 		Resume: *resume, StallDeadline: *stallDeadline,
 		Backend: *backend, DataFile: *dataFile, Logf: log.Printf,
+		Layout: *layoutName, LoadFile: *load,
 	}
 	if *faultTransient > 0 || *faultShort > 0 || *faultStraggler > 0 || *faultCorrupt > 0 {
 		cfg.Faults = &faults.Config{
@@ -100,19 +103,28 @@ func main() {
 	} else if *faultCorrupt > 0 {
 		log.Print("warning: -fault-corrupt without -verify: corrupted bytes reach training undetected")
 	}
+	src := spec.Name
+	if *load != "" {
+		src = *load
+	}
 	fmt.Printf("training %s on %s with %s (%d scaled-GB host memory, %s backend)\n",
-		kind, spec.Name, sys, *mem, *backend)
+		kind, src, sys, *mem, *backend)
 	defer trainsim.DropDatasets()
 	res, err := trainsim.Run(cfg, sys, trainsim.RunOptions{Epochs: *epochs, EvalVal: *real})
 	if err != nil {
 		log.Fatalf("%s: %v", sys, err)
 	}
 	for i, e := range res.Epochs {
-		fmt.Printf("epoch %d: total=%v prep=%v sample=%v extract=%v train=%v batches=%d read=%.1fMB reused=%.1fMB",
+		amp := 0.0
+		if e.BytesNeeded > 0 {
+			amp = float64(e.BytesRead) / float64(e.BytesNeeded)
+		}
+		fmt.Printf("epoch %d: total=%v prep=%v sample=%v extract=%v train=%v batches=%d read=%.1fMB reused=%.1fMB reads=%d amp=%.2f",
 			i, e.Total.Round(time.Millisecond), e.Prep.Round(time.Millisecond),
 			e.Sample.Round(time.Millisecond), e.Extract.Round(time.Millisecond),
 			e.Train.Round(time.Millisecond), e.Batches,
-			float64(e.BytesRead)/1e6, float64(e.BytesReused)/1e6)
+			float64(e.BytesRead)/1e6, float64(e.BytesReused)/1e6,
+			e.BackendReads, amp)
 		if cfg.Faults != nil {
 			fmt.Printf(" retries=%d fallbacks=%d escalations=%d",
 				e.Retries, e.Fallbacks, e.Escalations)

@@ -32,6 +32,7 @@ import (
 	"gnndrive/internal/errutil"
 	"gnndrive/internal/graph"
 	"gnndrive/internal/hostmem"
+	"gnndrive/internal/layout"
 	"gnndrive/internal/metrics"
 	"gnndrive/internal/nn"
 	"gnndrive/internal/sample"
@@ -379,9 +380,12 @@ func (s *System) initCache(sched *schedule, col *metrics.BreakdownCollector) err
 	if len(toLoad) > 0 {
 		// after = -1: these loads happen before the superbatch's first
 		// mini-batch, so keys are the nodes' first uses.
-		if err := s.loadNodes(toLoad, sched, -1); err != nil {
+		reads, err := s.loadNodes(toLoad, sched, -1)
+		if err != nil {
 			return err
 		}
+		col.AddBackendReads(reads)
+		col.AddBytesNeeded(int64(len(toLoad)) * s.ds.FeatBytes())
 	}
 	col.AddExtract(time.Since(t0))
 	return nil
@@ -403,33 +407,48 @@ func (s *System) extractBatch(b *sample.Batch, sched *schedule, globalIdx int,
 		}
 	}
 	if len(toLoad) > 0 {
-		if err := s.loadNodes(toLoad, sched, globalIdx); err != nil {
+		reads, err := s.loadNodes(toLoad, sched, globalIdx)
+		if err != nil {
 			return hits, misses, err
 		}
+		col.AddBackendReads(reads)
 	}
 	col.AddExtract(time.Since(t0))
 	col.AddExtracted(misses, misses*s.ds.FeatBytes())
+	col.AddBytesNeeded(misses * s.ds.FeatBytes())
 	col.AddReused(hits * s.ds.FeatBytes())
 	return hits, misses, nil
 }
 
 // loadNodes reads feature vectors from SSD with synchronous, batched,
-// sector-aligned reads and inserts them into the feature cache.
-func (s *System) loadNodes(nodes []int64, sched *schedule, afterBatch int) error {
+// sector-aligned reads and inserts them into the feature cache,
+// returning the number of backend reads issued. The plan goes through
+// the dataset's addresser, so Ginex benefits from a packed layout too.
+func (s *System) loadNodes(nodes []int64, sched *schedule, afterBatch int) (int64, error) {
 	positions := make([]int32, len(nodes))
 	for i := range positions {
 		positions[i] = int32(i)
 	}
 	sorted := append([]int64(nil), nodes...)
-	plan := core.BuildReadPlan(s.ds.Layout.FeaturesOff, int(s.ds.FeatBytes()),
-		s.ds.Dev.SectorSize(), 64<<10, sorted, positions)
+	var plan []core.ReadOp
+	if addr := s.ds.Addresser(); isStrided(addr) {
+		plan = core.BuildReadPlan(s.ds.Layout.FeaturesOff, int(s.ds.FeatBytes()),
+			s.ds.Dev.SectorSize(), 64<<10, sorted, positions)
+	} else {
+		var ap core.AddrPlanner
+		var err error
+		plan, err = ap.PlanInto(nil, addr, s.ds.Dev.SectorSize(), 64<<10, sorted, positions)
+		if err != nil {
+			return 0, fmt.Errorf("ginex: feature plan: %w", err)
+		}
+	}
 	featBytes := int(s.ds.FeatBytes())
 	buf := storage.AlignedBuf(64<<10+featBytes, s.ds.Dev.SectorSize())
 	for _, op := range plan {
 		waited, err := s.ds.Dev.ReadDirect(buf[:op.Len], op.DevOff)
 		s.rec.AddIOWait(waited)
 		if err != nil {
-			return fmt.Errorf("ginex: feature load: %w", err)
+			return 0, fmt.Errorf("ginex: feature load: %w", err)
 		}
 		for _, rn := range op.Nodes {
 			// rn.Pos indexes the caller's original node order; the sorted
@@ -438,7 +457,14 @@ func (s *System) loadNodes(nodes []int64, sched *schedule, afterBatch int) error
 			s.fcache.insert(v, sched, afterBatch, buf[rn.BufOff:rn.BufOff+featBytes])
 		}
 	}
-	return nil
+	return int64(len(plan)), nil
+}
+
+// isStrided reports the default fixed-stride layout, which takes the
+// legacy planner path.
+func isStrided(addr layout.Addresser) bool {
+	_, ok := addr.(layout.Strided)
+	return ok
 }
 
 // trainBatch transfers the batch synchronously and trains.

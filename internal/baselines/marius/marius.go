@@ -27,6 +27,7 @@ import (
 	"gnndrive/internal/device"
 	"gnndrive/internal/graph"
 	"gnndrive/internal/hostmem"
+	"gnndrive/internal/layout"
 	"gnndrive/internal/metrics"
 	"gnndrive/internal/nn"
 	"gnndrive/internal/sample"
@@ -266,8 +267,14 @@ func (s *System) loadPartition(p int) error {
 	if hi > s.ds.NumNodes {
 		hi = s.ds.NumNodes
 	}
-	// Features.
-	featLo := s.ds.FeatureOff(lo)
+	// Features. Marius's partition scan depends on node-ID-contiguous
+	// rows: a packed layout scatters a partition's vectors across
+	// segments, so the modeled sequential scan would read the wrong
+	// bytes. Refuse explicitly rather than mis-model.
+	featLo, ok := layout.ContiguousRange(s.ds.Addresser(), lo, hi)
+	if !ok {
+		return fmt.Errorf("marius: feature layout %T is not node-contiguous; MariusGNN requires the strided layout", s.ds.Addresser())
+	}
 	featBytes := (hi - lo) * s.ds.FeatBytes()
 	const chunk = 1 << 20
 	buf := storage.AlignedBuf(chunk, s.ds.Dev.SectorSize())

@@ -26,6 +26,7 @@ import (
 	"gnndrive/internal/errutil"
 	"gnndrive/internal/graph"
 	"gnndrive/internal/hostmem"
+	"gnndrive/internal/layout"
 	"gnndrive/internal/metrics"
 	"gnndrive/internal/nn"
 	"gnndrive/internal/pagecache"
@@ -319,6 +320,8 @@ func (s *System) gather(b *sample.Batch, x *tensor.Matrix) error {
 	var firstErr errutil.FirstError
 	chunk := (len(b.Nodes) + threads - 1) / threads
 	featBytes := int(s.ds.FeatBytes())
+	addr := s.ds.Addresser()
+	base := s.ds.Layout.FeaturesOff
 	for lo := 0; lo < len(b.Nodes); lo += chunk {
 		hi := lo + chunk
 		if hi > len(b.Nodes) {
@@ -328,13 +331,17 @@ func (s *System) gather(b *sample.Batch, x *tensor.Matrix) error {
 		go func(lo, hi int) {
 			defer wg.Done()
 			buf := make([]byte, featBytes)
+			var exts [2]layout.Extent
 			for i := lo; i < hi; i++ {
-				off := b.Nodes[i] * int64(featBytes)
-				waited, err := s.featFile.Read(off, buf)
-				s.rec.AddIOWait(waited)
-				if err != nil {
-					firstErr.Set(err)
-					return
+				// The addresser yields device extents; featFile is keyed
+				// relative to the feature region's base.
+				for _, e := range addr.Extents(b.Nodes[i], exts[:0]) {
+					waited, err := s.featFile.Read(e.Off-base, buf[e.FeatOff:e.FeatOff+e.Len])
+					s.rec.AddIOWait(waited)
+					if err != nil {
+						firstErr.Set(err)
+						return
+					}
 				}
 				if x != nil {
 					graph.DecodeFeature(buf, x.Row(i)[:0])

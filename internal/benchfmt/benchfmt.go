@@ -26,6 +26,9 @@ type Result struct {
 	AllocsPerOp float64
 	// HasMem reports whether B/op and allocs/op were present.
 	HasMem bool
+	// Extra holds custom b.ReportMetric units (e.g. "reads/op",
+	// "MB/op") keyed by unit string; nil when the line had none.
+	Extra map[string]float64
 }
 
 // Parse reads `go test -bench` output and returns every benchmark line
@@ -84,6 +87,12 @@ func parseLine(line string) (Result, bool, error) {
 		case "allocs/op":
 			res.AllocsPerOp = v
 			res.HasMem = true
+		default:
+			// b.ReportMetric custom units ("reads/op", "MB/op", ...).
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[fields[i+1]] = v
 		}
 	}
 	return res, true, nil
@@ -91,10 +100,11 @@ func parseLine(line string) (Result, bool, error) {
 
 // jsonEntry is the serialized per-benchmark record.
 type jsonEntry struct {
-	NsPerOp     float64  `json:"ns_op"`
-	BytesPerOp  *float64 `json:"b_op,omitempty"`
-	AllocsPerOp *float64 `json:"allocs_op,omitempty"`
-	Iters       int64    `json:"iters"`
+	NsPerOp     float64            `json:"ns_op"`
+	BytesPerOp  *float64           `json:"b_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_op,omitempty"`
+	Iters       int64              `json:"iters"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // MarshalJSON renders results as a name-keyed JSON object with stable
@@ -107,7 +117,7 @@ func MarshalJSON(results []Result) ([]byte, error) {
 		if _, dup := m[r.Name]; !dup {
 			names = append(names, r.Name)
 		}
-		e := jsonEntry{NsPerOp: r.NsPerOp, Iters: r.Iters}
+		e := jsonEntry{NsPerOp: r.NsPerOp, Iters: r.Iters, Extra: r.Extra}
 		if r.HasMem {
 			b, a := r.BytesPerOp, r.AllocsPerOp
 			e.BytesPerOp, e.AllocsPerOp = &b, &a

@@ -13,6 +13,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkReserveReleaseParallel     	  175557	      6400 ns/op	       6 B/op	       0 allocs/op
 BenchmarkReserveReleaseParallel-8   	  215346	      5366 ns/op	       6 B/op	       0 allocs/op
 BenchmarkBuildReadPlan              	   12345	     98765 ns/op
+BenchmarkExtractLayoutsCold/file/packed-8 	      10	  52000000 ns/op	        24.0 reads/op	         0.31 MB/op
 PASS
 ok  	gnndrive/internal/core	6.965s
 `
@@ -22,8 +23,8 @@ func TestParseStandardOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rs) != 3 {
-		t.Fatalf("parsed %d results, want 3", len(rs))
+	if len(rs) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(rs))
 	}
 	r := rs[1]
 	if r.Name != "BenchmarkReserveReleaseParallel-8" || r.Iters != 215346 {
@@ -34,6 +35,17 @@ func TestParseStandardOutput(t *testing.T) {
 	}
 	if rs[2].HasMem {
 		t.Fatalf("row 2 should have no mem metrics: %+v", rs[2])
+	}
+	if rs[2].Extra != nil {
+		t.Fatalf("row 2 should have no extra metrics: %+v", rs[2])
+	}
+	// b.ReportMetric custom units land in Extra.
+	cold := rs[3]
+	if cold.HasMem {
+		t.Fatalf("row 3 should have no mem metrics: %+v", cold)
+	}
+	if cold.Extra["reads/op"] != 24 || cold.Extra["MB/op"] != 0.31 {
+		t.Fatalf("row 3 extra metrics: %+v", cold.Extra)
 	}
 }
 
@@ -64,10 +76,11 @@ func TestMarshalJSONRoundTrips(t *testing.T) {
 		t.Fatal(err)
 	}
 	var m map[string]struct {
-		NsPerOp     float64  `json:"ns_op"`
-		BytesPerOp  *float64 `json:"b_op"`
-		AllocsPerOp *float64 `json:"allocs_op"`
-		Iters       int64    `json:"iters"`
+		NsPerOp     float64            `json:"ns_op"`
+		BytesPerOp  *float64           `json:"b_op"`
+		AllocsPerOp *float64           `json:"allocs_op"`
+		Iters       int64              `json:"iters"`
+		Extra       map[string]float64 `json:"extra"`
 	}
 	if err := json.Unmarshal(raw, &m); err != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", err, raw)
@@ -78,5 +91,12 @@ func TestMarshalJSONRoundTrips(t *testing.T) {
 	}
 	if noMem := m["BenchmarkBuildReadPlan"]; noMem.BytesPerOp != nil {
 		t.Fatalf("b_op should be omitted without -benchmem: %+v", noMem)
+	}
+	if noMem := m["BenchmarkBuildReadPlan"]; noMem.Extra != nil {
+		t.Fatalf("extra should be omitted without custom metrics: %+v", noMem)
+	}
+	cold := m["BenchmarkExtractLayoutsCold/file/packed-8"]
+	if cold.Extra["reads/op"] != 24 || cold.Extra["MB/op"] != 0.31 {
+		t.Fatalf("extra metrics not serialized: %+v", cold)
 	}
 }

@@ -7,9 +7,12 @@ import (
 
 	"gnndrive/internal/device"
 	"gnndrive/internal/gen"
+	"gnndrive/internal/graph"
 	"gnndrive/internal/hostmem"
+	"gnndrive/internal/layout"
 	"gnndrive/internal/sample"
 	"gnndrive/internal/storage/linuring"
+	"gnndrive/internal/tensor"
 )
 
 // BenchmarkFeatureBufferReserveRelease measures the mapping-table hot
@@ -147,6 +150,98 @@ func BenchmarkExtractBackendsCold(b *testing.B) {
 			benchExtractCold(b, e)
 		})
 	}
+}
+
+// BenchmarkExtractLayoutsCold is the miss-heavy shape behind
+// BENCH_9.json: a 60k-node dim-100 table (400-byte vectors, so a
+// feature does NOT fill a 512-byte sector and every isolated read pays
+// alignment padding), replayed through the engine's real epoch-0 batch
+// schedule against a 4096-slot feature buffer, once per feature layout. The
+// packed legs first run the offline packer on that schedule's sample
+// trace, so consecutive nodes of a batch sit adjacent on disk and the
+// planner coalesces them into a handful of large reads; the strided
+// legs issue the scattered node-ID-order reads the paper starts from.
+// One op is one cold batch extract; reads/op and MB/op are the backend
+// read count and bytes actually read per batch.
+func BenchmarkExtractLayoutsCold(b *testing.B) {
+	for _, backend := range []string{"file", "linuring"} {
+		for _, lay := range []string{"strided", "packed"} {
+			b.Run(backend+"/"+lay, func(b *testing.B) {
+				if backend == "linuring" && !linuring.Supported() {
+					b.Skip("io_uring unavailable on this system; skipping linuring leg")
+				}
+				spec := gen.Spec{Name: "bench-layout", Nodes: 60_000, EdgesPerNode: 4,
+					Dim: 100, Classes: 8, Homophily: 0.6, Signal: 1.0,
+					TrainFrac: 0.10, ValFrac: 0.02, Seed: 99}
+				rig := newRigSpec(b, device.InstantConfig(), 256<<20, backend, spec)
+				opts := testOpts()
+				opts.Extractors = 1
+				opts.RingDepth = 32
+				opts.FeatureSlots = 4096
+				batches := epochBatches(b, rig.ds, opts)
+				if lay == "packed" {
+					tr := layout.NewTrace()
+					for _, bt := range batches {
+						tr.AddBatch(bt.Nodes)
+					}
+					p, err := layout.PackInPlace(rig.ds.Dev, rig.ds.Layout.FeaturesOff,
+						int(rig.ds.FeatBytes()), rig.ds.NumNodes, tr, layout.PackOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					rig.ds.Addr = p
+				}
+				e, err := New(rig.ds, rig.dev, rig.budget, rig.cache, rig.rec, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer e.Close()
+				benchExtractTrace(b, e, batches)
+			})
+		}
+	}
+}
+
+// epochBatches samples the engine's epoch-0 batch schedule offline, the
+// same way gen.SampleTrace does, but keeps the full batches for replay.
+func epochBatches(b *testing.B, ds *graph.Dataset, o Options) []*sample.Batch {
+	b.Helper()
+	plan := sample.NewPlan(ds.TrainIdx, o.BatchSize, tensor.NewRNG(sample.PlanSeed(o.Seed, 0)))
+	smp := sample.New(graph.NewRawReader(ds), o.Fanouts, tensor.NewRNG(o.Seed))
+	out := make([]*sample.Batch, 0, len(plan.Batches))
+	for i, targets := range plan.Batches {
+		smp.Reseed(sample.BatchSeed(o.Seed, 0, i))
+		bt, _, err := smp.SampleBatch(i, targets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, bt)
+	}
+	return out
+}
+
+// benchExtractTrace replays the batch schedule through extractBatch,
+// cycling when b.N outruns it, and reports backend reads and read bytes
+// per batch alongside the timing.
+func benchExtractTrace(b *testing.B, e *Engine, batches []*sample.Batch) {
+	x := newExtractor(e)
+	var reads, bytesRead int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt := batches[i%len(batches)]
+		item, st, err := x.extractBatch(context.Background(), bt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.fb.Release(bt.Nodes)
+		PutReservation(item.res)
+		putTrainItem(item)
+		reads += st.reads
+		bytesRead += st.bytesRead
+	}
+	b.ReportMetric(float64(reads)/float64(b.N), "reads/op")
+	b.ReportMetric(float64(bytesRead)/1e6/float64(b.N), "MB/op")
 }
 
 // benchExtractCold drives extractBatch with zero inter-batch locality:

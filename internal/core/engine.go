@@ -582,20 +582,11 @@ func (e *Engine) RequestCheckpoint() <-chan struct{} {
 }
 
 // batchSeed derives one mini-batch's sampling stream from the run seed
-// and the batch's identity (splitmix64-style mixing). Samplers reseed
-// with it before every batch, so the sampled neighborhood is a pure
-// function of (seed, epoch, batch ID) — independent of which sampler
-// goroutine draws the batch and of how many batches it drew before.
-// This is what lets a resumed run re-sample its remaining batches
-// exactly as the uninterrupted run would have.
+// and the batch's identity. The derivation lives in sample.BatchSeed so
+// offline consumers (the layout packer's trace generator) can reproduce
+// the engine's batches exactly.
 func batchSeed(seed uint64, epoch, batch int) uint64 {
-	z := seed + (uint64(epoch)+1)*0x9e3779b97f4a7c15 + (uint64(batch)+1)*0xbf58476d1ce4e5b9
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	z *= 0x94d049bb133111eb
-	z ^= z >> 31
-	return z
+	return sample.BatchSeed(seed, epoch, batch)
 }
 
 // trainEpochSegment trains on the given target nodes; stepSync, when
@@ -623,7 +614,7 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 
 	var planRNG *tensor.RNG
 	if e.opts.Shuffle {
-		planRNG = tensor.NewRNG(e.opts.Seed ^ (uint64(epoch)+1)*0x9e3779b97f4a7c15)
+		planRNG = tensor.NewRNG(sample.PlanSeed(e.opts.Seed, epoch))
 	}
 	plan := sample.NewPlan(targets, e.opts.BatchSize, planRNG)
 
@@ -755,6 +746,8 @@ func (e *Engine) trainEpochSegment(ctx context.Context, epoch int, targets []int
 				}
 				col.AddExtracted(int64(len(item.res.ToLoad)), st.bytesRead)
 				col.AddReused(st.bytesReused)
+				col.AddBackendReads(st.reads)
+				col.AddBytesNeeded(st.bytesNeeded)
 				hb.extract.Add(1)
 				select {
 				case trainQ <- item:
@@ -954,7 +947,7 @@ func (e *Engine) trainRealBackward(item *trainItem) (float32, float64) {
 func (e *Engine) SampleOnly(epoch int) (time.Duration, error) {
 	var planRNG *tensor.RNG
 	if e.opts.Shuffle {
-		planRNG = tensor.NewRNG(e.opts.Seed ^ (uint64(epoch)+1)*0x9e3779b97f4a7c15)
+		planRNG = tensor.NewRNG(sample.PlanSeed(e.opts.Seed, epoch))
 	}
 	plan := sample.NewPlan(e.ds.TrainIdx, e.opts.BatchSize, planRNG)
 	var next atomic.Int64

@@ -10,6 +10,7 @@ import (
 	"gnndrive/internal/errutil"
 	"gnndrive/internal/faults"
 	"gnndrive/internal/graph"
+	"gnndrive/internal/layout"
 	"gnndrive/internal/sample"
 	"gnndrive/internal/storage"
 	"gnndrive/internal/uring"
@@ -44,6 +45,8 @@ func putTrainItem(it *trainItem) {
 // extractStats reports one batch's extraction side effects.
 type extractStats struct {
 	bytesRead   int64
+	bytesNeeded int64 // payload bytes the batch actually required from storage
+	reads       int64 // backend read ops the plan issued
 	bytesReused int64
 	retries     int64 // reads resubmitted after a transient error
 	fallbacks   int64 // direct reads degraded to buffered
@@ -67,6 +70,7 @@ type extractor struct {
 	loadNodes []int64
 	positions []int32
 	plan      []ReadOp
+	addrPlan  AddrPlanner
 	opSlot    []int32
 	attempts  []int
 	buffered  []bool
@@ -111,19 +115,42 @@ func (x *extractor) extractBatch(ctx context.Context, b *sample.Batch) (*trainIt
 		x.positions = append(x.positions, pos)
 	}
 	featBytes := int(eng.ds.FeatBytes())
-	switch {
-	case eng.opts.BufferedIO:
-		x.plan = buildExactPlanInto(x.plan[:0], eng.ds, x.loadNodes, x.positions)
-	case eng.opts.GPUDirect:
-		// GDS reads go straight to device memory at 4 KiB granularity.
-		x.plan = BuildReadPlanInto(x.plan[:0], eng.ds.Layout.FeaturesOff, featBytes, gdsGranularity,
-			2*gdsGranularity, x.loadNodes, x.positions)
-	default:
-		x.plan = BuildReadPlanInto(x.plan[:0], eng.ds.Layout.FeaturesOff, featBytes, eng.ds.Dev.SectorSize(),
-			eng.opts.MaxJointRead, x.loadNodes, x.positions)
+	if addr := eng.ds.Addresser(); isStrided(addr) {
+		// Strided fast path: the dedicated planner, byte-for-byte the
+		// pre-addresser behavior.
+		switch {
+		case eng.opts.BufferedIO:
+			x.plan = buildExactPlanInto(x.plan[:0], eng.ds, x.loadNodes, x.positions)
+		case eng.opts.GPUDirect:
+			// GDS reads go straight to device memory at 4 KiB granularity.
+			x.plan = BuildReadPlanInto(x.plan[:0], eng.ds.Layout.FeaturesOff, featBytes, gdsGranularity,
+				2*gdsGranularity, x.loadNodes, x.positions)
+		default:
+			x.plan = BuildReadPlanInto(x.plan[:0], eng.ds.Layout.FeaturesOff, featBytes, eng.ds.Dev.SectorSize(),
+				eng.opts.MaxJointRead, x.loadNodes, x.positions)
+		}
+	} else {
+		var perr error
+		switch {
+		case eng.opts.BufferedIO:
+			x.plan, perr = buildExactAddrPlanInto(x.plan[:0], addr, &x.addrPlan, x.loadNodes, x.positions)
+		case eng.opts.GPUDirect:
+			x.plan, perr = x.addrPlan.PlanInto(x.plan[:0], addr, gdsGranularity,
+				2*gdsGranularity, x.loadNodes, x.positions)
+		default:
+			x.plan, perr = x.addrPlan.PlanInto(x.plan[:0], addr, eng.ds.Dev.SectorSize(),
+				eng.opts.MaxJointRead, x.loadNodes, x.positions)
+		}
+		if perr != nil {
+			eng.fb.Release(b.Nodes)
+			PutReservation(res)
+			return nil, st, fmt.Errorf("extract: plan: %w", perr)
+		}
 	}
 	plan := x.plan
 	st.bytesRead = PlanBytes(plan)
+	st.reads = int64(len(plan))
+	st.bytesNeeded = int64(len(res.ToLoad)) * int64(featBytes)
 	st.bytesReused = int64(len(b.Nodes)-len(res.ToLoad)) * int64(featBytes)
 
 	if err := x.runPlan(ctx, b, res, plan, &st); err != nil {
@@ -456,4 +483,30 @@ func buildExactPlanInto(dst []ReadOp, ds *graph.Dataset, nodes []int64, position
 		op.Nodes = append(op.Nodes, ReadNode{Pos: positions[i], BufOff: 0})
 	}
 	return dst
+}
+
+// buildExactAddrPlanInto is buildExactPlanInto over an arbitrary
+// addresser: one exact-size read per node at its resolved span.
+func buildExactAddrPlanInto(dst []ReadOp, addr layout.Addresser, ap *AddrPlanner, nodes []int64, positions []int32) ([]ReadOp, error) {
+	if len(nodes) != len(positions) {
+		panic(fmt.Sprintf("core: %d nodes vs %d positions", len(nodes), len(positions)))
+	}
+	featBytes := addr.FeatBytes()
+	for i, v := range nodes {
+		off, _, _, err := layout.NodeSpan(addr, v, ap.exts[:])
+		if err != nil {
+			return dst, err
+		}
+		dst = appendOp(dst, off, featBytes)
+		op := &dst[len(dst)-1]
+		op.Nodes = append(op.Nodes, ReadNode{Pos: positions[i], BufOff: 0})
+	}
+	return dst, nil
+}
+
+// isStrided reports whether addr is the default fixed-stride layout,
+// selecting the bit-identical legacy planner path.
+func isStrided(addr layout.Addresser) bool {
+	_, ok := addr.(layout.Strided)
+	return ok
 }

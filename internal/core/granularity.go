@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"gnndrive/internal/layout"
 )
 
 // ReadNode locates one node's feature vector inside a planned read.
@@ -126,3 +128,90 @@ func (s *nodePosSorter) Swap(i, j int) {
 	s.nodes[i], s.nodes[j] = s.nodes[j], s.nodes[i]
 	s.positions[i], s.positions[j] = s.positions[j], s.positions[i]
 }
+
+// nodeSpan is one node's feature vector resolved to a single contiguous
+// device span (adjacent extents merged by layout.NodeSpan).
+type nodeSpan struct {
+	off int64
+	pos int32
+}
+
+// AddrPlanner builds read plans through an arbitrary layout.Addresser —
+// the generalization of BuildReadPlanInto that the packed layout (and
+// any future one) goes through. It holds per-batch scratch so a
+// steady-state caller plans without allocating; one planner per
+// extractor, not safe for concurrent use.
+type AddrPlanner struct {
+	spans []nodeSpan
+	exts  [4]layout.Extent
+}
+
+// PlanInto resolves every node through addr, sorts the resulting spans
+// by device offset, and coalesces adjacent sector-aligned windows into
+// joint reads exactly like BuildReadPlanInto does for the strided
+// layout. On a strided addresser it produces the identical plan; on a
+// packed one, nodes that were traced into the same segment collapse
+// into a few large sequential reads. Nodes whose extents are not
+// physically adjacent are an error: the extract path marks a node valid
+// when its read completes, which requires one read to carry the whole
+// vector.
+func (ap *AddrPlanner) PlanInto(dst []ReadOp, addr layout.Addresser, sector, maxRead int, nodes []int64, positions []int32) ([]ReadOp, error) {
+	if len(nodes) != len(positions) {
+		panic(fmt.Sprintf("core: %d nodes vs %d positions", len(nodes), len(positions)))
+	}
+	if len(nodes) == 0 {
+		return dst, nil
+	}
+	featBytes := addr.FeatBytes()
+	if sector <= 0 {
+		sector = 512
+	}
+	if maxRead < sector {
+		maxRead = sector
+	}
+	if featBytes > maxRead {
+		maxRead = (featBytes + sector - 1) / sector * sector * 2
+	}
+
+	ap.spans = ap.spans[:0]
+	for i, v := range nodes {
+		off, _, _, err := layout.NodeSpan(addr, v, ap.exts[:])
+		if err != nil {
+			return dst, err
+		}
+		ap.spans = append(ap.spans, nodeSpan{off: off, pos: positions[i]})
+	}
+	sort.Sort(spanSorter(ap.spans))
+
+	ss := int64(sector)
+	plan := dst
+	have := false
+	for _, sp := range ap.spans {
+		start := sp.off
+		end := start + int64(featBytes)
+		aStart := start / ss * ss
+		aEnd := (end + ss - 1) / ss * ss
+		if have {
+			cur := &plan[len(plan)-1]
+			curEnd := cur.DevOff + int64(cur.Len)
+			if aStart <= curEnd && aEnd-cur.DevOff <= int64(maxRead) {
+				if aEnd > curEnd {
+					cur.Len = int(aEnd - cur.DevOff)
+				}
+				cur.Nodes = append(cur.Nodes, ReadNode{Pos: sp.pos, BufOff: int(start - cur.DevOff)})
+				continue
+			}
+		}
+		plan = appendOp(plan, aStart, int(aEnd-aStart))
+		cur := &plan[len(plan)-1]
+		cur.Nodes = append(cur.Nodes, ReadNode{Pos: sp.pos, BufOff: int(start - aStart)})
+		have = true
+	}
+	return plan, nil
+}
+
+type spanSorter []nodeSpan
+
+func (s spanSorter) Len() int           { return len(s) }
+func (s spanSorter) Less(i, j int) bool { return s[i].off < s[j].off }
+func (s spanSorter) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }

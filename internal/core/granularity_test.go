@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"gnndrive/internal/hostmem"
+	"gnndrive/internal/layout"
 )
 
 func TestPlanAlignedFeatureOnePerNode(t *testing.T) {
@@ -256,6 +257,133 @@ func TestBuildReadPlanIntoDirtyScratchMatchesFresh(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddrPlannerMatchesBuildReadPlanOnStrided pins the seam's
+// equivalence contract: for the strided layout, the addresser-driven
+// planner must emit op-for-op the plan the legacy arithmetic planner
+// emits, so the strided fast path (which still calls BuildReadPlanInto
+// directly) and the general path can never drift apart.
+func TestAddrPlannerMatchesBuildReadPlanOnStrided(t *testing.T) {
+	f := func(seed uint64, dimSel uint8, count uint8) bool {
+		dims := []int{16, 32, 127, 128, 129, 256, 512}
+		featBytes := dims[int(dimSel)%len(dims)] * 4
+		n := int(count)%40 + 1
+		rng := seed
+		nodeSet := map[int64]bool{}
+		var nodes []int64
+		var positions []int32
+		for len(nodes) < n {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int64(rng % 5000)
+			if !nodeSet[v] {
+				nodeSet[v] = true
+				positions = append(positions, int32(len(nodes)))
+				nodes = append(nodes, v)
+			}
+		}
+		const featOff = 512 * 7
+		legacy := BuildReadPlan(featOff, featBytes, 512, 8192,
+			append([]int64(nil), nodes...), append([]int32(nil), positions...))
+		var ap AddrPlanner
+		addr := layout.Strided{Base: featOff, Feat: featBytes, Nodes: 5000}
+		got, err := ap.PlanInto(nil, addr, 512, 8192,
+			append([]int64(nil), nodes...), append([]int32(nil), positions...))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(legacy) {
+			return false
+		}
+		for i := range got {
+			if got[i].DevOff != legacy[i].DevOff || got[i].Len != legacy[i].Len ||
+				len(got[i].Nodes) != len(legacy[i].Nodes) {
+				return false
+			}
+			for j := range got[i].Nodes {
+				if got[i].Nodes[j] != legacy[i].Nodes[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddrPlannerPackedCoverage is the coverage property for packed
+// layouts: every requested node's full (possibly segment-split) span
+// must land inside exactly one aligned op at its BufOff.
+func TestAddrPlannerPackedCoverage(t *testing.T) {
+	f := func(seed uint64, count uint8) bool {
+		const featBytes, numNodes = 400, int64(3000) // not sector-aligned
+		tr := layout.NewTrace()
+		rng := seed
+		batch := make([]int64, 64)
+		for b := 0; b < 4; b++ {
+			for i := range batch {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				batch[i] = int64(rng % uint64(numNodes))
+			}
+			tr.AddBatch(batch)
+		}
+		p, err := layout.NewPacked(512*9, featBytes, numNodes, tr,
+			layout.PackOptions{SegmentBytes: 4096})
+		if err != nil {
+			return false
+		}
+		n := int(count)%40 + 1
+		nodeSet := map[int64]bool{}
+		var nodes []int64
+		var positions []int32
+		for len(nodes) < n {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int64(rng % uint64(numNodes))
+			if !nodeSet[v] {
+				nodeSet[v] = true
+				positions = append(positions, int32(len(nodes)))
+				nodes = append(nodes, v)
+			}
+		}
+		orig := map[int32]int64{}
+		for i, pos := range positions {
+			orig[pos] = nodes[i]
+		}
+		var ap AddrPlanner
+		plan, err := ap.PlanInto(nil, p, 512, 8192, nodes, positions)
+		if err != nil {
+			return false
+		}
+		seen := map[int32]bool{}
+		for _, op := range plan {
+			if op.DevOff%512 != 0 || op.Len%512 != 0 || op.Len == 0 {
+				return false
+			}
+			for _, rn := range op.Nodes {
+				if seen[rn.Pos] {
+					return false
+				}
+				seen[rn.Pos] = true
+				var scratch [4]layout.Extent
+				start, spanLen, _, err := layout.NodeSpan(p, orig[rn.Pos], scratch[:])
+				if err != nil || spanLen != featBytes {
+					return false
+				}
+				if op.DevOff+int64(rn.BufOff) != start {
+					return false
+				}
+				if rn.BufOff+featBytes > op.Len {
+					return false
+				}
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
 }

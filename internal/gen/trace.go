@@ -1,0 +1,38 @@
+package gen
+
+import (
+	"fmt"
+
+	"gnndrive/internal/graph"
+	"gnndrive/internal/layout"
+	"gnndrive/internal/sample"
+	"gnndrive/internal/tensor"
+)
+
+// SampleTrace replays the engine's first training epoch offline —
+// identical batch schedule (sample.PlanSeed) and identical per-batch
+// sampling streams (sample.BatchSeed) — and records the feature-access
+// order as a layout.Trace for the offline packer. Batches sampled here
+// are exactly the batches a training run with the same (batchSize,
+// fanouts, seed, shuffle) would extract in epoch 0, so packing by this
+// trace places co-accessed vectors in the same segments the first and
+// every subsequent epoch actually touch.
+func SampleTrace(ds *graph.Dataset, batchSize int, fanouts []int, seed uint64, shuffle bool) (*layout.Trace, error) {
+	var planRNG *tensor.RNG
+	if shuffle {
+		planRNG = tensor.NewRNG(sample.PlanSeed(seed, 0))
+	}
+	plan := sample.NewPlan(ds.TrainIdx, batchSize, planRNG)
+
+	smp := sample.New(graph.NewRawReader(ds), fanouts, tensor.NewRNG(seed))
+	tr := layout.NewTrace()
+	for i, targets := range plan.Batches {
+		smp.Reseed(sample.BatchSeed(seed, 0, i))
+		b, _, err := smp.SampleBatch(i, targets)
+		if err != nil {
+			return nil, fmt.Errorf("gen: trace batch %d: %w", i, err)
+		}
+		tr.AddBatch(b.Nodes)
+	}
+	return tr, nil
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"time"
 
+	"gnndrive/internal/layout"
 	"gnndrive/internal/pagecache"
 	"gnndrive/internal/storage"
 )
@@ -48,12 +49,33 @@ type Dataset struct {
 
 	Layout Layout
 	Dev    storage.Backend
+
+	// Addr maps node IDs to feature extents when the feature region uses
+	// a non-strided layout (layout.Packed after offline packing). Nil
+	// means the default strided table; read through Addresser(), which
+	// supplies the strided default.
+	Addr layout.Addresser
 }
 
 // FeatBytes returns the byte length of one node's feature vector.
 func (d *Dataset) FeatBytes() int64 { return int64(d.Dim) * 4 }
 
-// FeatureOff returns the device offset of node v's feature vector.
+// Addresser returns the dataset's feature addresser: Addr when a packed
+// (or other) layout is installed, otherwise the strided default over the
+// feature region. Feature readers must go through this instead of
+// node*dim arithmetic.
+func (d *Dataset) Addresser() layout.Addresser {
+	if d.Addr != nil {
+		return d.Addr
+	}
+	return layout.Strided{Base: d.Layout.FeaturesOff, Feat: int(d.FeatBytes()), Nodes: d.NumNodes}
+}
+
+// FeatureOff returns the device offset of node v's feature vector in the
+// default strided layout. Callers that must work under any layout use
+// Addresser().Extents instead; FeatureOff remains for strided-only paths
+// (dataset generation, layout-rewriting baselines that check
+// layout.ContiguousRange first).
 func (d *Dataset) FeatureOff(v int64) int64 {
 	return d.Layout.FeaturesOff + v*d.FeatBytes()
 }
@@ -191,13 +213,18 @@ func DecodeFeature(raw []byte, out []float32) []float32 {
 	return out
 }
 
-// ReadFeatureRaw fetches node v's feature vector untimed (setup/tests).
-// Read errors panic: this is a setup/verification accessor, never on a
-// production path, and its call sites predate backends that can fail.
+// ReadFeatureRaw fetches node v's feature vector untimed (setup/tests),
+// resolving the dataset's layout through the addresser so packed
+// datasets read correctly. Read errors panic: this is a
+// setup/verification accessor, never on a production path, and its call
+// sites predate backends that can fail.
 func (d *Dataset) ReadFeatureRaw(v int64, out []float32) []float32 {
 	raw := make([]byte, d.FeatBytes())
-	if err := d.Dev.ReadRaw(raw, d.FeatureOff(v)); err != nil {
-		panic(fmt.Sprintf("graph: feature read for node %d: %v", v, err))
+	var exts [2]layout.Extent
+	for _, e := range d.Addresser().Extents(v, exts[:0]) {
+		if err := d.Dev.ReadRaw(raw[e.FeatOff:e.FeatOff+e.Len], e.Off); err != nil {
+			panic(fmt.Sprintf("graph: feature read for node %d: %v", v, err))
+		}
 	}
 	return DecodeFeature(raw, out)
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 
+	"gnndrive/internal/layout"
 	"gnndrive/internal/storage"
 )
 
@@ -23,11 +24,27 @@ type header struct {
 	NumClasses int    `json:"num_classes"`
 	Train      int    `json:"train"`
 	Val        int    `json:"val"`
+	// Layout names the feature-region layout: "" or "strided" for the
+	// dense table, "packed" when the features were packed offline and a
+	// "<container>.pidx" segment index rides next to the container.
+	Layout string `json:"layout,omitempty"`
 }
 
 // Save writes the dataset — metadata, indptr, labels, splits, and the
-// on-device index and feature arrays — to a .gnnd container file.
+// on-device index and feature arrays — to a .gnnd container file. A
+// packed dataset (Addr is a layout.Packed) additionally persists its
+// segment index next to the container as "<path>.pidx", the way the
+// integrity layer persists its checksum sidecar; Load adopts it.
 func Save(ds *Dataset, path string) error {
+	layoutName := ""
+	packed, _ := ds.Addr.(*layout.Packed)
+	if packed != nil {
+		layoutName = "packed"
+	} else if ds.Addr != nil {
+		if _, ok := ds.Addr.(layout.Strided); !ok {
+			return fmt.Errorf("graph: save: layout %T has no container representation", ds.Addr)
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("graph: save: %w", err)
@@ -38,7 +55,8 @@ func Save(ds *Dataset, path string) error {
 		return err
 	}
 	h := header{Name: ds.Name, NumNodes: ds.NumNodes, NumEdges: ds.NumEdges,
-		Dim: ds.Dim, NumClasses: ds.NumClasses, Train: len(ds.TrainIdx), Val: len(ds.ValIdx)}
+		Dim: ds.Dim, NumClasses: ds.NumClasses, Train: len(ds.TrainIdx), Val: len(ds.ValIdx),
+		Layout: layoutName}
 	meta, err := json.Marshal(h)
 	if err != nil {
 		return err
@@ -64,7 +82,15 @@ func Save(ds *Dataset, path string) error {
 	if err := copyRegion(w, ds.Dev, ds.Layout.FeaturesOff, ds.Layout.FeaturesLen); err != nil {
 		return err
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if packed != nil {
+		if err := packed.SaveIndex(path + ".pidx"); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func copyRegion(w io.Writer, dev storage.Backend, off, n int64) error {
@@ -149,6 +175,25 @@ func Load(path string, newBackend storage.Factory, extraBytes int64) (*Dataset, 
 		return nil, err
 	}
 	ds.Dev = dev
+	switch h.Layout {
+	case "", "strided":
+		// Default dense table; Addresser() supplies layout.Strided.
+	case "packed":
+		p, perr := layout.LoadIndex(path+".pidx", featOff)
+		if perr != nil {
+			dev.Close()
+			return nil, fmt.Errorf("graph: load packed container: %w", perr)
+		}
+		if p.FeatBytes() != h.Dim*4 || p.NumNodes() != h.NumNodes {
+			dev.Close()
+			return nil, fmt.Errorf("graph: load %s: segment index geometry (%d nodes x %d bytes) does not match container (%d x %d)",
+				path, p.NumNodes(), p.FeatBytes(), h.NumNodes, h.Dim*4)
+		}
+		ds.Addr = p
+	default:
+		dev.Close()
+		return nil, fmt.Errorf("graph: load %s: unknown layout %q", path, h.Layout)
+	}
 	if err := ds.Validate(); err != nil {
 		dev.Close()
 		return nil, err

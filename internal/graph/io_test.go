@@ -1,10 +1,12 @@
 package graph
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"gnndrive/internal/layout"
 	"gnndrive/internal/storage/sim"
 )
 
@@ -70,5 +72,68 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Load(filepath.Join(t.TempDir(), "missing"), sim.Factory(sim.InstantConfig()), 0); err == nil {
 		t.Fatal("expected open error")
+	}
+}
+
+// TestSaveLoadPackedRoundTrip packs the test dataset in place, saves
+// the container (which persists the segment index sidecar), and reloads
+// it: the addresser must come back packed with identical node offsets
+// and every feature must read back byte-identical through it.
+func TestSaveLoadPackedRoundTrip(t *testing.T) {
+	ds := buildTestDataset(t)
+	ds.TrainIdx = []int64{0, 2}
+	ds.ValIdx = []int64{1}
+	want := make([][]float32, ds.NumNodes)
+	for v := int64(0); v < ds.NumNodes; v++ {
+		want[v] = append([]float32(nil), ds.ReadFeatureRaw(v, nil)...)
+	}
+	tr := layout.NewTrace()
+	tr.AddBatch([]int64{3, 1})
+	p, err := layout.PackInPlace(ds.Dev, ds.Layout.FeaturesOff, int(ds.FeatBytes()),
+		ds.NumNodes, tr, layout.PackOptions{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Addr = p
+
+	path := filepath.Join(t.TempDir(), "packed.gnnd")
+	if err := Save(ds, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".pidx"); err != nil {
+		t.Fatalf("segment index sidecar not written: %v", err)
+	}
+	got, err := Load(path, sim.Factory(sim.InstantConfig()), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Dev.Close()
+	gp, ok := got.Addresser().(*layout.Packed)
+	if !ok {
+		t.Fatalf("loaded addresser is %T, want *layout.Packed", got.Addresser())
+	}
+	for v := int64(0); v < ds.NumNodes; v++ {
+		if gp.NodeOffset(v) != p.NodeOffset(v) {
+			t.Fatalf("node %d offset %d, want %d", v, gp.NodeOffset(v), p.NodeOffset(v))
+		}
+		fb := got.ReadFeatureRaw(v, nil)
+		for i := range fb {
+			if fb[i] != want[v][i] {
+				t.Fatalf("node %d features differ after packed round-trip", v)
+			}
+		}
+	}
+	// Traced nodes 3 then 1 must lead the packed region.
+	if p.NodeOffset(3) != 0 || p.NodeOffset(1) != int64(ds.FeatBytes()) {
+		t.Fatalf("trace order not honored: off(3)=%d off(1)=%d", p.NodeOffset(3), p.NodeOffset(1))
+	}
+
+	// A packed container with its index missing must refuse to load —
+	// falling back to strided would silently read permuted garbage.
+	if err := os.Remove(path + ".pidx"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, sim.Factory(sim.InstantConfig()), 4096); !errors.Is(err, layout.ErrNoIndex) {
+		t.Fatalf("load without index: err = %v, want ErrNoIndex", err)
 	}
 }

@@ -1,0 +1,236 @@
+package layout
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// The packed-layout segment index persists next to a .gnnd container as
+// "<container>.pidx", adopted by graph.Load the same way integrity
+// sidecars are. Format (all little-endian), version 1:
+//
+//	header[40]: magic[8] | version u32 | featBytes u32 | segBytes u32 |
+//	            leafFanout u32 | numNodes u64 | numLeaves u64
+//	headerCRC  u32 (CRC32C of header[40])
+//	keys       numLeaves x u64   — B+tree internal level: first node ID
+//	                               covered by each leaf page
+//	keysCRC    u32
+//	leaves     numLeaves x (leafFanout x u64 offsets | leafCRC u32)
+//
+// Offsets are relative to the feature region base; the loader binds the
+// base, so a container moved to a device with different region offsets
+// still addresses correctly. Every level is CRC-guarded: a corrupt
+// header, internal node, or leaf page is rejected (ErrCorruptIndex), not
+// reinterpreted.
+
+// indexMagic identifies the segment-index format, version 1.
+const indexMagic = "GNNDIDX1"
+
+const (
+	indexVersion      = 1
+	indexHeaderLen    = 40
+	defaultLeafFanout = 512
+)
+
+// ErrCorruptIndex is wrapped by load failures caused by the index file's
+// content (bad magic, CRC mismatch, inconsistent geometry) — as opposed
+// to I/O errors opening or reading it.
+var ErrCorruptIndex = errors.New("layout: corrupt segment index")
+
+// ErrNoIndex is wrapped by LoadIndex when the file does not exist.
+var ErrNoIndex = errors.New("layout: segment index not found")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// SaveIndex persists the packed mapping as a segment-index file. The
+// write is atomic (temp file + fsync + rename), mirroring the integrity
+// sidecar, so a crashed save never leaves a torn index next to a good
+// container.
+func (p *Packed) SaveIndex(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".pidx-*")
+	if err != nil {
+		return fmt.Errorf("layout: save index: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+
+	fanout := defaultLeafFanout
+	numNodes := int64(len(p.off))
+	numLeaves := (numNodes + int64(fanout) - 1) / int64(fanout)
+
+	hdr := make([]byte, indexHeaderLen)
+	copy(hdr, indexMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], indexVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(p.feat))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(p.seg))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(fanout))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(numNodes))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(numLeaves))
+	if err := writeCRCd(w, hdr); err != nil {
+		tmp.Close()
+		return fmt.Errorf("layout: save index: %w", err)
+	}
+
+	keys := make([]byte, 8*numLeaves)
+	for l := int64(0); l < numLeaves; l++ {
+		binary.LittleEndian.PutUint64(keys[8*l:], uint64(l*int64(fanout)))
+	}
+	if err := writeCRCd(w, keys); err != nil {
+		tmp.Close()
+		return fmt.Errorf("layout: save index: %w", err)
+	}
+
+	leaf := make([]byte, 8*fanout)
+	for l := int64(0); l < numLeaves; l++ {
+		for i := range leaf {
+			leaf[i] = 0
+		}
+		lo := l * int64(fanout)
+		hi := lo + int64(fanout)
+		if hi > numNodes {
+			hi = numNodes
+		}
+		for v := lo; v < hi; v++ {
+			binary.LittleEndian.PutUint64(leaf[8*(v-lo):], uint64(p.off[v]))
+		}
+		if err := writeCRCd(w, leaf); err != nil {
+			tmp.Close()
+			return fmt.Errorf("layout: save index: %w", err)
+		}
+	}
+
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("layout: save index: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("layout: save index: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("layout: save index: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("layout: save index: %w", err)
+	}
+	return nil
+}
+
+// writeCRCd writes block followed by its CRC32C.
+func writeCRCd(w io.Writer, block []byte) error {
+	if _, err := w.Write(block); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(block, crcTable))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// readCRCd reads len(block) bytes plus their trailing CRC32C, verifying.
+func readCRCd(r io.Reader, block []byte, what string) error {
+	if _, err := io.ReadFull(r, block); err != nil {
+		return fmt.Errorf("%w: %s truncated: %v", ErrCorruptIndex, what, err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return fmt.Errorf("%w: %s CRC truncated: %v", ErrCorruptIndex, what, err)
+	}
+	if got := crc32.Checksum(block, crcTable); got != binary.LittleEndian.Uint32(crc[:]) {
+		return fmt.Errorf("%w: %s CRC mismatch", ErrCorruptIndex, what)
+	}
+	return nil
+}
+
+// LoadIndex reads a segment-index file and binds it to a feature region
+// at device offset base, returning the Packed addresser. A missing file
+// wraps ErrNoIndex; any content problem wraps ErrCorruptIndex.
+func LoadIndex(path string, base int64) (*Packed, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s", ErrNoIndex, path)
+		}
+		return nil, fmt.Errorf("layout: load index: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+
+	hdr := make([]byte, indexHeaderLen)
+	if err := readCRCd(r, hdr, "header"); err != nil {
+		return nil, fmt.Errorf("layout: load index %s: %w", path, err)
+	}
+	if string(hdr[:8]) != indexMagic {
+		return nil, fmt.Errorf("layout: load index %s: %w: bad magic %q", path, ErrCorruptIndex, hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != indexVersion {
+		return nil, fmt.Errorf("layout: load index %s: %w: version %d, want %d", path, ErrCorruptIndex, v, indexVersion)
+	}
+	feat := int(binary.LittleEndian.Uint32(hdr[12:]))
+	seg := int(binary.LittleEndian.Uint32(hdr[16:]))
+	fanout := int(binary.LittleEndian.Uint32(hdr[20:]))
+	numNodes := int64(binary.LittleEndian.Uint64(hdr[24:]))
+	numLeaves := int64(binary.LittleEndian.Uint64(hdr[32:]))
+	if feat <= 0 || seg <= 0 || seg%512 != 0 || fanout <= 0 || numNodes <= 0 ||
+		numLeaves != (numNodes+int64(fanout)-1)/int64(fanout) || numLeaves > 1<<28 {
+		return nil, fmt.Errorf("layout: load index %s: %w: implausible geometry (feat=%d seg=%d fanout=%d nodes=%d leaves=%d)",
+			path, ErrCorruptIndex, feat, seg, fanout, numNodes, numLeaves)
+	}
+
+	keys := make([]byte, 8*numLeaves)
+	if err := readCRCd(r, keys, "internal node"); err != nil {
+		return nil, fmt.Errorf("layout: load index %s: %w", path, err)
+	}
+	p := &Packed{base: base, feat: feat, seg: seg, off: make([]int64, numNodes)}
+	leaf := make([]byte, 8*fanout)
+	limit := numNodes * int64(feat)
+	for l := int64(0); l < numLeaves; l++ {
+		if err := readCRCd(r, leaf, fmt.Sprintf("leaf %d", l)); err != nil {
+			return nil, fmt.Errorf("layout: load index %s: %w", path, err)
+		}
+		// The internal level keys each leaf by its first node ID; decode
+		// the leaf's entries into the IDs it covers.
+		lo := int64(binary.LittleEndian.Uint64(keys[8*l:]))
+		if lo != l*int64(fanout) {
+			return nil, fmt.Errorf("layout: load index %s: %w: leaf %d keyed at node %d, want %d",
+				path, ErrCorruptIndex, l, lo, l*int64(fanout))
+		}
+		hi := lo + int64(fanout)
+		if hi > numNodes {
+			hi = numNodes
+		}
+		for v := lo; v < hi; v++ {
+			off := int64(binary.LittleEndian.Uint64(leaf[8*(v-lo):]))
+			if off < 0 || off+int64(feat) > limit {
+				return nil, fmt.Errorf("layout: load index %s: %w: node %d offset %d outside region",
+					path, ErrCorruptIndex, v, off)
+			}
+			p.off[v] = off
+		}
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("layout: load index %s: %w: trailing bytes", path, ErrCorruptIndex)
+	}
+	return p, nil
+}
+
+// dirOf returns the directory of path for CreateTemp, "." for a bare
+// file name ("" would mean os.TempDir, which could cross filesystems and
+// break the atomic rename).
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return path[:i]
+		}
+	}
+	return "."
+}

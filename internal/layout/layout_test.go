@@ -1,0 +1,215 @@
+package layout_test
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gnndrive/internal/layout"
+	"gnndrive/internal/storage"
+	"gnndrive/internal/storage/sim"
+)
+
+// fillRegion writes a deterministic pseudo-random strided feature region
+// to dev at base and returns its bytes for later comparison.
+func fillRegion(t *testing.T, dev storage.Backend, base int64, featBytes int, numNodes int64, seed int64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	src := make([]byte, numNodes*int64(featBytes))
+	rng.Read(src)
+	if err := dev.WriteRaw(src, base); err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// randomTrace builds a trace of random mini-batches covering roughly
+// half the node range, duplicates included (AddBatch must dedup).
+func randomTrace(rng *rand.Rand, numNodes int64) *layout.Trace {
+	tr := layout.NewTrace()
+	batches := 4 + rng.Intn(8)
+	for b := 0; b < batches; b++ {
+		batch := make([]int64, 1+rng.Intn(64))
+		for i := range batch {
+			batch[i] = rng.Int63n(numNodes)
+		}
+		tr.AddBatch(batch)
+	}
+	return tr
+}
+
+// readNode reads node v's feature vector through the direct-I/O segment
+// reader, extent by extent, the way training and the pack verifier do.
+func readNode(t *testing.T, r *layout.SegmentReader, a layout.Addresser, sector int, v int64) []byte {
+	t.Helper()
+	buf := storage.AlignedBuf((a.FeatBytes()/sector+2)*sector, sector)
+	var exts []layout.Extent
+	got := make([]byte, 0, a.FeatBytes())
+	for _, e := range a.Extents(v, exts) {
+		start, _, err := r.ReadExtent(buf, e)
+		if err != nil {
+			t.Fatalf("node %d extent %+v: %v", v, e, err)
+		}
+		got = append(got, buf[start:start+e.Len]...)
+	}
+	return got
+}
+
+// TestPackRoundTripProperty is the packer's property test: random
+// feature geometries (feature sizes deliberately not sector multiples,
+// segments small enough that many nodes straddle a boundary) packed by
+// random traces must read back, node by node through the index and the
+// segment reader, exactly the bytes the strided layout held — including
+// every node split across two segments.
+func TestPackRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		featBytes := 1 + rng.Intn(900)        // most trials not sector-aligned
+		numNodes := int64(50 + rng.Intn(400)) // small enough to stay fast
+		segBytes := 512 * (1 + rng.Intn(4))   // tiny segments force splits
+		if featBytes > segBytes {
+			featBytes = segBytes
+		}
+		base := 512 * int64(rng.Intn(64))
+		dev := sim.New(base+numNodes*int64(featBytes)+4096, sim.InstantConfig())
+		src := fillRegion(t, dev, base, featBytes, numNodes, int64(trial))
+
+		p, err := layout.PackInPlace(dev, base, featBytes, numNodes, randomTrace(rng, numNodes),
+			layout.PackOptions{SegmentBytes: segBytes})
+		if err != nil {
+			t.Fatalf("trial %d (feat=%d seg=%d nodes=%d): %v", trial, featBytes, segBytes, numNodes, err)
+		}
+
+		r := layout.NewSegmentReader(dev, p)
+		sector := dev.SectorSize()
+		split := 0
+		var exts []layout.Extent
+		for v := int64(0); v < numNodes; v++ {
+			exts = p.Extents(v, exts[:0])
+			if len(exts) > 1 {
+				split++
+			}
+			// The extents must merge into one contiguous span covering
+			// the whole vector (the async extract path depends on it).
+			if _, n, _, err := layout.NodeSpan(p, v, exts); err != nil {
+				t.Fatalf("trial %d node %d: %v", trial, v, err)
+			} else if n != featBytes {
+				t.Fatalf("trial %d node %d: span %d bytes, want %d", trial, v, n, featBytes)
+			}
+			got := readNode(t, r, p, sector, v)
+			want := src[v*int64(featBytes) : (v+1)*int64(featBytes)]
+			if string(got) != string(want) {
+				t.Fatalf("trial %d (feat=%d seg=%d): node %d packed bytes differ from strided read",
+					trial, featBytes, segBytes, v)
+			}
+		}
+		if featBytes > 1 && segBytes%featBytes != 0 && split == 0 {
+			t.Fatalf("trial %d (feat=%d seg=%d nodes=%d): no node straddles a segment boundary; property not exercised",
+				trial, featBytes, segBytes, numNodes)
+		}
+	}
+}
+
+// TestIndexSaveLoadRoundTrip persists a packed mapping and rebinds it at
+// a different region base: every node must address the same relative
+// offset.
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const featBytes, numNodes = 200, int64(1500) // > leaf fanout 512: multiple leaves
+	p, err := layout.NewPacked(4096, featBytes, numNodes, randomTrace(rng, numNodes),
+		layout.PackOptions{SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.gnnd.pidx")
+	if err := p.SaveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := layout.LoadIndex(path, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FeatBytes() != featBytes || got.NumNodes() != numNodes ||
+		got.SegmentBytes() != p.SegmentBytes() || got.Base() != 8192 {
+		t.Fatalf("geometry: feat=%d nodes=%d seg=%d base=%d",
+			got.FeatBytes(), got.NumNodes(), got.SegmentBytes(), got.Base())
+	}
+	for v := int64(0); v < numNodes; v++ {
+		if got.NodeOffset(v) != p.NodeOffset(v) {
+			t.Fatalf("node %d offset %d, want %d", v, got.NodeOffset(v), p.NodeOffset(v))
+		}
+	}
+}
+
+// TestLoadIndexRejectsCorruption flips bytes in each CRC-guarded level
+// and asserts the loader refuses the file instead of reinterpreting it.
+func TestLoadIndexRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const numNodes = int64(700)
+	p, err := layout.NewPacked(0, 64, numNodes, randomTrace(rng, numNodes), layout.PackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.pidx")
+	if err := p.SaveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offsets: header at 0, keys after header+CRC, first leaf after that.
+	keysOff := 40 + 4
+	leafOff := keysOff + 8*2 + 4 // two leaves for 700 nodes at fanout 512
+	for _, tc := range []struct {
+		name string
+		at   int
+	}{
+		{"header", 9},
+		{"internal node", keysOff + 3},
+		{"leaf", leafOff + 17},
+	} {
+		bad := append([]byte(nil), clean...)
+		bad[tc.at] ^= 0x40
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := layout.LoadIndex(path, 0); !errors.Is(err, layout.ErrCorruptIndex) {
+			t.Fatalf("corrupt %s: err = %v, want ErrCorruptIndex", tc.name, err)
+		}
+	}
+	// Truncation is corruption, not EOF-tolerated.
+	if err := os.WriteFile(path, clean[:len(clean)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := layout.LoadIndex(path, 0); !errors.Is(err, layout.ErrCorruptIndex) {
+		t.Fatalf("truncated: err = %v, want ErrCorruptIndex", err)
+	}
+	// A missing file is a distinct condition (callers fall back for
+	// strided containers, but must fail loudly for packed ones).
+	if _, err := layout.LoadIndex(path+".gone", 0); !errors.Is(err, layout.ErrNoIndex) {
+		t.Fatalf("missing: err = %v, want ErrNoIndex", err)
+	}
+}
+
+// TestStridedContiguousRange pins the fast-path contract Marius relies
+// on: strided ranges are contiguous, packed ones are not.
+func TestStridedContiguousRange(t *testing.T) {
+	s := layout.Strided{Base: 1 << 20, Feat: 128, Nodes: 1000}
+	off, ok := layout.ContiguousRange(s, 10, 20)
+	if !ok || off != 1<<20+10*128 {
+		t.Fatalf("strided range: off=%d ok=%v", off, ok)
+	}
+	if _, ok := layout.ContiguousRange(s, 900, 1001); ok {
+		t.Fatal("out-of-range request must not be contiguous")
+	}
+	p, err := layout.NewPacked(0, 128, 1000, nil, layout.PackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := layout.ContiguousRange(p, 0, 10); ok {
+		t.Fatal("packed layout must not claim contiguous node ranges")
+	}
+}

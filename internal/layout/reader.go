@@ -1,0 +1,47 @@
+package layout
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gnndrive/internal/storage"
+)
+
+// SegmentReader reads packed-segment extents through the backend's
+// direct-I/O path, handling the sector alignment an arbitrary extent
+// offset needs. It is the read primitive for code outside the extract
+// pipeline (the packer's verification pass, tools, tests); the extract
+// pipeline itself plans coalesced reads over many extents instead.
+type SegmentReader struct {
+	dev  storage.Backend
+	addr Addresser
+}
+
+// NewSegmentReader creates a reader over dev for addr's extents.
+func NewSegmentReader(dev storage.Backend, addr Addresser) *SegmentReader {
+	return &SegmentReader{dev: dev, addr: addr}
+}
+
+// ReadExtent reads the sector-aligned window covering ext into buf and
+// returns the extent payload's start offset within buf plus the I/O wait.
+// buf must be sector-aligned (storage.AlignedBuf) and large enough for
+// the window: ext.Len plus up to two sectors of alignment slack. Backends
+// that refuse direct I/O for the window degrade to a buffered read.
+func (r *SegmentReader) ReadExtent(buf []byte, ext Extent) (int, time.Duration, error) {
+	ss := int64(r.dev.SectorSize())
+	aStart := ext.Off / ss * ss
+	aEnd := (ext.Off + int64(ext.Len) + ss - 1) / ss * ss
+	n := int(aEnd - aStart)
+	if n > len(buf) {
+		return 0, 0, fmt.Errorf("layout: extent window %d bytes exceeds %d-byte buffer", n, len(buf))
+	}
+	waited, err := r.dev.ReadDirect(buf[:n], aStart)
+	if errors.Is(err, storage.ErrUnaligned) {
+		waited, err = r.dev.ReadAt(buf[:n], aStart)
+	}
+	if err != nil {
+		return 0, waited, err
+	}
+	return int(ext.Off - aStart), waited, nil
+}

@@ -178,7 +178,11 @@ func (tw *taintWalk) isRawMake(call *ast.CallExpr) bool {
 //     literal is checked like a Submit argument;
 //   - RegisterBuffers(...[]byte) — fixed-buffer regions handed to the
 //     io_uring backend must be AlignedBuf-derived, or registration is
-//     refused (and would pin unaligned pages if it were not).
+//     refused (and would pin unaligned pages if it were not);
+//   - ReadExtent/ReadExtentCtx returning (int, time.Duration, error) —
+//     the layout segment-reader path; it widens the extent to a
+//     sector-aligned device window but reads through ReadDirect, so the
+//     destination buffer's address must still be sector-aligned.
 func (tw *taintWalk) checkSink(call *ast.CallExpr) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -200,6 +204,14 @@ func (tw *taintWalk) checkSink(call *ast.CallExpr) {
 		if buf := byteSliceArg(tw.pass, sig, call); buf != nil && tw.taintedExpr(buf) {
 			tw.pass.Reportf(buf.Pos(), alignedHint,
 				"raw make([]byte) buffer reaches backend %s; its address is not sector-aligned", fn.Name())
+		}
+	case "ReadExtent", "ReadExtentCtx":
+		if !isIntDurationErrorResults(sig.Results()) {
+			return
+		}
+		if buf := byteSliceArg(tw.pass, sig, call); buf != nil && tw.taintedExpr(buf) {
+			tw.pass.Reportf(buf.Pos(), alignedHint,
+				"raw make([]byte) buffer reaches the layout read path via %s; its address is not sector-aligned", fn.Name())
 		}
 	case "SubmitRead", "SubmitReadCtx", "QueueRead", "QueueReadCtx":
 		if buf := byteSliceArg(tw.pass, sig, call); buf != nil && tw.taintedExpr(buf) {
@@ -302,6 +314,20 @@ func isVariadicByteSlices(sig *types.Signature) bool {
 	}
 	basic, ok := inner.Elem().Underlying().(*types.Basic)
 	return ok && basic.Kind() == types.Uint8
+}
+
+// isIntDurationErrorResults matches the layout extent-read shape
+// (int, time.Duration, error).
+func isIntDurationErrorResults(res *types.Tuple) bool {
+	if res.Len() != 3 {
+		return false
+	}
+	basic, ok := res.At(0).Type().Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.Int {
+		return false
+	}
+	shifted := types.NewTuple(res.At(1), res.At(2))
+	return isDurationErrorResults(shifted)
 }
 
 // isDurationErrorResults matches the backend read shape

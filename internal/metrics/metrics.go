@@ -236,6 +236,13 @@ type Breakdown struct {
 	NodesExtracted int64
 	BytesRead      int64
 	BytesReused    int64 // feature bytes served from the feature buffer
+	// BytesNeeded is the payload bytes batches actually required from
+	// storage (misses × feature size); BytesRead/BytesNeeded is the
+	// epoch's read amplification. BackendReads counts the read ops the
+	// planner issued — packed layouts shrink it by coalescing co-accessed
+	// nodes into joint reads.
+	BytesNeeded  int64
+	BackendReads int64
 
 	// Fault tolerance: reads retried after transient storage errors,
 	// direct→buffered degradations, and errors escalated to the caller.
@@ -251,6 +258,25 @@ type Breakdown struct {
 	Integrity storage.IntegrityStats
 }
 
+// ReadAmplification returns BytesRead / BytesNeeded — how many bytes the
+// epoch pulled off the device per byte a batch actually consumed. 1.0 is
+// perfect; alignment slack and joint-read redundancy push it up. Zero
+// when nothing was needed (fully cached epoch).
+func (b Breakdown) ReadAmplification() float64 {
+	if b.BytesNeeded == 0 {
+		return 0
+	}
+	return float64(b.BytesRead) / float64(b.BytesNeeded)
+}
+
+// ReadsPerBatch returns the mean backend read ops per mini-batch.
+func (b Breakdown) ReadsPerBatch() float64 {
+	if b.Batches == 0 {
+		return 0
+	}
+	return float64(b.BackendReads) / float64(b.Batches)
+}
+
 // atomicDuration supports concurrent stage accumulation.
 type atomicDuration struct{ n atomic.Int64 }
 
@@ -264,6 +290,8 @@ type BreakdownCollector struct {
 	nodesExtracted                        atomic.Int64
 	bytesRead                             atomic.Int64
 	bytesReused                           atomic.Int64
+	bytesNeeded                           atomic.Int64
+	backendReads                          atomic.Int64
 	retries                               atomic.Int64
 	fallbacks                             atomic.Int64
 	escalations                           atomic.Int64
@@ -303,6 +331,12 @@ func (c *BreakdownCollector) AddExtracted(nodes int64, bytes int64) {
 // AddReused counts feature bytes served without I/O.
 func (c *BreakdownCollector) AddReused(bytes int64) { c.bytesReused.Add(bytes) }
 
+// AddBackendReads counts read ops issued to the storage backend.
+func (c *BreakdownCollector) AddBackendReads(n int64) { c.backendReads.Add(n) }
+
+// AddBytesNeeded counts the payload bytes batches required from storage.
+func (c *BreakdownCollector) AddBytesNeeded(bytes int64) { c.bytesNeeded.Add(bytes) }
+
 // AddRetries counts reads resubmitted after transient errors.
 func (c *BreakdownCollector) AddRetries(n int64) { c.retries.Add(n) }
 
@@ -340,6 +374,8 @@ func (c *BreakdownCollector) Snapshot(total time.Duration) Breakdown {
 		NodesExtracted: c.nodesExtracted.Load(),
 		BytesRead:      c.bytesRead.Load(),
 		BytesReused:    c.bytesReused.Load(),
+		BytesNeeded:    c.bytesNeeded.Load(),
+		BackendReads:   c.backendReads.Load(),
 		Retries:        c.retries.Load(),
 		Fallbacks:      c.fallbacks.Load(),
 		Escalations:    c.escalations.Load(),

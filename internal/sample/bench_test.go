@@ -1,10 +1,11 @@
-package sample
+package sample_test
 
 import (
 	"testing"
 
 	"gnndrive/internal/gen"
 	"gnndrive/internal/graph"
+	"gnndrive/internal/sample"
 	"gnndrive/internal/ssd"
 	"gnndrive/internal/tensor"
 )
@@ -17,7 +18,7 @@ func BenchmarkSampleBatch(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer ds.Dev.Close()
-	s := New(graph.NewRawReader(ds), []int{3, 3, 3}, tensor.NewRNG(1))
+	s := sample.New(graph.NewRawReader(ds), []int{3, 3, 3}, tensor.NewRNG(1))
 	targets := make([]int64, 50)
 	for i := range targets {
 		targets[i] = int64(i * 7)
@@ -39,12 +40,12 @@ func BenchmarkSampleBatchInto(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer ds.Dev.Close()
-	s := New(graph.NewRawReader(ds), []int{3, 3, 3}, tensor.NewRNG(1))
+	s := sample.New(graph.NewRawReader(ds), []int{3, 3, 3}, tensor.NewRNG(1))
 	targets := make([]int64, 50)
 	for i := range targets {
 		targets[i] = int64(i * 7)
 	}
-	bt := &Batch{}
+	bt := &sample.Batch{}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,4 +1,4 @@
-package sample
+package sample_test
 
 import (
 	"testing"
@@ -6,6 +6,7 @@ import (
 
 	"gnndrive/internal/gen"
 	"gnndrive/internal/graph"
+	"gnndrive/internal/sample"
 	"gnndrive/internal/ssd"
 	"gnndrive/internal/tensor"
 )
@@ -19,7 +20,7 @@ func TestUniformPolicyBounds(t *testing.T) {
 	f := func(seed uint64, fanRaw uint8) bool {
 		fan := int(fanRaw)%12 + 1
 		ns := policyNeighbors()
-		got := UniformPolicy{}.Pick(0, ns, fan, rng)
+		got := sample.UniformPolicy{}.Pick(0, ns, fan, rng)
 		if fan >= 10 {
 			return len(got) == 10
 		}
@@ -39,7 +40,7 @@ func TestUniformPolicyBounds(t *testing.T) {
 
 func TestTopDegreePolicyPicksHubs(t *testing.T) {
 	deg := func(v int64) int64 { return v * v } // node 9 is the biggest hub
-	p := TopDegreePolicy{Degree: deg}
+	p := sample.TopDegreePolicy{Degree: deg}
 	got := p.Pick(0, policyNeighbors(), 3, nil)
 	want := map[int32]bool{9: true, 8: true, 7: true}
 	for _, u := range got {
@@ -56,7 +57,7 @@ func TestDegreeBiasedPolicyFavorsHubs(t *testing.T) {
 		}
 		return 1
 	}
-	p := DegreeBiasedPolicy{Degree: deg}
+	p := sample.DegreeBiasedPolicy{Degree: deg}
 	rng := tensor.NewRNG(7)
 	hubPicked := 0
 	const trials = 200
@@ -77,7 +78,7 @@ func TestDegreeBiasedPolicyFavorsHubs(t *testing.T) {
 }
 
 func TestFullPolicyKeepsAll(t *testing.T) {
-	got := FullPolicy{}.Pick(0, policyNeighbors(), 2, nil)
+	got := sample.FullPolicy{}.Pick(0, policyNeighbors(), 2, nil)
 	if len(got) != 10 {
 		t.Fatalf("full policy dropped neighbors: %d", len(got))
 	}
@@ -89,9 +90,9 @@ func TestSamplerWithPolicyEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ds.Dev.Close()
-	for _, p := range []Policy{UniformPolicy{}, FullPolicy{},
-		TopDegreePolicy{Degree: ds.Degree}, DegreeBiasedPolicy{Degree: ds.Degree}} {
-		s := New(graph.NewRawReader(ds), []int{3, 3}, tensor.NewRNG(5)).WithPolicy(p)
+	for _, p := range []sample.Policy{sample.UniformPolicy{}, sample.FullPolicy{},
+		sample.TopDegreePolicy{Degree: ds.Degree}, sample.DegreeBiasedPolicy{Degree: ds.Degree}} {
+		s := sample.New(graph.NewRawReader(ds), []int{3, 3}, tensor.NewRNG(5)).WithPolicy(p)
 		b, _, err := s.SampleBatch(0, []int64{1, 2, 3})
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
@@ -121,5 +122,5 @@ func TestWithNilPolicyPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(graph.NewRawReader(ds), []int{2}, tensor.NewRNG(1)).WithPolicy(nil)
+	sample.New(graph.NewRawReader(ds), []int{2}, tensor.NewRNG(1)).WithPolicy(nil)
 }

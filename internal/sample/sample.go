@@ -219,6 +219,29 @@ func NewPlan(train []int64, batchSize int, rng *tensor.RNG) *Plan {
 	return p
 }
 
+// BatchSeed derives one mini-batch's sampling stream from the run seed
+// and the batch's identity (splitmix64-style mixing). The engine reseeds
+// its samplers with it before every batch, making each sampled
+// neighborhood a pure function of (seed, epoch, batch ID) — independent
+// of sampler scheduling. Exported so offline consumers (resume logic,
+// the packed-layout trace generator) reproduce the engine's batches
+// exactly.
+func BatchSeed(seed uint64, epoch, batch int) uint64 {
+	z := seed + (uint64(epoch)+1)*0x9e3779b97f4a7c15 + (uint64(batch)+1)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// PlanSeed derives the epoch's shuffle-RNG seed for NewPlan, the
+// counterpart of BatchSeed for the batch schedule itself.
+func PlanSeed(seed uint64, epoch int) uint64 {
+	return seed ^ (uint64(epoch)+1)*0x9e3779b97f4a7c15
+}
+
 // EstimateMaxBatchNodes dry-runs sampling over a few batches with an
 // untimed reader and returns a high-water estimate of unique nodes per
 // mini-batch. GNNDrive sizes its feature and staging buffers from this

@@ -1,4 +1,4 @@
-package sample
+package sample_test
 
 import (
 	"testing"
@@ -6,6 +6,7 @@ import (
 
 	"gnndrive/internal/gen"
 	"gnndrive/internal/graph"
+	"gnndrive/internal/sample"
 	"gnndrive/internal/ssd"
 	"gnndrive/internal/tensor"
 )
@@ -22,7 +23,7 @@ func tinyDataset(t *testing.T) *graph.Dataset {
 
 func TestSampleBatchStructure(t *testing.T) {
 	ds := tinyDataset(t)
-	s := New(graph.NewRawReader(ds), []int{5, 5}, tensor.NewRNG(1))
+	s := sample.New(graph.NewRawReader(ds), []int{5, 5}, tensor.NewRNG(1))
 	targets := []int64{3, 17, 42, 99}
 	b, _, err := s.SampleBatch(7, targets)
 	if err != nil {
@@ -71,7 +72,7 @@ func TestSampleBatchStructure(t *testing.T) {
 func TestFanoutRespected(t *testing.T) {
 	ds := tinyDataset(t)
 	fan := 3
-	s := New(graph.NewRawReader(ds), []int{fan}, tensor.NewRNG(2))
+	s := sample.New(graph.NewRawReader(ds), []int{fan}, tensor.NewRNG(2))
 	b, _, err := s.SampleBatch(0, []int64{0, 1, 2, 3, 4})
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +91,7 @@ func TestFanoutRespected(t *testing.T) {
 
 func TestSelfLoopAlwaysPresent(t *testing.T) {
 	ds := tinyDataset(t)
-	s := New(graph.NewRawReader(ds), []int{4, 4}, tensor.NewRNG(3))
+	s := sample.New(graph.NewRawReader(ds), []int{4, 4}, tensor.NewRNG(3))
 	b, _, err := s.SampleBatch(0, []int64{11, 23})
 	if err != nil {
 		t.Fatal(err)
@@ -111,7 +112,7 @@ func TestSelfLoopAlwaysPresent(t *testing.T) {
 func TestSampledNeighborsAreRealNeighbors(t *testing.T) {
 	ds := tinyDataset(t)
 	r := graph.NewRawReader(ds)
-	s := New(graph.NewRawReader(ds), []int{6, 6}, tensor.NewRNG(4))
+	s := sample.New(graph.NewRawReader(ds), []int{6, 6}, tensor.NewRNG(4))
 	b, _, err := s.SampleBatch(0, []int64{5, 50, 500})
 	if err != nil {
 		t.Fatal(err)
@@ -139,7 +140,7 @@ func TestSampledNeighborsAreRealNeighbors(t *testing.T) {
 
 func TestDuplicateTargetsRejected(t *testing.T) {
 	ds := tinyDataset(t)
-	s := New(graph.NewRawReader(ds), []int{2}, tensor.NewRNG(5))
+	s := sample.New(graph.NewRawReader(ds), []int{2}, tensor.NewRNG(5))
 	if _, _, err := s.SampleBatch(0, []int64{1, 1}); err == nil {
 		t.Fatal("expected duplicate-target error")
 	}
@@ -147,8 +148,8 @@ func TestDuplicateTargetsRejected(t *testing.T) {
 
 func TestDeterministicWithSameSeed(t *testing.T) {
 	ds := tinyDataset(t)
-	run := func() *Batch {
-		s := New(graph.NewRawReader(ds), []int{5, 5}, tensor.NewRNG(42))
+	run := func() *sample.Batch {
+		s := sample.New(graph.NewRawReader(ds), []int{5, 5}, tensor.NewRNG(42))
 		b, _, err := s.SampleBatch(0, []int64{7, 8, 9})
 		if err != nil {
 			t.Fatal(err)
@@ -171,9 +172,9 @@ func TestSampleBatchIntoReusedBatchMatchesFresh(t *testing.T) {
 	// Two samplers with identical seeds: one allocates fresh batches, the
 	// other reuses a single batch (pre-dirtied) across all rounds. Every
 	// round must produce identical subgraphs.
-	fresh := New(graph.NewRawReader(ds), []int{4, 3}, tensor.NewRNG(77))
-	reused := New(graph.NewRawReader(ds), []int{4, 3}, tensor.NewRNG(77))
-	b := &Batch{}
+	fresh := sample.New(graph.NewRawReader(ds), []int{4, 3}, tensor.NewRNG(77))
+	reused := sample.New(graph.NewRawReader(ds), []int{4, 3}, tensor.NewRNG(77))
+	b := &sample.Batch{}
 	for round := 0; round < 8; round++ {
 		targets := []int64{int64(round * 11), int64(round*11 + 5), int64(round*11 + 9)}
 		want, _, err := fresh.SampleBatch(round, targets)
@@ -213,8 +214,8 @@ func TestSampleBatchIntoReusedBatchMatchesFresh(t *testing.T) {
 
 func TestSampleBatchIntoSteadyStateDoesNotGrow(t *testing.T) {
 	ds := tinyDataset(t)
-	s := New(graph.NewRawReader(ds), []int{3, 3}, tensor.NewRNG(9))
-	b := &Batch{}
+	s := sample.New(graph.NewRawReader(ds), []int{3, 3}, tensor.NewRNG(9))
+	b := &sample.Batch{}
 	targets := []int64{1, 2, 3, 4, 5, 6, 7, 8}
 	// Warm: let batch and sampler scratch reach their high-water marks.
 	for i := 0; i < 20; i++ {
@@ -242,7 +243,7 @@ func TestNewPlanCoversAllTargets(t *testing.T) {
 		for i := range train {
 			train[i] = int64(i * 3)
 		}
-		p := NewPlan(train, bs, tensor.NewRNG(seed))
+		p := sample.NewPlan(train, bs, tensor.NewRNG(seed))
 		seen := map[int64]int{}
 		for _, b := range p.Batches {
 			if len(b) > bs || len(b) == 0 {
@@ -269,7 +270,7 @@ func TestNewPlanCoversAllTargets(t *testing.T) {
 
 func TestNewPlanUnshuffledPreservesOrder(t *testing.T) {
 	train := []int64{10, 20, 30, 40, 50}
-	p := NewPlan(train, 2, nil)
+	p := sample.NewPlan(train, 2, nil)
 	if len(p.Batches) != 3 || p.Batches[0][0] != 10 || p.Batches[2][0] != 50 {
 		t.Fatalf("plan %v", p.Batches)
 	}
@@ -277,7 +278,7 @@ func TestNewPlanUnshuffledPreservesOrder(t *testing.T) {
 
 func TestEstimateMaxBatchNodes(t *testing.T) {
 	ds := tinyDataset(t)
-	est, err := EstimateMaxBatchNodes(ds, 32, []int{10, 10}, 4, 1)
+	est, err := sample.EstimateMaxBatchNodes(ds, 32, []int{10, 10}, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,5 +297,5 @@ func TestSamplerPanicsOnBadFanout(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(graph.NewRawReader(ds), []int{0}, tensor.NewRNG(1))
+	sample.New(graph.NewRawReader(ds), []int{0}, tensor.NewRNG(1))
 }

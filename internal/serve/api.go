@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
 	"gnndrive/internal/metrics"
 	"gnndrive/internal/trainsim"
@@ -87,11 +88,14 @@ func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// metricsReport is the /metrics payload: one counter snapshot per job
-// plus the shared envelope's occupancy.
+// metricsReport is the /metrics payload: one counter snapshot per job,
+// the shared envelope's occupancy, and per-job cumulative milliseconds
+// spent queued for extract-read permits in the fair-share scheduler
+// (finished jobs keep their totals).
 type metricsReport struct {
-	Jobs map[string]metrics.Snapshot `json:"jobs"`
-	Pool poolReport                  `json:"pool"`
+	Jobs    map[string]metrics.Snapshot `json:"jobs"`
+	Pool    poolReport                  `json:"pool"`
+	IOQueue map[string]float64          `json:"io_queue_wait_ms"`
 }
 
 type poolReport struct {
@@ -118,5 +122,9 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		},
 	}
 	p.mu.Unlock()
+	rep.IOQueue = make(map[string]float64)
+	for id, d := range d.sched.QueueWaits() {
+		rep.IOQueue[id] = float64(d) / float64(time.Millisecond)
+	}
 	writeJSON(w, http.StatusOK, rep)
 }

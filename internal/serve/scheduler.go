@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"gnndrive/internal/core"
 )
@@ -29,6 +30,9 @@ type FairScheduler struct {
 	tenants  map[string]*tenantGate
 	waiting  int // tenants with at least one blocked Acquire
 	closed   bool
+	// waits accumulates per-tenant time spent blocked in Acquire. Entries
+	// survive Unregister so /metrics can report finished jobs' totals.
+	waits map[string]time.Duration
 }
 
 // NewFairScheduler builds a scheduler over capacity permits.
@@ -36,13 +40,31 @@ func NewFairScheduler(capacity int) (*FairScheduler, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("serve: scheduler capacity %d must be positive", capacity)
 	}
-	s := &FairScheduler{capacity: capacity, tenants: make(map[string]*tenantGate)}
+	s := &FairScheduler{
+		capacity: capacity,
+		tenants:  make(map[string]*tenantGate),
+		waits:    make(map[string]time.Duration),
+	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
 }
 
 // Capacity returns the total permit count.
 func (s *FairScheduler) Capacity() int { return s.capacity }
+
+// QueueWaits returns each tenant's cumulative time spent blocked in
+// Acquire waiting for extract-read permits, including tenants that have
+// since unregistered. A high value relative to wall time means the
+// tenant was I/O-starved by its neighbors rather than by the disk.
+func (s *FairScheduler) QueueWaits() map[string]time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]time.Duration, len(s.waits))
+	for id, d := range s.waits {
+		out[id] = d
+	}
+	return out
+}
 
 // tenantGate is the per-job view handed to an engine as its core.IOGate.
 type tenantGate struct {
@@ -63,6 +85,9 @@ func (s *FairScheduler) Register(id string) core.IOGate {
 	defer s.mu.Unlock()
 	g := &tenantGate{s: s, id: id}
 	s.tenants[id] = g
+	if _, ok := s.waits[id]; !ok {
+		s.waits[id] = 0 // report the tenant even before it ever blocks
+	}
 	// Shares shrank for everyone; re-evaluate blocked acquires.
 	s.cond.Broadcast()
 	return g
@@ -137,12 +162,15 @@ func (g *tenantGate) Acquire(ctx context.Context, n int) error {
 		return fmt.Errorf("serve: acquire %d exceeds scheduler capacity %d", n, s.capacity)
 	}
 	entered := false
+	var blockedAt time.Time
 	defer func() {
 		if entered {
 			g.waiters--
 			if g.waiters == 0 {
 				s.waiting--
 			}
+			// Cancelled waits count too: the tenant still queued that long.
+			s.waits[g.id] += time.Since(blockedAt)
 		}
 	}()
 	var stop func() bool
@@ -172,6 +200,7 @@ func (g *tenantGate) Acquire(ctx context.Context, n int) error {
 		}
 		if !entered {
 			entered = true
+			blockedAt = time.Now()
 			if g.waiters == 0 {
 				s.waiting++
 			}

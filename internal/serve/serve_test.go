@@ -383,6 +383,20 @@ func TestFairSchedulerMaxMin(t *testing.T) {
 	}
 	a.Release(1)
 	b.Release(2)
+
+	// b blocked in Acquire above; a was always granted immediately.
+	waits := s.QueueWaits()
+	if waits["b"] <= 0 {
+		t.Fatalf("queue wait for blocked tenant b = %v, want > 0", waits["b"])
+	}
+	if waits["a"] != 0 {
+		t.Fatalf("queue wait for never-blocked tenant a = %v, want 0", waits["a"])
+	}
+	// Stats outlive the tenant so /metrics can report finished jobs.
+	s.Unregister("b")
+	if after := s.QueueWaits(); after["b"] != waits["b"] {
+		t.Fatalf("queue wait for b changed across Unregister: %v -> %v", waits["b"], after["b"])
+	}
 }
 
 // TestComputeDemandBounds sanity-checks the admission math against the
@@ -478,5 +492,10 @@ func TestHTTPLifecycle(t *testing.T) {
 	}
 	if _, ok := rep.Jobs[rec.ID]; !ok {
 		t.Fatalf("metrics missing job %s", rec.ID)
+	}
+	// The job's scheduler tenant is reported (0 is fine — it may never
+	// have queued) and survives the job finishing.
+	if _, ok := rep.IOQueue[rec.ID]; !ok {
+		t.Fatalf("metrics io_queue_wait_ms missing job %s: %v", rec.ID, rep.IOQueue)
 	}
 }

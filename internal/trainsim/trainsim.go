@@ -30,6 +30,7 @@ import (
 	"gnndrive/internal/gen"
 	"gnndrive/internal/graph"
 	"gnndrive/internal/hostmem"
+	"gnndrive/internal/layout"
 	"gnndrive/internal/metrics"
 	"gnndrive/internal/nn"
 	"gnndrive/internal/pagecache"
@@ -144,6 +145,21 @@ type Config struct {
 	// extension): no host staging, 4 KiB access granularity.
 	GPUDirect bool
 
+	// Layout selects the feature-region layout the dataset is built
+	// with: "" or "strided" for the dense node-ID-order table, "packed"
+	// to run the offline packer after generation — an epoch-0 sample
+	// trace (same plan and batch seeds the engine will use) decides
+	// segment placement, and the engine reads through the packed
+	// addresser. Packed cells cache separately per (model, batch,
+	// fanouts, seed) because the trace depends on them.
+	Layout string
+	// LoadFile, when non-empty, loads this .gnnd container (with any
+	// sidecars: .pidx segment index, .crc checksums) instead of
+	// generating a dataset; Dataset/Dim/Layout are ignored. The
+	// container's header decides the layout, exactly like cmd/gnndrive
+	// -load.
+	LoadFile string
+
 	// Backend selects the storage backend the dataset lives on: "sim"
 	// (default — the modeled SSD, timing scaled by Scale), "file" (a
 	// real file served by storage/file with best-effort O_DIRECT; timing
@@ -219,7 +235,12 @@ type EpochStats struct {
 	Batches     int
 	BytesRead   int64
 	BytesReused int64
-	Loss, Acc   float64
+	// BytesNeeded is the payload bytes batches required from storage and
+	// BackendReads the read ops issued (GNNDrive systems; see
+	// metrics.Breakdown). BytesRead/BytesNeeded is read amplification.
+	BytesNeeded  int64
+	BackendReads int64
+	Loss, Acc    float64
 
 	// Fault tolerance (GNNDrive systems): retried reads, direct→buffered
 	// degradations, and escalated errors for the epoch.
@@ -294,13 +315,16 @@ var (
 	dsTemp = map[string]string{}
 )
 
-// newBackend builds the storage backend for one dataset cell, wrapping it
-// in the integrity layer when the config asks for one. It returns the
-// backend, the data-file path ("" for sim), and the temp path it created
-// (file backend with no explicit DataFile), so DropDatasets can remove it.
-func newBackend(cfg Config, spec gen.Spec, capacity int64) (storage.Backend, string, string, error) {
+// backendFactory builds the storage factory for one dataset cell,
+// wrapping it in the integrity layer when the config asks for one. name
+// and dim label auto-created backing files. It returns the factory, the
+// data-file path ("" for sim), and the temp path it will create (file
+// backends with no explicit DataFile), so DropDatasets can remove it.
+// Returning a factory instead of a backend lets graph.Load size the
+// backend itself from the container header.
+func backendFactory(cfg Config, name string, dim int) (storage.Factory, string, string, error) {
 	var (
-		dev  storage.Backend
+		f    storage.Factory
 		path string
 		temp string
 	)
@@ -308,43 +332,45 @@ func newBackend(cfg Config, spec gen.Spec, capacity int64) (storage.Backend, str
 	case "", "sim":
 		scfg := sim.DefaultConfig()
 		scfg.TimeScale = cfg.Scale
-		dev = sim.New(capacity, scfg)
+		f = func(capacity int64) (storage.Backend, error) { return sim.New(capacity, scfg), nil }
 	case "file":
 		path = cfg.DataFile
 		if path == "" {
 			path = filepath.Join(os.TempDir(),
-				fmt.Sprintf("gnndrive-%s-%d-%g.img", spec.Name, spec.Dim, cfg.Scale))
+				fmt.Sprintf("gnndrive-%s-%d-%g.img", name, dim, cfg.Scale))
 			temp = path
 		}
-		b, err := file.Create(path, capacity, file.Options{})
-		if err != nil {
-			return nil, "", "", err
-		}
-		dev = b
+		p := path
+		f = func(capacity int64) (storage.Backend, error) { return file.Create(p, capacity, file.Options{}) }
 	case "linuring":
 		path = cfg.DataFile
 		if path == "" {
 			path = filepath.Join(os.TempDir(),
-				fmt.Sprintf("gnndrive-%s-%d-%g.img", spec.Name, spec.Dim, cfg.Scale))
+				fmt.Sprintf("gnndrive-%s-%d-%g.img", name, dim, cfg.Scale))
 			temp = path
 		}
 		// FallbackFactory degrades to the file worker pool where the
 		// kernel refuses io_uring, so a "linuring" config runs anywhere.
-		b, err := linuring.FallbackFactory(path, linuring.Options{Logf: cfg.Logf})(capacity)
-		if err != nil {
-			return nil, "", "", err
-		}
-		dev = b
+		f = linuring.FallbackFactory(path, linuring.Options{Logf: cfg.Logf})
 	default:
 		return nil, "", "", fmt.Errorf("trainsim: unknown backend %q (want sim, file, or linuring)", cfg.Backend)
 	}
 	if cfg.Integrity != nil {
-		w, err := integrity.Wrap(dev, *cfg.Integrity)
-		if err != nil {
-			dev.Close()
-			return nil, "", "", err
-		}
-		dev = w
+		f = integrity.WrapFactory(f, *cfg.Integrity)
+	}
+	return f, path, temp, nil
+}
+
+// newBackend is backendFactory applied at a fixed capacity, for the
+// generation path where the spec decides the size up front.
+func newBackend(cfg Config, spec gen.Spec, capacity int64) (storage.Backend, string, string, error) {
+	f, path, temp, err := backendFactory(cfg, spec.Name, spec.Dim)
+	if err != nil {
+		return nil, "", "", err
+	}
+	dev, err := f(capacity)
+	if err != nil {
+		return nil, "", "", err
 	}
 	return dev, path, temp, nil
 }
@@ -364,11 +390,28 @@ func integrityKey(o *integrity.Options) string {
 		o.Breaker.SlowAfter, o.Breaker.Cooldown, o.SidecarPath)
 }
 
+// layoutKey flattens the layout choice into the dataset cache key. A
+// packed cell's bytes depend on the epoch-0 trace, which depends on the
+// training configuration, so those knobs join the key.
+func layoutKey(cfg Config) string {
+	switch cfg.Layout {
+	case "", "strided":
+		return "strided"
+	}
+	o := core.DefaultOptions(cfg.Model)
+	applyCommon(&o.BatchSize, &o.Fanouts, cfg)
+	return fmt.Sprintf("%s/%v/%d/%v/%d", cfg.Layout, cfg.Model, o.BatchSize, o.Fanouts, cfg.Seed)
+}
+
 // cacheKey identifies one dataset cell. BaseContext and callback fields
 // stay out on purpose: they don't change the bytes on the device.
 func cacheKey(cfg Config, spec gen.Spec) string {
-	return fmt.Sprintf("%s/%d/%g/%s/%s/%s", spec.Name, spec.Dim, cfg.Scale,
-		cfg.Backend, cfg.DataFile, integrityKey(cfg.Integrity))
+	if cfg.LoadFile != "" {
+		return fmt.Sprintf("load/%s/%g/%s/%s/%s", cfg.LoadFile, cfg.Scale,
+			cfg.Backend, cfg.DataFile, integrityKey(cfg.Integrity))
+	}
+	return fmt.Sprintf("%s/%d/%g/%s/%s/%s/%s", spec.Name, spec.Dim, cfg.Scale,
+		cfg.Backend, cfg.DataFile, integrityKey(cfg.Integrity), layoutKey(cfg))
 }
 
 // buildDataset returns the cached dataset for the config.
@@ -383,11 +426,37 @@ func buildDataset(cfg Config) (*graph.Dataset, error) {
 	if ds, ok := dsCache[key]; ok {
 		return ds, nil
 	}
+	if cfg.LoadFile != "" {
+		f, _, temp, err := backendFactory(cfg, "load-"+filepath.Base(cfg.LoadFile), 0)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := graph.Load(cfg.LoadFile, f, ScratchBytes)
+		if err != nil {
+			if temp != "" {
+				os.Remove(temp)
+			}
+			return nil, err
+		}
+		dsCache[key] = ds
+		if temp != "" {
+			dsTemp[key] = temp
+		}
+		return ds, nil
+	}
+	switch cfg.Layout {
+	case "", "strided", "packed":
+	default:
+		return nil, fmt.Errorf("trainsim: unknown layout %q (want strided or packed)", cfg.Layout)
+	}
 	dev, path, temp, err := newBackend(cfg, spec, spec.SizeBytes()+ScratchBytes)
 	if err != nil {
 		return nil, err
 	}
 	ds, err := gen.Build(spec, dev, 0)
+	if err == nil && cfg.Layout == "packed" {
+		err = packDataset(ds, cfg)
+	}
 	if err != nil {
 		dev.Close()
 		if temp != "" {
@@ -395,8 +464,9 @@ func buildDataset(cfg Config) (*graph.Dataset, error) {
 		}
 		return nil, err
 	}
-	// The build wrote every dataset byte through the integrity wrapper, so
-	// its checksum table is complete: persist it next to the data file so
+	// The build wrote every dataset byte through the integrity wrapper —
+	// and the packer permuted them through the same wrapper, keeping the
+	// checksum table current — so persist it next to the data file so
 	// later processes can open the same file verified from the first read.
 	if ib, ok := dev.(*integrity.Backend); ok && path != "" {
 		if serr := ib.SaveSidecar(path + ".crc"); serr != nil {
@@ -408,6 +478,25 @@ func buildDataset(cfg Config) (*graph.Dataset, error) {
 		dsTemp[key] = temp
 	}
 	return ds, nil
+}
+
+// packDataset runs the offline packer on a freshly generated dataset:
+// sample the epoch-0 trace with the exact seeds the engine will use,
+// permute the feature region in place, and install the packed addresser.
+func packDataset(ds *graph.Dataset, cfg Config) error {
+	o := core.DefaultOptions(cfg.Model)
+	applyCommon(&o.BatchSize, &o.Fanouts, cfg)
+	tr, err := gen.SampleTrace(ds, o.BatchSize, o.Fanouts, cfg.Seed, true)
+	if err != nil {
+		return fmt.Errorf("trainsim: pack trace: %w", err)
+	}
+	p, err := layout.PackInPlace(ds.Dev, ds.Layout.FeaturesOff, int(ds.FeatBytes()),
+		ds.NumNodes, tr, layout.PackOptions{})
+	if err != nil {
+		return fmt.Errorf("trainsim: pack: %w", err)
+	}
+	ds.Addr = p
+	return nil
 }
 
 // DeviceStats returns the storage counters of the cached dataset backend
@@ -679,6 +768,7 @@ func buildSystem(sys SystemKind, ds *graph.Dataset, dev *device.Device,
 				Sample: r.Sample, Extract: r.Extract, Train: r.Train,
 				Total: r.Total, Batches: r.Batches,
 				BytesRead: r.BytesRead, BytesReused: r.BytesReused,
+				BytesNeeded: r.BytesNeeded, BackendReads: r.BackendReads,
 				Loss: r.Loss, Acc: r.Acc,
 				Retries: r.Retries, Fallbacks: r.Fallbacks,
 				Escalations: r.Escalations, Stalls: r.Stalls,

@@ -353,3 +353,51 @@ func TestUnknownBackendRejected(t *testing.T) {
 		t.Fatal("unknown backend accepted")
 	}
 }
+
+// TestPackedLayoutBitIdenticalFewerReads is the layout seam's
+// end-to-end contract: training on the packed layout must follow the
+// exact same loss trajectory as strided (packing is a pure permutation
+// of feature bytes, and the schedule is seed-deterministic) while
+// issuing fewer, larger backend reads.
+func TestPackedLayoutBitIdenticalFewerReads(t *testing.T) {
+	defer DropDatasets()
+	base := tinyCfg()
+	base.RealTrain = true
+	base.Hidden = 16
+	base.InOrder = true
+	base.Seed = 1
+
+	strided, err := Run(base, GNNDriveGPU, RunOptions{Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedCfg := base
+	packedCfg.Layout = "packed"
+	packed, err := Run(packedCfg, GNNDriveGPU, RunOptions{Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range strided.Epochs {
+		sl, pl := strided.Epochs[e].StepLosses, packed.Epochs[e].StepLosses
+		if len(sl) == 0 || len(sl) != len(pl) {
+			t.Fatalf("epoch %d: step counts differ: %d vs %d", e, len(sl), len(pl))
+		}
+		for i := range sl {
+			if sl[i] != pl[i] {
+				t.Fatalf("epoch %d step %d: strided loss %v != packed loss %v",
+					e, i, sl[i], pl[i])
+			}
+		}
+	}
+	s0, p0 := strided.Epochs[0], packed.Epochs[0]
+	if s0.BackendReads == 0 || p0.BackendReads >= s0.BackendReads {
+		t.Fatalf("packed reads %d, want fewer than strided %d", p0.BackendReads, s0.BackendReads)
+	}
+	if p0.BytesRead > s0.BytesRead {
+		t.Fatalf("packed bytes read %d exceed strided %d", p0.BytesRead, s0.BytesRead)
+	}
+	if s0.BytesNeeded != p0.BytesNeeded {
+		t.Fatalf("bytes needed differ: %d vs %d (same schedule must need the same payload)",
+			s0.BytesNeeded, p0.BytesNeeded)
+	}
+}
