@@ -11,12 +11,32 @@ func TestCtxBg(t *testing.T) {
 	analyzertest.Run(t, lint.AnalyzerCtxBg, "testdata/src/ctxbg")
 }
 
+func TestCtxFlow(t *testing.T) {
+	analyzertest.Run(t, lint.AnalyzerCtxFlow, "testdata/src/ctxflow")
+}
+
 func TestErrSentinel(t *testing.T) {
 	analyzertest.Run(t, lint.AnalyzerErrSentinel, "testdata/src/errsentinel")
 }
 
 func TestAlignedIO(t *testing.T) {
 	analyzertest.Run(t, lint.AnalyzerAlignedIO, "testdata/src/alignedio")
+}
+
+func TestAlignedIOInterprocedural(t *testing.T) {
+	analyzertest.Run(t, lint.AnalyzerAlignedIO, "testdata/src/ipa")
+}
+
+func TestAtomicField(t *testing.T) {
+	analyzertest.Run(t, lint.AnalyzerAtomicField, "testdata/src/atomicfield")
+}
+
+func TestExtentBounds(t *testing.T) {
+	analyzertest.Run(t, lint.AnalyzerExtentBounds, "testdata/src/extentbounds")
+}
+
+func TestGoroLeak(t *testing.T) {
+	analyzertest.Run(t, lint.AnalyzerGoroLeak, "testdata/src/internal/core/goroleak")
 }
 
 func TestLockOrder(t *testing.T) {
@@ -27,11 +47,23 @@ func TestRefPair(t *testing.T) {
 	analyzertest.Run(t, lint.AnalyzerRefPair, "testdata/src/refpair")
 }
 
-// TestAll sanity-checks the registry: five analyzers, unique names.
+func TestRefPairInterprocedural(t *testing.T) {
+	analyzertest.Run(t, lint.AnalyzerRefPair, "testdata/src/refpairipa")
+}
+
+func TestQuotaPair(t *testing.T) {
+	analyzertest.Run(t, lint.AnalyzerQuotaPair, "testdata/src/quotapair")
+}
+
+func TestSidecarPair(t *testing.T) {
+	analyzertest.Run(t, lint.AnalyzerSidecarPair, "testdata/src/sidecarpair")
+}
+
+// TestAll sanity-checks the registry: eleven analyzers, unique names.
 func TestAll(t *testing.T) {
 	all := lint.All()
-	if len(all) != 5 {
-		t.Fatalf("expected 5 analyzers, got %d", len(all))
+	if len(all) != 11 {
+		t.Fatalf("expected 11 analyzers, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

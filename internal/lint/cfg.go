@@ -4,8 +4,8 @@ import (
 	"go/ast"
 )
 
-// A deliberately small statement-level CFG, built for refpair's
-// may-leak query and nothing else. Nodes are statements; structured
+// A deliberately small statement-level CFG, built for the pair engine's
+// may-leak query (refpair, quotapair) and nothing else. Nodes are statements; structured
 // control flow (if/else, for, range, switch, type switch, select,
 // blocks) is lowered to edges; break and continue resolve against the
 // innermost enclosing loop or switch (labeled branches and goto are not
@@ -22,15 +22,15 @@ type cfg struct {
 	nodeOf map[ast.Stmt]*cfgNode
 }
 
-// releases reports whether this node's statement performs the
-// acquisition's release.
-func (n *cfgNode) releases(pass *Pass, a *acquisition) bool {
+// releases reports whether this node's statement contains a call the
+// caller's matcher recognizes as the tracked release.
+func (n *cfgNode) releases(match func(*ast.CallExpr) bool) bool {
 	if n.stmt == nil {
 		return false
 	}
 	found := false
 	ast.Inspect(n.stmt, func(m ast.Node) bool {
-		if call, ok := m.(*ast.CallExpr); ok && isReleaseCall(pass, call, a) {
+		if call, ok := m.(*ast.CallExpr); ok && match(call) {
 			found = true
 		}
 		return !found
@@ -40,7 +40,7 @@ func (n *cfgNode) releases(pass *Pass, a *acquisition) bool {
 
 // terminatesOK reports whether the statement ends the goroutine in a
 // way that excuses the release: panic or os.Exit.
-func (n *cfgNode) terminatesOK(pass *Pass) bool {
+func (n *cfgNode) terminatesOK() bool {
 	if n.stmt == nil {
 		return false
 	}

@@ -20,22 +20,39 @@ var AnalyzerErrSentinel = &Analyzer{
 	Run:  runErrSentinel,
 }
 
-// sentinelNames is the contract's sentinel set (storage.ErrClosed and
+// sentinelNames is the contract's sentinel set: storage.ErrClosed and
 // ErrUnaligned with their ssd/uring aliases, the checkpoint sentinels,
-// and the integrity-layer sentinels — ErrChecksum/ErrQuarantined are
-// always surfaced wrapped, often doubly so, since a quarantined read
-// wraps both at once). Matching is by package-level error variable name,
-// so the historical alias spellings are covered without naming every
-// package.
+// the integrity-layer sentinels (ErrChecksum/ErrQuarantined are always
+// surfaced wrapped, often doubly so, since a quarantined read wraps
+// both at once), the packed-layout index sentinels, the serve admission
+// sentinels (ErrOverloaded arrives wrapped with the queue depth), the
+// fault-injection sentinels retry policies wrap, and the memory-budget
+// and pipeline-health sentinels. Matching is by package-level error
+// variable name, so the historical alias spellings are covered without
+// naming every package.
 var sentinelNames = map[string]bool{
-	"ErrClosed":       true,
-	"ErrUnaligned":    true,
-	"ErrCorrupt":      true,
-	"ErrNoCheckpoint": true,
-	"ErrFingerprint":  true,
-	"ErrChecksum":     true,
-	"ErrQuarantined":  true,
-	"ErrNoSidecar":    true,
+	"ErrClosed":          true,
+	"ErrUnaligned":       true,
+	"ErrCorrupt":         true,
+	"ErrNoCheckpoint":    true,
+	"ErrFingerprint":     true,
+	"ErrChecksum":        true,
+	"ErrQuarantined":     true,
+	"ErrNoSidecar":       true,
+	"ErrCorruptIndex":    true,
+	"ErrNoIndex":         true,
+	"ErrOverloaded":      true,
+	"ErrBadSpec":         true,
+	"ErrUnknownJob":      true,
+	"ErrUnsupported":     true,
+	"ErrPipelineStalled": true,
+	"ErrTransient":       true,
+	"ErrShortRead":       true,
+	"ErrMedia":           true,
+	"ErrCkptCrash":       true,
+	"ErrOOM":             true,
+	"ErrDeviceOOM":       true,
+	"ErrBufferTooSmall":  true,
 }
 
 func runErrSentinel(pass *Pass) {

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerGoroLeak checks that goroutines spawned inside the engine
+// (internal/core) and the daemon (internal/serve) are accounted for: a
+// goroutine with no join edge — no WaitGroup Done, no channel it
+// signals or is signalled on, no cancellable context reaching it —
+// outlives epoch teardown and daemon drain invisibly. In the engine
+// that shows up as extractors touching a closed staging pool; in the
+// daemon as jobs that survive Cancel. The two packages are the scope
+// because they are the two places with explicit drain protocols
+// (Engine.Close, Daemon.Drain) that every goroutine must participate
+// in; fire-and-forget is acceptable elsewhere (a best-effort metrics
+// flush) but not where teardown is a stated contract.
+//
+// Evidence of a join, any one of which clears the goroutine: the spawn
+// passes a context.Context or channel argument; the spawned body (or,
+// for a named package-local callee, its body one level deep) mentions a
+// context.Context value, performs a channel operation (send, receive,
+// close, select, range-over-channel), or calls Done/Wait on a
+// sync.WaitGroup.
+var AnalyzerGoroLeak = &Analyzer{
+	Name:          "goroleak",
+	Doc:           "goroutines in internal/core and internal/serve must be joined (WaitGroup/channel) or carry a cancellable ctx",
+	SkipTestFiles: true,
+	SkipTestPkgs:  true,
+	Run:           runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	if !goroLeakScope(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroJoined(pass, gs.Call) {
+				pass.Reportf(gs.Pos(),
+					"thread a cancellable ctx or a done channel into the goroutine, or register it on the owner's WaitGroup, so Close/Drain can wait for it",
+					"goroutine has no join edge: no WaitGroup, no channel, no cancellable context reaches it")
+			}
+			return true
+		})
+	}
+}
+
+// goroLeakScope limits the check to the packages with drain contracts.
+// The fixture corpus lives under testdata/src/internal/core, which the
+// same path test admits.
+func goroLeakScope(path string) bool {
+	p := "/" + path + "/"
+	return strings.Contains(p, "/internal/core/") || strings.Contains(p, "/internal/serve/")
+}
+
+// goroJoined looks for any evidence the goroutine participates in a
+// teardown protocol.
+func goroJoined(pass *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := pass.Info.Types[arg]; ok && (isContextType(tv.Type) || isChanType(tv.Type)) {
+			return true
+		}
+	}
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return joinEvidence(pass, fl.Body)
+	}
+	fn := staticCalleeFunc(pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	// A method spawned on a receiver that carries teardown state is
+	// checked one level deep: the callee's own body must show the join.
+	if fd, ok := pass.ipa.declOf[fn]; ok {
+		return joinEvidence(pass, fd.Body)
+	}
+	return false
+}
+
+// joinEvidence scans a body for teardown participation.
+func joinEvidence(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok && isChanType(tv.Type) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Done" || sel.Sel.Name == "Wait" {
+					if tv, ok := pass.Info.Types[sel.X]; ok && isWaitGroup(tv.Type) {
+						found = true
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.Info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isChanType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isWaitGroup(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -4,17 +4,35 @@
 // type-checks every package in the module from source and runs the
 // project-specific analyzers mechanizing the repo's written contracts:
 //
-//   - ctxbg:       context must be threaded from callers, never minted
+//   - ctxbg:        context must be threaded from callers, never minted
 //     with context.Background()/TODO() inside non-test internal code.
-//   - alignedio:   only storage.AlignedBuf (or staging-pool) memory may
+//   - ctxflow:      a received context.Context must flow into every
+//     blocking call in the same function that has a Ctx-taking variant.
+//   - alignedio:    only storage.AlignedBuf (or staging-pool) memory may
 //     reach the backend read / submit sinks, keeping the O_DIRECT path
-//     reachable (DESIGN.md §9).
-//   - lockorder:   the featbuf lock order — sb→stripe allowed,
+//     reachable (DESIGN.md §9) — interprocedural since v2.
+//   - atomicfield:  a struct field accessed through sync/atomic anywhere
+//     may not be read or written plainly elsewhere.
+//   - extentbounds: offsets from layout extents must be bounds-checked
+//     before slicing a buffer with them.
+//   - goroleak:     goroutines in internal/core and internal/serve must
+//     be joined (WaitGroup/channel) or carry a cancellable context.
+//   - lockorder:    the featbuf lock order — sb→stripe allowed,
 //     stripe→sb forbidden (internal/core/featbuf.go).
-//   - errsentinel: the module's error sentinels are matched with
+//   - errsentinel:  the module's error sentinels are matched with
 //     errors.Is, never ==/!=.
-//   - refpair:     a Reservation or staging acquisition that neither
-//     escapes nor is released on every return path is a leak.
+//   - refpair:      a Reservation or staging acquisition that neither
+//     escapes nor is released on every return path is a leak —
+//     interprocedural since v2.
+//   - quotapair:    Staging.Carve quota views and serve admission grants
+//     must reach Close/release on every path.
+//   - sidecarpair:  .pidx / CRC sidecar writers must go through the
+//     atomic temp+fsync+rename helpers, never bare os.WriteFile.
+//
+// The dataflow analyzers share a package-local interprocedural engine
+// (ipa.go): summary-based taint and pairing facts cross function
+// boundaries inside a package, so a raw buffer laundered through one
+// helper call or a release delegated to a helper is still tracked.
 //
 // Findings carry file:line, the analyzer name, and a one-line fix hint.
 // A `//gnnlint:ignore <analyzer> <reason>` directive suppresses a
@@ -82,6 +100,10 @@ type Pass struct {
 	directives *directiveIndex
 	findings   *[]Finding
 	suppressed *[]Finding
+
+	// ipa is the package's interprocedural view (ipa.go), shared by every
+	// analyzer pass so summary fixpoints run once per package.
+	ipa *interp
 }
 
 // SourceFiles returns the files the analyzer should walk, honoring its
@@ -122,10 +144,16 @@ func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
 func All() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerCtxBg,
+		AnalyzerCtxFlow,
 		AnalyzerAlignedIO,
+		AnalyzerAtomicField,
+		AnalyzerExtentBounds,
+		AnalyzerGoroLeak,
 		AnalyzerLockOrder,
 		AnalyzerErrSentinel,
 		AnalyzerRefPair,
+		AnalyzerQuotaPair,
+		AnalyzerSidecarPair,
 	}
 }
 
@@ -159,6 +187,7 @@ func testHarnessPkg(name string) bool {
 func RunPackage(pkg *Package, analyzers []*Analyzer) (findings, suppressed []Finding) {
 	dirs := indexDirectives(pkg, knownAnalyzers())
 	findings = append(findings, dirs.malformed...)
+	ip := newInterp(pkg)
 	for _, a := range analyzers {
 		if a.OnlyInternal && !internalPath(pkg.Path) {
 			continue
@@ -176,6 +205,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) (findings, suppressed []Fin
 			directives: dirs,
 			findings:   &findings,
 			suppressed: &suppressed,
+			ipa:        ip,
 		}
 		a.Run(pass)
 	}

@@ -1,0 +1,446 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the shared acquire/release pair engine: refpair and
+// quotapair are thin specs over it. v2 hosts the engine on the
+// interprocedural core (ipa.go), which changes the meaning of passing a
+// tracked value to a package-local call. v1 excused every call-arg pass
+// as an escape; v2 classifies the callee by summary:
+//
+//   - the callee releases that parameter somewhere → the call is a
+//     release event (delegated cleanup, the `go d.runJob(j, g)` shape);
+//   - the callee lets the parameter escape (stores, returns, forwards
+//     to an unknown callee) → ownership transferred, the caller is
+//     excused, as before;
+//   - the callee does neither → the value was only borrowed, and the
+//     obligation stays with the caller — the hole v1 had.
+//
+// Calls into other packages remain escapes: summaries are package-local
+// by construction and silence beats a wrong leak report.
+
+// pairSpec describes one acquire/release protocol.
+type pairSpec struct {
+	name string // analyzer name, used to key the summary cache
+	// matchAcq recognizes a tracked acquisition in an assignment, or nil.
+	matchAcq func(pass *Pass, as *ast.AssignStmt) *acquisition
+	// isRelease reports whether the call releases the obligation. For
+	// parameter obligations (summary mode) a.recv is "" — matchers that
+	// normally key on the acquiring receiver must fall back to a
+	// uses-the-variable match.
+	isRelease func(info *types.Info, call *ast.CallExpr, a *acquisition) bool
+	// paramKind classifies a parameter type as carrying a release
+	// obligation for summary purposes ("" = not tracked).
+	paramKind func(t types.Type) string
+	// hint renders the fix hint for a leaked acquisition.
+	hint func(a *acquisition) string
+}
+
+// acquisition is one tracked acquire site (or, with stmt nil and recv
+// empty, a parameter obligation being summarized).
+type acquisition struct {
+	varObj types.Object // the acquired value's variable
+	errObj types.Object // the paired error variable, when assigned
+	recv   string       // rendered receiver of the acquiring call
+	kind   string       // protocol-specific label for the report
+	stmt   *ast.AssignStmt
+}
+
+// pairSummary is one spec's per-function facts: which parameter bits
+// the function releases (somewhere — may-release matches the engine's
+// "contact with a release excuses" posture) and which it lets escape.
+type pairSummary struct {
+	releases map[*types.Func]taintSet
+	escapes  map[*types.Func]taintSet
+}
+
+// pairSummaries computes (once per package per spec) the fixpoint of
+// the release/escape summaries. Monotone growth over finite bit sets
+// terminates; mutual recursion converges to the least fixpoint.
+func (ip *interp) pairSummaries(spec *pairSpec) *pairSummary {
+	if s, ok := ip.pairs[spec.name]; ok {
+		return s
+	}
+	sum := &pairSummary{
+		releases: make(map[*types.Func]taintSet),
+		escapes:  make(map[*types.Func]taintSet),
+	}
+	ip.pairs[spec.name] = sum
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range ip.decls {
+			fn := ip.fnOf[fd]
+			for j, obj := range paramObjs(ip.info, fd) {
+				if obj == nil || spec.paramKind(obj.Type()) == "" {
+					continue
+				}
+				bit := paramBit(j)
+				if bit == 0 {
+					continue
+				}
+				a := &acquisition{varObj: obj, kind: spec.paramKind(obj.Type())}
+				rel, esc := classifyParam(ip.info, ip, spec, sum, fd.Body, a)
+				if rel && sum.releases[fn]&bit == 0 {
+					sum.releases[fn] |= bit
+					changed = true
+				}
+				if esc && sum.escapes[fn]&bit == 0 {
+					sum.escapes[fn] |= bit
+					changed = true
+				}
+			}
+		}
+	}
+	return sum
+}
+
+// classifyParam walks a function body and reports whether the tracked
+// parameter is released and/or escapes. Both can be true (a conditional
+// release plus a store); callers treat release as the stronger fact.
+func classifyParam(info *types.Info, ip *interp, spec *pairSpec, sum *pairSummary, body *ast.BlockStmt, a *acquisition) (rel, esc bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if nodeUsesObj(info, n, a.varObj) {
+				esc = true
+			}
+		case *ast.SendStmt:
+			if nodeUsesObj(info, n.Value, a.varObj) {
+				esc = true
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if nodeUsesObj(info, elt, a.varObj) {
+					esc = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if nodeUsesObj(info, rhs, a.varObj) {
+					esc = true
+				}
+			}
+		case *ast.CallExpr:
+			switch classifyCall(info, ip, spec, sum, n, a) {
+			case pairReleases:
+				rel = true
+				return false
+			case pairEscapes:
+				esc = true
+			}
+		}
+		return true
+	})
+	return rel, esc
+}
+
+type pairCallClass int
+
+const (
+	pairBorrows pairCallClass = iota // obligation stays with the caller
+	pairReleases
+	pairEscapes
+)
+
+// classifyCall resolves what a call does to the tracked value: a direct
+// release by the spec's matcher, or — for package-local callees — the
+// summarized fate of the parameter the value is passed as. Unknown or
+// cross-package callees receiving the value are escapes (excused), as
+// in v1; a local callee that neither releases nor stores it is a
+// borrow and leaves the obligation in place.
+func classifyCall(info *types.Info, ip *interp, spec *pairSpec, sum *pairSummary, call *ast.CallExpr, a *acquisition) pairCallClass {
+	if spec.isRelease(info, call, a) {
+		return pairReleases
+	}
+	passed := false
+	for _, arg := range call.Args {
+		if nodeUsesObj(info, arg, a.varObj) {
+			passed = true
+			break
+		}
+	}
+	if !passed {
+		return pairBorrows
+	}
+	// Values the spec cannot summarize across a call boundary (staging
+	// slots are bare ints) keep v1's behavior: passing one away excuses
+	// the caller.
+	if spec.paramKind(a.varObj.Type()) == "" {
+		return pairEscapes
+	}
+	fn := staticCalleeFunc(info, call)
+	if fn == nil || !ip.local(fn) {
+		return pairEscapes
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return pairEscapes
+	}
+	class := pairBorrows
+	for i, arg := range call.Args {
+		if !nodeUsesObj(info, arg, a.varObj) {
+			continue
+		}
+		pj := paramIndexSig(sig, i)
+		if pj < 0 || paramBit(pj) == 0 {
+			return pairEscapes // no tracked parameter slot: stay conservative
+		}
+		if sum.releases[fn].hasParam(pj) {
+			return pairReleases
+		}
+		if sum.escapes[fn].hasParam(pj) {
+			class = pairEscapes
+		}
+	}
+	return class
+}
+
+// nodeUsesObj reports whether the subtree references obj (Uses only —
+// a defining ident is not a use).
+func nodeUsesObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	if obj == nil || n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// runPairAnalyzer is the shared analyzer body: find acquisitions, skip
+// ones that escape or have a deferred release, then search the CFG for
+// a release-free path to a function exit.
+func runPairAnalyzer(pass *Pass, spec *pairSpec) {
+	sum := pass.ipa.pairSummaries(spec)
+	pc := &pairCheck{pass: pass, spec: spec, sum: sum}
+	for _, f := range pass.SourceFiles() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			pc.checkFunc(fd)
+		}
+	}
+}
+
+type pairCheck struct {
+	pass *Pass
+	spec *pairSpec
+	sum  *pairSummary
+}
+
+func (pc *pairCheck) checkFunc(fd *ast.FuncDecl) {
+	var acqs []*acquisition
+	usesGoto := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok.String() == "goto" {
+				usesGoto = true
+			}
+		case *ast.AssignStmt:
+			if a := pc.spec.matchAcq(pc.pass, n); a != nil {
+				acqs = append(acqs, a)
+			}
+		}
+		return true
+	})
+	if len(acqs) == 0 || usesGoto {
+		return
+	}
+	for _, a := range acqs {
+		if pc.escapes(fd.Body, a) {
+			continue
+		}
+		if pc.deferredRelease(fd.Body, a) {
+			continue
+		}
+		g := buildCFG(fd.Body)
+		if g == nil {
+			continue // unsupported control flow; stay silent
+		}
+		if pc.leakPath(g, a) {
+			pc.pass.Reportf(a.stmt.Pos(), pc.spec.hint(a),
+				"%s acquired here may leak: a return path neither releases it nor lets it escape", a.kind)
+		}
+	}
+}
+
+// releasesCall reports whether the call releases a: directly by the
+// spec's matcher, or by handing the value to a package-local callee
+// whose summary releases that parameter.
+func (pc *pairCheck) releasesCall(call *ast.CallExpr, a *acquisition) bool {
+	info := pc.pass.Info
+	if pc.spec.isRelease(info, call, a) {
+		return true
+	}
+	fn := staticCalleeFunc(info, call)
+	if fn == nil || !pc.pass.ipa.local(fn) {
+		return false
+	}
+	rel := pc.sum.releases[fn]
+	if rel == 0 {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i, arg := range call.Args {
+		if pj := paramIndexSig(sig, i); pj >= 0 && rel.hasParam(pj) && nodeUsesObj(info, arg, a.varObj) {
+			return true
+		}
+	}
+	return false
+}
+
+// escapes reports whether the acquired value leaves the function by a
+// route other than its release: returned, assigned into anything but a
+// fresh local, placed in a composite literal, sent on a channel, or
+// passed to a call classified as an escape. Aliasing into another local
+// is treated as an escape too — conservative, so no false leak reports.
+// Unlike v1, passing to a package-local callee that merely borrows the
+// value is NOT an escape: the obligation stays here.
+func (pc *pairCheck) escapes(body *ast.BlockStmt, a *acquisition) bool {
+	info := pc.pass.Info
+	esc := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if esc {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if nodeUsesObj(info, n, a.varObj) {
+				esc = true
+			}
+		case *ast.SendStmt:
+			if nodeUsesObj(info, n.Value, a.varObj) {
+				esc = true
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if nodeUsesObj(info, elt, a.varObj) {
+					esc = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n == a.stmt {
+				return true
+			}
+			for _, rhs := range n.Rhs {
+				if nodeUsesObj(info, rhs, a.varObj) {
+					esc = true
+				}
+			}
+		case *ast.CallExpr:
+			switch classifyCall(info, pc.pass.ipa, pc.spec, pc.sum, n, a) {
+			case pairReleases:
+				return false // the release; don't descend into its args
+			case pairEscapes:
+				esc = true
+			}
+		}
+		return true
+	})
+	return esc
+}
+
+// deferredRelease reports whether a `defer` registers the release (any
+// position in the body — best effort; a conditional defer still covers
+// the paths that executed it, and the common shape is unconditional).
+func (pc *pairCheck) deferredRelease(body *ast.BlockStmt, a *acquisition) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if df, ok := n.(*ast.DeferStmt); ok {
+			if pc.releasesCall(df.Call, a) {
+				found = true
+			}
+			// A deferred closure releasing it counts too.
+			if fl, ok := df.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok && pc.releasesCall(call, a) {
+						found = true
+					}
+					return !found
+				})
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// leakPath searches the CFG forward from the acquisition: true when a
+// function exit is reachable without passing a release of a.
+func (pc *pairCheck) leakPath(g *cfg, a *acquisition) bool {
+	start := g.nodeOf[a.stmt]
+	if start == nil {
+		return false
+	}
+	match := func(call *ast.CallExpr) bool { return pc.releasesCall(call, a) }
+	seen := make(map[*cfgNode]bool)
+	var walk func(n *cfgNode) bool
+	walk = func(n *cfgNode) bool {
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		if n.releases(match) {
+			return false // this path is satisfied
+		}
+		if n.terminatesOK() {
+			return false // panic/os.Exit: release not required
+		}
+		if len(n.succs) == 0 {
+			// A return that propagates the acquisition's own error
+			// variable is the failed-acquire guard (`if err != nil {
+			// return err }`): nothing was acquired on that path.
+			if ret, ok := n.stmt.(*ast.ReturnStmt); ok && a.errObj != nil && nodeUsesObj(pc.pass.Info, ret, a.errObj) {
+				return false
+			}
+			return true // function exit without release
+		}
+		for _, s := range n.succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range start.succs {
+		if walk(s) {
+			return true
+		}
+	}
+	// An acquisition that is the last statement leaks trivially.
+	return len(start.succs) == 0
+}
+
+// errLHS extracts the last error-typed identifier on the assignment's
+// left side — the acquisition's paired error variable. Generalizes the
+// two-value `v, err :=` shape to tuples like (*grant, int, error).
+func errLHS(info *types.Info, as *ast.AssignStmt) types.Object {
+	errType := types.Universe.Lookup("error").Type()
+	for i := len(as.Lhs) - 1; i >= 1; i-- {
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil && types.Identical(obj.Type(), errType) {
+			return obj
+		}
+	}
+	return nil
+}

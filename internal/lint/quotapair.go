@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerQuotaPair extends the pair discipline to the multi-tenant
+// envelope's two lifecycles: a quota view carved from a shared Staging
+// pool (Staging.Carve) must reach Close, or the root pool's view count
+// never drops and Release keeps broadcasting into a retired tenant's
+// waiters forever; and a serve admission grant (any call returning a
+// *grant/*Grant) must reach its release, or the envelope's slot and
+// feature-byte accounting leaks the whole job's demand — the daemon
+// slowly admits itself to a standstill.
+//
+// Hosted on the shared pair engine (paircheck.go): handing a view or a
+// grant to a package-local helper that closes/releases it counts as the
+// release (the `go d.runJob(j, g)` supervisor shape); handing it to a
+// helper that only reads it leaves the obligation with the caller.
+var AnalyzerQuotaPair = &Analyzer{
+	Name:          "quotapair",
+	Doc:           "Staging.Carve quota views must reach Close and admission grants must reach release on every path",
+	SkipTestFiles: true,
+	SkipTestPkgs:  true,
+	Run:           runQuotaPair,
+}
+
+var quotaPairSpec = &pairSpec{
+	name:      "quotapair",
+	matchAcq:  quotaPairAcq,
+	isRelease: quotaPairRelease,
+	paramKind: quotaPairParamKind,
+	hint: func(a *acquisition) string {
+		if a.kind == quotaViewKind {
+			return "close the view on every path (defer view.Close() after a successful Carve is the simple shape)"
+		}
+		return "release the grant on every path (defer g.release() once admitted, or hand it to a supervisor that does)"
+	},
+}
+
+const (
+	quotaViewKind  = "staging quota view"
+	quotaGrantKind = "admission grant"
+)
+
+func runQuotaPair(pass *Pass) {
+	runPairAnalyzer(pass, quotaPairSpec)
+}
+
+// quotaPairAcq matches `v, err := X.Carve(n)` on a Staging receiver
+// (the result is the quota view) and any assignment whose call yields a
+// *grant/*Grant first result (tryAdmit, admit, takeLocked — matched by
+// result type, not name, so fixture corpora and refactors stay covered).
+func quotaPairAcq(pass *Pass, as *ast.AssignStmt) *acquisition {
+	if len(as.Rhs) != 1 || len(as.Lhs) < 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := staticCalleeFunc(pass.Info, call)
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
+	res0 := sig.Results().At(0).Type()
+	var kind, recv string
+	switch {
+	case fn.Name() == "Carve" && sig.Recv() != nil && typeNamed(sig.Recv().Type(), "Staging"):
+		kind = quotaViewKind
+	case typeNamed(res0, "grant") || typeNamed(res0, "Grant"):
+		kind = quotaGrantKind
+	default:
+		return nil
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		recv = exprString(sel.X)
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := pass.Info.Defs[id]
+	if obj == nil {
+		obj = pass.Info.Uses[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	return &acquisition{
+		varObj: obj,
+		errObj: errLHS(pass.Info, as),
+		recv:   recv,
+		kind:   kind,
+		stmt:   as,
+	}
+}
+
+// quotaPairRelease matches the value's own release method: view.Close()
+// for quota views, g.release()/g.Release() for grants. Both are methods
+// on the tracked value itself, so the same match works for local
+// acquisitions and parameter obligations alike.
+func quotaPairRelease(info *types.Info, call *ast.CallExpr, a *acquisition) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch a.kind {
+	case quotaViewKind:
+		if sel.Sel.Name != "Close" {
+			return false
+		}
+	case quotaGrantKind:
+		if sel.Sel.Name != "release" && sel.Sel.Name != "Release" {
+			return false
+		}
+	default:
+		return false
+	}
+	return nodeUsesObj(info, sel.X, a.varObj)
+}
+
+// quotaPairParamKind follows views and grants through helper summaries.
+// A *Staging parameter is summarized as a potential view: the summary
+// only matters when a tracked view is actually passed in, so root pools
+// flowing through the same helpers cost nothing.
+func quotaPairParamKind(t types.Type) string {
+	if typeNamed(t, "Staging") {
+		return quotaViewKind
+	}
+	if typeNamed(t, "grant") || typeNamed(t, "Grant") {
+		return quotaGrantKind
+	}
+	return ""
+}

@@ -5,22 +5,20 @@ import (
 	"go/types"
 )
 
-// AnalyzerRefPair is a best-effort leak check over the two acquire/
-// release protocols the pipeline's accounting depends on: a featbuf
-// Reservation (Reserve/ReserveCtx) pins refcounts that only Release
-// drops, and a staging acquisition (Acquire/AcquireCtx on a Staging
-// pool) holds a bounded slot that only Release returns. A value that
-// neither escapes the acquiring function nor reaches a release on every
-// return path is a leaked pin: the epoch-end TotalRefs check fires at
-// best, the standby list starves and the pipeline stalls at worst.
+// AnalyzerRefPair is a leak check over the two acquire/release
+// protocols the pipeline's accounting depends on: a featbuf Reservation
+// (Reserve/ReserveCtx) pins refcounts that only Release drops, and a
+// staging acquisition (Acquire/AcquireCtx on a Staging pool) holds a
+// bounded slot that only Release returns. A value that neither escapes
+// the acquiring function nor reaches a release on every return path is
+// a leaked pin: the epoch-end TotalRefs check fires at best, the
+// standby list starves and the pipeline stalls at worst.
 //
-// Mechanics: for each acquisition whose result stays function-local
-// (not returned, stored into a field/slice/channel, or passed to a
-// non-release call), the function body is lowered to a small statement
-// CFG and searched forward from the acquisition; reaching a function
-// exit without passing a release (or having a deferred release
-// registered) is a finding. panic() and os.Exit terminate a path
-// without requiring a release. Functions using goto are skipped.
+// v2 hosts the check on the shared pair engine (paircheck.go): the
+// release may now live in a package-local helper — passing a
+// Reservation to a function that releases it counts as the release,
+// while passing it to one that merely reads it no longer excuses the
+// caller the way v1's escape heuristic did.
 var AnalyzerRefPair = &Analyzer{
 	Name:          "refpair",
 	Doc:           "featbuf Reservations and staging slots must be released on every return path (or escape)",
@@ -29,75 +27,26 @@ var AnalyzerRefPair = &Analyzer{
 	Run:           runRefPair,
 }
 
+var refPairSpec = &pairSpec{
+	name:      "refpair",
+	matchAcq:  refPairAcq,
+	isRelease: refPairRelease,
+	paramKind: refPairParamKind,
+	hint: func(a *acquisition) string {
+		if a.kind == "reservation" {
+			return "release it on every path (defer " + a.recv + ".Release/PutReservation right after a successful acquire is the simple shape)"
+		}
+		return "release it on every path (defer " + a.recv + ".Release right after a successful acquire is the simple shape)"
+	},
+}
+
 func runRefPair(pass *Pass) {
-	for _, f := range pass.SourceFiles() {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			checkRefPairs(pass, fd)
-		}
-	}
+	runPairAnalyzer(pass, refPairSpec)
 }
 
-// acquisition is one tracked acquire site inside a function.
-type acquisition struct {
-	varObj types.Object // the acquired value's variable
-	errObj types.Object // the paired error variable, when assigned
-	recv   string       // rendered receiver of the acquiring call
-	kind   string       // "reservation" or "staging slot"
-	stmt   *ast.AssignStmt
-}
-
-func checkRefPairs(pass *Pass, fd *ast.FuncDecl) {
-	var acqs []*acquisition
-	usesGoto := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.BranchStmt:
-			if n.Tok.String() == "goto" {
-				usesGoto = true
-			}
-		case *ast.AssignStmt:
-			if a := acquisitionOf(pass, n); a != nil {
-				acqs = append(acqs, a)
-			}
-		}
-		return true
-	})
-	if len(acqs) == 0 || usesGoto {
-		return
-	}
-	for _, a := range acqs {
-		if escapes(pass, fd.Body, a) {
-			continue
-		}
-		if deferredRelease(pass, fd.Body, a) {
-			continue
-		}
-		g := buildCFG(fd.Body)
-		if g == nil {
-			continue // unsupported control flow; stay silent
-		}
-		if leakPath(pass, g, a) {
-			pass.Reportf(a.stmt.Pos(),
-				"release it on every path (defer "+releaseName(a)+" right after a successful acquire is the simple shape)",
-				"%s acquired here may leak: a return path neither releases it nor lets it escape", a.kind)
-		}
-	}
-}
-
-func releaseName(a *acquisition) string {
-	if a.kind == "reservation" {
-		return a.recv + ".Release/PutReservation"
-	}
-	return a.recv + ".Release"
-}
-
-// acquisitionOf matches `v, err := X.Reserve*(...)` (result type named
+// refPairAcq matches `v, err := X.Reserve*(...)` (result type named
 // Reservation) and `v, err := X.Acquire*(...)` on a *Staging receiver.
-func acquisitionOf(pass *Pass, as *ast.AssignStmt) *acquisition {
+func refPairAcq(pass *Pass, as *ast.AssignStmt) *acquisition {
 	if len(as.Rhs) != 1 || len(as.Lhs) < 1 {
 		return nil
 	}
@@ -143,17 +92,49 @@ func acquisitionOf(pass *Pass, as *ast.AssignStmt) *acquisition {
 	if obj == nil {
 		return nil
 	}
-	a := &acquisition{varObj: obj, recv: exprString(sel.X), kind: kind, stmt: as}
-	if len(as.Lhs) > 1 {
-		if errID, ok := as.Lhs[1].(*ast.Ident); ok && errID.Name != "_" {
-			if eo := pass.Info.Defs[errID]; eo != nil {
-				a.errObj = eo
-			} else {
-				a.errObj = pass.Info.Uses[errID]
-			}
-		}
+	return &acquisition{
+		varObj: obj,
+		errObj: errLHS(pass.Info, as),
+		recv:   exprString(sel.X),
+		kind:   kind,
+		stmt:   as,
 	}
-	return a
+}
+
+// refPairRelease matches the acquisition's release: PutReservation(v)
+// or <recv>.Release(...) for reservations (Release takes the node list,
+// not the reservation, so receiver identity is the link);
+// <recv>.Release(v) for staging slots. For parameter obligations (recv
+// unknown) a Release call that references the variable is the match.
+func refPairRelease(info *types.Info, call *ast.CallExpr, a *acquisition) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return a.kind == "reservation" && fun.Name == "PutReservation" && nodeUsesObj(info, call, a.varObj)
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != "Release" {
+			return false
+		}
+		if a.recv == "" {
+			// Summarizing a helper: the acquiring receiver is unknown, so
+			// the variable's involvement is the link.
+			return nodeUsesObj(info, call, a.varObj)
+		}
+		if a.kind == "reservation" {
+			return exprString(fun.X) == a.recv
+		}
+		return exprString(fun.X) == a.recv && nodeUsesObj(info, call, a.varObj)
+	}
+	return false
+}
+
+// refPairParamKind tracks Reservation-typed parameters through helper
+// summaries. Staging slots are bare integers — too anonymous to follow
+// across a call boundary, so they keep v1's escape-on-pass behavior.
+func refPairParamKind(t types.Type) string {
+	if typeNamed(t, "Reservation") {
+		return "reservation"
+	}
+	return ""
 }
 
 func typeNamed(t types.Type, name string) bool {
@@ -174,157 +155,4 @@ func exprString(e ast.Expr) string {
 		return exprString(e.X) + "." + e.Sel.Name
 	}
 	return "?"
-}
-
-// usesVar reports whether the expression subtree references the
-// acquisition's variable.
-func usesVar(pass *Pass, n ast.Node, obj types.Object) bool {
-	found := false
-	ast.Inspect(n, func(m ast.Node) bool {
-		if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
-			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-// isReleaseCall matches the acquisition's release: PutReservation(v) or
-// <recv>.Release(...) for reservations (Release takes the node list,
-// not the reservation, so receiver identity is the link);
-// <recv>.Release(v) for staging slots.
-func isReleaseCall(pass *Pass, call *ast.CallExpr, a *acquisition) bool {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		return a.kind == "reservation" && fun.Name == "PutReservation" && usesVar(pass, call, a.varObj)
-	case *ast.SelectorExpr:
-		if fun.Sel.Name != "Release" {
-			return false
-		}
-		if a.kind == "reservation" {
-			return exprString(fun.X) == a.recv
-		}
-		return exprString(fun.X) == a.recv && usesVar(pass, call, a.varObj)
-	}
-	return false
-}
-
-// escapes reports whether the acquired value leaves the function by a
-// route other than its release: returned, assigned into anything but a
-// fresh local, placed in a composite literal, sent on a channel, or
-// passed to a call that is not its release. Aliasing into another local
-// is treated as an escape too — conservative, so no false leak reports.
-func escapes(pass *Pass, body *ast.BlockStmt, a *acquisition) bool {
-	esc := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if esc {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.ReturnStmt:
-			if usesVar(pass, n, a.varObj) {
-				esc = true
-			}
-		case *ast.SendStmt:
-			if usesVar(pass, n.Value, a.varObj) {
-				esc = true
-			}
-		case *ast.CompositeLit:
-			for _, elt := range n.Elts {
-				if usesVar(pass, elt, a.varObj) {
-					esc = true
-				}
-			}
-		case *ast.AssignStmt:
-			if n == a.stmt {
-				return true
-			}
-			for _, rhs := range n.Rhs {
-				if usesVar(pass, rhs, a.varObj) {
-					esc = true
-				}
-			}
-		case *ast.CallExpr:
-			if isReleaseCall(pass, n, a) {
-				return false
-			}
-			for _, arg := range n.Args {
-				if usesVar(pass, arg, a.varObj) {
-					esc = true
-				}
-			}
-		}
-		return true
-	})
-	return esc
-}
-
-// deferredRelease reports whether a `defer` registers the release (any
-// position in the body — best effort; a conditional defer still covers
-// the paths that executed it, and the common shape is unconditional).
-func deferredRelease(pass *Pass, body *ast.BlockStmt, a *acquisition) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if df, ok := n.(*ast.DeferStmt); ok {
-			if isReleaseCall(pass, df.Call, a) {
-				found = true
-			}
-			// A deferred closure releasing it counts too.
-			if fl, ok := df.Call.Fun.(*ast.FuncLit); ok {
-				ast.Inspect(fl.Body, func(m ast.Node) bool {
-					if call, ok := m.(*ast.CallExpr); ok && isReleaseCall(pass, call, a) {
-						found = true
-					}
-					return !found
-				})
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-// leakPath searches the CFG forward from the acquisition: true when a
-// function exit is reachable without passing a release of a.
-func leakPath(pass *Pass, g *cfg, a *acquisition) bool {
-	start := g.nodeOf[a.stmt]
-	if start == nil {
-		return false
-	}
-	seen := make(map[*cfgNode]bool)
-	var walk func(n *cfgNode) bool
-	walk = func(n *cfgNode) bool {
-		if seen[n] {
-			return false
-		}
-		seen[n] = true
-		if n.releases(pass, a) {
-			return false // this path is satisfied
-		}
-		if n.terminatesOK(pass) {
-			return false // panic/os.Exit: release not required
-		}
-		if len(n.succs) == 0 {
-			// A return that propagates the acquisition's own error
-			// variable is the failed-acquire guard (`if err != nil {
-			// return err }`): nothing was acquired on that path.
-			if ret, ok := n.stmt.(*ast.ReturnStmt); ok && a.errObj != nil && usesVar(pass, ret, a.errObj) {
-				return false
-			}
-			return true // function exit without release
-		}
-		for _, s := range n.succs {
-			if walk(s) {
-				return true
-			}
-		}
-		return false
-	}
-	for _, s := range start.succs {
-		if walk(s) {
-			return true
-		}
-	}
-	// An acquisition that is the last statement leaks trivially.
-	return len(start.succs) == 0
 }

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerSidecarPair guards the durability protocol for the packed
+// layout's sidecars: a `.pidx` index or CRC sidecar is consulted before
+// the data file it describes, so a torn or half-written sidecar is
+// worse than none — the reader trusts garbage geometry (exactly what
+// extentbounds defends the other end of). The sanctioned write shape is
+// the atomic helper: os.CreateTemp in the target directory, write,
+// fsync, rename over the destination. A bare os.WriteFile (or
+// os.Create / write-mode os.OpenFile) on a sidecar path can be torn by
+// a crash mid-write and leaves no way to distinguish "old sidecar" from
+// "half of the new one".
+//
+// A sidecar path is recognized constant-syntactically: the path
+// argument's subtree contains a string constant mentioning ".pidx",
+// ".crc", or "sidecar" (literal, named constant, or concatenation —
+// folded by the type checker). Paths built entirely at runtime are out
+// of scope; the repo convention keeps sidecar suffixes as constants.
+var AnalyzerSidecarPair = &Analyzer{
+	Name:          "sidecarpair",
+	Doc:           ".pidx/CRC sidecar writers must use the atomic temp+fsync+rename helpers, never bare os.WriteFile",
+	SkipTestFiles: true,
+	SkipTestPkgs:  true,
+	Run:           runSidecarPair,
+}
+
+func runSidecarPair(pass *Pass) {
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCalleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" || len(call.Args) == 0 {
+				return true
+			}
+			switch fn.Name() {
+			case "WriteFile", "Create":
+			case "OpenFile":
+				if len(call.Args) < 2 || !openFileWrites(pass.Info, call.Args[1]) {
+					return true
+				}
+			default:
+				return true
+			}
+			if !mentionsSidecar(pass.Info, call.Args[0]) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"write sidecars through the atomic helper: os.CreateTemp in the target dir, write, Sync, then os.Rename over the destination",
+				"bare os.%s on a sidecar path can tear the index/CRC on crash; readers then trust garbage geometry", fn.Name())
+			return true
+		})
+	}
+}
+
+// openFileWrites reports whether the os.OpenFile flags argument opens
+// for writing. Unknown (non-constant) flags count as writing — the
+// analyzer would rather ask for an audit than miss a torn sidecar.
+func openFileWrites(info *types.Info, flagArg ast.Expr) bool {
+	tv, ok := info.Types[flagArg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return true
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return true
+	}
+	// O_WRONLY|O_RDWR occupy the low access-mode bits on every platform
+	// the repo builds for; O_RDONLY is 0.
+	return v&3 != 0
+}
+
+// mentionsSidecar reports whether any string constant in the path
+// argument's subtree carries a sidecar marker.
+func mentionsSidecar(info *types.Info, path ast.Expr) bool {
+	found := false
+	ast.Inspect(path, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok || found {
+			return !found
+		}
+		if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			s := constant.StringVal(tv.Value)
+			if strings.Contains(s, ".pidx") || strings.Contains(s, ".crc") || strings.Contains(s, "sidecar") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

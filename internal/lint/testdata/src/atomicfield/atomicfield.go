@@ -1,0 +1,50 @@
+// Package atomicfield is the fixture corpus for the atomicfield
+// analyzer: once a struct field is accessed through the sync/atomic
+// function API anywhere in the package, every plain access to the same
+// field is a race.
+package atomicfield
+
+import "sync/atomic"
+
+type entry struct {
+	// refs is accessed via sync/atomic in pin/unpin: the whole package
+	// must follow suit.
+	refs int64
+	// gen is only ever accessed under the owner's lock: plain access is
+	// the discipline for it, and the analyzer must stay quiet.
+	gen int64
+}
+
+func (e *entry) pin() int64 {
+	return atomic.AddInt64(&e.refs, 1)
+}
+
+func (e *entry) unpin() {
+	atomic.AddInt64(&e.refs, -1)
+}
+
+func (e *entry) goodLoad() int64 {
+	return atomic.LoadInt64(&e.refs)
+}
+
+func (e *entry) goodPlainOtherField() int64 {
+	e.gen++
+	return e.gen
+}
+
+func (e *entry) badRead() int64 {
+	return e.refs // want "accessed via sync/atomic elsewhere.*plain access races"
+}
+
+func (e *entry) badWrite() {
+	e.refs = 0 // want "plain access races"
+}
+
+func (e *entry) badMixedExpr() bool {
+	return e.refs > 0 // want "plain access races"
+}
+
+func (e *entry) suppressedReset() {
+	//gnnlint:ignore atomicfield fixture: pre-publication reset kept to exercise the audit trail
+	e.refs = 0 // want:suppressed "plain access races"
+}

@@ -12,6 +12,11 @@ var (
 	ErrChecksum    = errors.New("checksum mismatch")
 	ErrQuarantined = errors.New("quarantined")
 	errLocalOnly   = errors.New("not a sentinel")
+
+	// Post-PR-6 sentinels: packed-layout index and serve admission.
+	ErrCorruptIndex = errors.New("corrupt segment index")
+	ErrNoIndex      = errors.New("segment index not found")
+	ErrOverloaded   = errors.New("daemon overloaded")
 )
 
 func bad(err error) bool {
@@ -49,6 +54,34 @@ func goodIntegrity(err error) bool {
 	// wraps ErrChecksum and ErrQuarantined at once): errors.Is matches
 	// either through the wrap chain.
 	return errors.Is(err, ErrChecksum) && errors.Is(err, ErrQuarantined)
+}
+
+func badCorruptIndex(err error) bool {
+	return err == ErrCorruptIndex // want "sentinel ErrCorruptIndex compared with =="
+}
+
+func badNoIndex(err error) string {
+	switch err {
+	case ErrNoIndex: // want "switch-case compares sentinel ErrNoIndex"
+		return "missing"
+	default:
+		return ""
+	}
+}
+
+func badOverloaded(err error) bool {
+	return ErrOverloaded == err // want "sentinel ErrOverloaded compared with =="
+}
+
+func goodLayout(err error) bool {
+	// The index loader wraps both sentinels with the sidecar path; only
+	// errors.Is survives the wrap.
+	return errors.Is(err, ErrCorruptIndex) || errors.Is(err, ErrNoIndex)
+}
+
+func goodOverloaded(err error) bool {
+	// Admission wraps ErrOverloaded with the queue depth.
+	return errors.Is(err, ErrOverloaded)
 }
 
 func suppressed(err error) bool {

@@ -1,0 +1,99 @@
+// Package goroleak is the fixture corpus for the goroleak analyzer.
+// Its directory sits under testdata/src/internal/core so the fixture's
+// import path falls inside the analyzer's scope (the packages with
+// drain contracts: internal/core and internal/serve).
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+type runner struct {
+	done chan struct{}
+}
+
+func (r *runner) loop() {
+	for {
+		select {
+		case <-r.done:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+func (r *runner) spin() {
+	for {
+		work()
+	}
+}
+
+func badAnonymous() {
+	go func() { // want "no join edge"
+		for {
+			work()
+		}
+	}()
+}
+
+func badNamedLocal(r *runner) {
+	go r.spin() // want "no join edge"
+}
+
+func goodWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func goodChannelBody(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func goodCtxArg(ctx context.Context) {
+	go func(ctx context.Context) {
+		<-ctx.Done()
+	}(ctx)
+}
+
+func goodCtxBody(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func goodNamedLocal(r *runner) {
+	// The callee's own body selects on the done channel: joined.
+	go r.loop()
+}
+
+func goodChanArg(events chan int) {
+	go func(ch chan int) {
+		for range ch {
+		}
+	}(events)
+}
+
+func suppressedSpin() {
+	//gnnlint:ignore goroleak fixture: fire-and-forget kept to exercise the audit trail
+	go func() { // want:suppressed "no join edge"
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,124 @@
+// Package quotapair is the fixture corpus for the quotapair analyzer:
+// Staging.Carve quota views must reach Close, admission grants must
+// reach release, on every path. The shapes replicate internal/core's
+// Staging and internal/serve's pool/grant.
+package quotapair
+
+import (
+	"context"
+	"errors"
+)
+
+type Staging struct {
+	parent *Staging
+	limit  int
+}
+
+func (s *Staging) Carve(limit int) (*Staging, error) {
+	return &Staging{parent: s, limit: limit}, nil
+}
+
+func (s *Staging) Close() {}
+
+func (s *Staging) FreeSlots() int { return s.limit }
+
+type grant struct {
+	view *Staging
+}
+
+func (g *grant) release() {}
+
+type pool struct {
+	staging *Staging
+}
+
+func (p *pool) tryAdmit(id string, slots int) (*grant, int, error) {
+	view, err := p.staging.Carve(slots) // escapes into the grant: excused
+	if err != nil {
+		return nil, 0, err
+	}
+	return &grant{view: view}, 0, nil
+}
+
+// runJob is the supervisor shape: it owns the grant's release.
+func runJob(g *grant) {
+	defer g.release()
+}
+
+// inspectGrant only reads the grant: the caller keeps the obligation.
+func inspectGrant(g *grant) {
+	g.view.FreeSlots()
+}
+
+// --- findings --------------------------------------------------------
+
+func badViewLeak(root *Staging) error {
+	view, err := root.Carve(4) // want "staging quota view acquired here may leak"
+	if err != nil {
+		return err
+	}
+	if view.FreeSlots() == 0 {
+		return errors.New("no headroom") // leaks the view
+	}
+	view.Close()
+	return nil
+}
+
+func badGrantLeak(p *pool) error {
+	g, queued, err := p.tryAdmit("job-1", 4) // want "admission grant acquired here may leak"
+	if err != nil {
+		return err
+	}
+	if queued > 0 {
+		return errors.New("queued") // leaks the grant
+	}
+	inspectGrant(g)
+	g.release()
+	return nil
+}
+
+// --- clean -----------------------------------------------------------
+
+func goodDeferClose(root *Staging, work func(*Staging) error) error {
+	view, err := root.Carve(4)
+	if err != nil {
+		return err
+	}
+	defer view.Close()
+	return work(view)
+}
+
+func goodSupervised(ctx context.Context, p *pool) error {
+	g, _, err := p.tryAdmit("job-2", 2)
+	if err != nil {
+		return err
+	}
+	go runJob(g) // handing to a releasing supervisor counts as release
+	<-ctx.Done()
+	return nil
+}
+
+func goodAllPaths(p *pool) error {
+	g, queued, err := p.tryAdmit("job-3", 2)
+	if err != nil {
+		return err
+	}
+	if queued > 0 {
+		g.release()
+		return errors.New("queued")
+	}
+	g.release()
+	return nil
+}
+
+// --- suppressed ------------------------------------------------------
+
+func suppressedViewLeak(root *Staging) error {
+	//gnnlint:ignore quotapair fixture: leak kept on purpose to exercise the audit trail
+	view, err := root.Carve(2) // want:suppressed "staging quota view acquired here may leak"
+	if err != nil {
+		return err
+	}
+	view.FreeSlots()
+	return nil
+}

@@ -1,0 +1,135 @@
+// Package refpairipa is the interprocedural fixture corpus for the
+// refpair analyzer on the v2 pair engine. The protocol shapes replicate
+// featbuf's Reservation API.
+//
+// The behavioral change under test: v1 excused ANY call that received
+// the reservation as an argument ("it escaped"), so a helper that
+// merely inspected the reservation silently discharged the caller's
+// release obligation — a false negative. v2 classifies the callee by
+// summary: releasing helpers count as the release, escaping helpers
+// transfer ownership, and borrowing helpers leave the obligation where
+// it was.
+package refpairipa
+
+import "errors"
+
+type Reservation struct{ nodes []int32 }
+
+func (r Reservation) Nodes() []int32 { return r.nodes }
+
+type FeatBuf struct{}
+
+func (fb *FeatBuf) Reserve(ids []int32) (Reservation, error) {
+	return Reservation{nodes: ids}, nil
+}
+
+func (fb *FeatBuf) Release(ids ...int32) {}
+
+func PutReservation(r Reservation) {}
+
+var parked []Reservation
+
+// releaseHelper releases its reservation parameter: passing a
+// reservation to it IS the release.
+func releaseHelper(fb *FeatBuf, r Reservation) {
+	fb.Release(r.Nodes()...)
+}
+
+// releaseHelperDepth2 delegates the release one level further.
+func releaseHelperDepth2(fb *FeatBuf, r Reservation) {
+	releaseHelper(fb, r)
+}
+
+// putHelper releases through PutReservation.
+func putHelper(r Reservation) {
+	PutReservation(r)
+}
+
+// borrowHelper only looks at the reservation (receiver use is not an
+// escape): the caller still owns the release.
+func borrowHelper(r Reservation) {
+	r.Nodes()
+}
+
+// parkHelper stores the reservation: ownership transfers, the caller is
+// excused.
+func parkHelper(r Reservation) {
+	parked = append(parked, r)
+}
+
+// --- clean: release delegated through helpers ------------------------
+
+func goodDelegated(fb *FeatBuf, ids []int32) error {
+	r, err := fb.Reserve(ids)
+	if err != nil {
+		return err
+	}
+	releaseHelper(fb, r)
+	return nil
+}
+
+func goodDelegatedDepth2(fb *FeatBuf, ids []int32) error {
+	r, err := fb.Reserve(ids)
+	if err != nil {
+		return err
+	}
+	releaseHelperDepth2(fb, r)
+	return nil
+}
+
+func goodDeferredHelper(fb *FeatBuf, ids []int32) error {
+	r, err := fb.Reserve(ids)
+	if err != nil {
+		return err
+	}
+	defer putHelper(r)
+	return errors.New("work failed after acquire")
+}
+
+func goodEscape(fb *FeatBuf, ids []int32) error {
+	r, err := fb.Reserve(ids)
+	if err != nil {
+		return err
+	}
+	parkHelper(r) // ownership transferred
+	return nil
+}
+
+// --- findings: borrowed is not released ------------------------------
+
+// v1 false negative: passing r to borrowHelper looked like an escape to
+// v1 and silently excused the leak; v2's summary knows borrowHelper
+// neither releases nor keeps it.
+func badBorrowed(fb *FeatBuf, ids []int32) error {
+	r, err := fb.Reserve(ids) // want "reservation acquired here may leak"
+	if err != nil {
+		return err
+	}
+	borrowHelper(r)
+	return nil
+}
+
+func badConditional(fb *FeatBuf, ids []int32, flush bool) error {
+	r, err := fb.Reserve(ids) // want "reservation acquired here may leak"
+	if err != nil {
+		return err
+	}
+	borrowHelper(r)
+	if !flush {
+		return nil // early return leaks the reservation
+	}
+	releaseHelper(fb, r)
+	return nil
+}
+
+// --- suppressed ------------------------------------------------------
+
+func suppressedBorrowed(fb *FeatBuf, ids []int32) error {
+	//gnnlint:ignore refpair fixture: leak kept on purpose to exercise the audit trail
+	r, err := fb.Reserve(ids) // want:suppressed "reservation acquired here may leak"
+	if err != nil {
+		return err
+	}
+	borrowHelper(r)
+	return nil
+}

@@ -1,0 +1,77 @@
+// Package sidecarpair is the fixture corpus for the sidecarpair
+// analyzer: sidecar paths (.pidx index, .crc checksum) must be written
+// through the atomic temp+fsync+rename shape, never with a bare
+// os.WriteFile / os.Create / write-mode os.OpenFile.
+package sidecarpair
+
+import (
+	"os"
+	"path/filepath"
+)
+
+const idxSuffix = ".pidx"
+
+func badWriteFile(path string, blob []byte) error {
+	return os.WriteFile(path+idxSuffix, blob, 0o644) // want "bare os.WriteFile on a sidecar path"
+}
+
+func badCreate(dir string) error {
+	f, err := os.Create(filepath.Join(dir, "graph.crc")) // want "bare os.Create on a sidecar path"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func badOpenFile(path string) error {
+	f, err := os.OpenFile(path+".pidx", os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644) // want "bare os.OpenFile on a sidecar path"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func goodDataFile(path string, blob []byte) error {
+	// Not a sidecar path: none of the analyzer's business.
+	return os.WriteFile(path, blob, 0o644)
+}
+
+func goodReadSidecar(path string) ([]byte, error) {
+	// Reading a sidecar is fine; only writers can tear it.
+	f, err := os.OpenFile(path+".pidx", os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return nil, nil
+}
+
+// goodAtomic is the sanctioned shape: temp file in the target dir,
+// write, sync, rename over the destination.
+func goodAtomic(path string, blob []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "pidx-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path+".pidx")
+}
+
+func suppressedWrite(path string, blob []byte) error {
+	//gnnlint:ignore sidecarpair fixture: torn-sidecar repro harness; kept to exercise the audit trail
+	return os.WriteFile(path+".crc", blob, 0o644) // want:suppressed "bare os.WriteFile on a sidecar path"
+}
