@@ -336,6 +336,10 @@ func (s *System) gather(b *sample.Batch, x *tensor.Matrix) error {
 				// The addresser yields device extents; featFile is keyed
 				// relative to the feature region's base.
 				for _, e := range addr.Extents(b.Nodes[i], exts[:0]) {
+					if e.FeatOff < 0 || e.Len < 0 || e.FeatOff+e.Len > len(buf) {
+						firstErr.Set(fmt.Errorf("pygplus: extent for node %d overruns the %d-byte feature record", b.Nodes[i], len(buf)))
+						return
+					}
 					waited, err := s.featFile.Read(e.Off-base, buf[e.FeatOff:e.FeatOff+e.Len])
 					s.rec.AddIOWait(waited)
 					if err != nil {

@@ -222,6 +222,9 @@ func (d *Dataset) ReadFeatureRaw(v int64, out []float32) []float32 {
 	raw := make([]byte, d.FeatBytes())
 	var exts [2]layout.Extent
 	for _, e := range d.Addresser().Extents(v, exts[:0]) {
+		if e.FeatOff < 0 || e.Len < 0 || e.FeatOff+e.Len > len(raw) {
+			panic(fmt.Sprintf("graph: extent for node %d overruns the %d-byte feature record", v, len(raw)))
+		}
 		if err := d.Dev.ReadRaw(raw[e.FeatOff:e.FeatOff+e.Len], e.Off); err != nil {
 			panic(fmt.Sprintf("graph: feature read for node %d: %v", v, err))
 		}

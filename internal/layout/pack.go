@@ -201,6 +201,9 @@ func (p *Packed) verify(dev storage.Backend, src []byte) error {
 			if err != nil {
 				return fmt.Errorf("layout: pack verify node %d: %w", v, err)
 			}
+			if start < 0 || e.Len < 0 || start+e.Len > len(buf) {
+				return fmt.Errorf("layout: pack verify node %d: extent overruns the %d-byte read buffer", v, len(buf))
+			}
 			got = append(got, buf[start:start+e.Len]...)
 		}
 		want := src[v*int64(p.feat) : (v+1)*int64(p.feat)]

@@ -243,6 +243,11 @@ func (d *Daemon) Submit(spec trainsim.JobSpec) (string, error) {
 		if waiting >= d.cfg.MaxQueued {
 			d.nextSeq--
 			d.mu.Unlock()
+			// g is always nil on this path (we're inside the g == nil
+			// branch) and release is nil-safe; releasing explicitly keeps
+			// the grant lifecycle closed on every return, visibly and to
+			// the quotapair analyzer, even if tryAdmit's contract shifts.
+			g.release()
 			return "", fmt.Errorf("%w: %d jobs already queued", ErrOverloaded, waiting)
 		}
 		_ = queued
