@@ -166,7 +166,10 @@ func (c *Cache) getPage(ctx context.Context, f *File, pageNo int64) (*page, time
 	policy := faultPolicy
 	policy.OnRetry = func(int, error) { c.retries.Add(1) }
 	err := errutil.Retry(ctx, policy, func() error {
-		w, rerr := c.dev.ReadAt(pg.data[:n], devOff)
+		// ReadAtCtx, not ReadAt: Retry only checks ctx between attempts,
+		// so a cancelled fault would otherwise still ride out the whole
+		// device read (hedge timeouts included) before noticing.
+		w, rerr := c.dev.ReadAtCtx(ctx, pg.data[:n], devOff)
 		waited += w
 		return rerr
 	})

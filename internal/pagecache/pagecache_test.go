@@ -2,9 +2,12 @@ package pagecache
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"gnndrive/internal/hostmem"
 	"gnndrive/internal/ssd"
@@ -239,5 +242,59 @@ func TestCachedReadEqualsImage(t *testing.T) {
 	}
 	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// stuckBackend simulates a device read that never completes unless the
+// caller's context can interrupt it: ReadAt blocks forever, ReadAtCtx
+// blocks until ctx is cancelled. It pins the fault path's contract that
+// the page fault-in passes the caller's ctx INTO the device read —
+// errutil.Retry only checks ctx between attempts, so a fault issued via
+// plain ReadAt would ride out the whole stuck read before noticing the
+// cancellation.
+type stuckBackend struct {
+	*ssd.Device
+	entered chan struct{} // closed when the stuck read has started
+	once    sync.Once
+}
+
+func (b *stuckBackend) ReadAt(p []byte, off int64) (time.Duration, error) {
+	b.once.Do(func() { close(b.entered) })
+	select {} // a ReadAt here means the ctx was dropped: block forever
+}
+
+func (b *stuckBackend) ReadAtCtx(ctx context.Context, p []byte, off int64) (time.Duration, error) {
+	b.once.Do(func() { close(b.entered) })
+	<-ctx.Done()
+	return 0, ctx.Err()
+}
+
+// TestFaultReadHonorsCancel is the regression test for the dropped-ctx
+// fault path: cancelling the reader's context while a page fault is
+// blocked inside the device read must abort the read promptly instead
+// of waiting for the device.
+func TestFaultReadHonorsCancel(t *testing.T) {
+	dev := ssd.New(1<<20, ssd.InstantConfig())
+	t.Cleanup(func() { dev.Close() })
+	stuck := &stuckBackend{Device: dev, entered: make(chan struct{})}
+	c := New(stuck, hostmem.NewBudget(1<<20))
+	f := c.NewFile(0, 1<<20)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.ReadCtx(ctx, 0, make([]byte, 100))
+		done <- err
+	}()
+
+	<-stuck.entered // the fault is now blocked inside the device read
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled fault read returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled fault read still blocked: the fault path dropped the caller's ctx")
 	}
 }
