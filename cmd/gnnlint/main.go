@@ -1,16 +1,29 @@
 // Command gnnlint runs the project's invariant analyzers (internal/lint)
-// over the module: ctxbg, alignedio, lockorder, errsentinel, refpair.
+// over the module.
 //
 //	go run ./cmd/gnnlint ./...
 //
 // exits 0 when the tree is clean, 1 when any finding or type error is
 // reported. Packages that fail to type-check are reported with file:line
 // and skipped — the remaining packages are still analyzed, so one broken
-// package does not hide findings elsewhere. -suppressed prints the
-// gnnlint:ignore audit trail (every suppressed finding with its reason).
+// package does not hide findings elsewhere.
+//
+// Flags:
+//
+//	-suppressed        print the gnnlint:ignore audit trail (every
+//	                   suppressed finding with its reason)
+//	-sarif FILE        also write findings as SARIF 2.1.0 to FILE
+//	                   ("-" for stdout) for code-scanning upload
+//	-budget FILE       enforce the suppression cap from a committed
+//	                   lint-budget.json; growing the audited-ignore
+//	                   count past the budget fails the run, so new
+//	                   suppressions require a budget change in the
+//	                   same commit
+//	-max-suppressions  ad-hoc suppression cap; overrides -budget
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,12 +36,36 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// budgetFile is the committed lint-debt budget: the ceiling on audited
+// gnnlint:ignore suppressions in the tree. Raising it is a reviewed
+// diff, never a side effect of adding a directive.
+type budgetFile struct {
+	MaxSuppressions int `json:"max_suppressions"`
+}
+
 func run(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("gnnlint", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	showSuppressed := fs.Bool("suppressed", false, "print the gnnlint:ignore audit trail")
+	sarifPath := fs.String("sarif", "", "write SARIF 2.1.0 results to this file (\"-\" for stdout)")
+	budgetPath := fs.String("budget", "", "enforce the suppression cap from this lint-budget.json")
+	maxSuppressions := fs.Int("max-suppressions", -1, "fail if suppression count exceeds this (-1 = no cap; overrides -budget)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	budgetCap := *maxSuppressions
+	if budgetCap < 0 && *budgetPath != "" {
+		raw, err := os.ReadFile(*budgetPath)
+		if err != nil {
+			fmt.Fprintln(errw, "gnnlint: budget:", err)
+			return 2
+		}
+		var b budgetFile
+		if err := json.Unmarshal(raw, &b); err != nil {
+			fmt.Fprintf(errw, "gnnlint: budget %s: %v\n", *budgetPath, err)
+			return 2
+		}
+		budgetCap = b.MaxSuppressions
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -87,7 +124,28 @@ func run(args []string, out, errw io.Writer) int {
 				f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message, f.SuppressReason)
 		}
 	}
-	if len(findings) > 0 || typeErrors > 0 {
+	if *sarifPath != "" {
+		w := out
+		if *sarifPath != "-" {
+			file, err := os.Create(*sarifPath)
+			if err != nil {
+				fmt.Fprintln(errw, "gnnlint: sarif:", err)
+				return 2
+			}
+			defer file.Close()
+			w = file
+		}
+		if err := writeSARIF(w, loader.Root, analyzers, findings, suppressed); err != nil {
+			fmt.Fprintln(errw, "gnnlint: sarif:", err)
+			return 2
+		}
+	}
+	overBudget := budgetCap >= 0 && len(suppressed) > budgetCap
+	if overBudget {
+		fmt.Fprintf(out, "gnnlint: suppression budget exceeded: %d gnnlint:ignore directive(s), budget allows %d — remove a suppression or raise the budget in the same commit\n",
+			len(suppressed), budgetCap)
+	}
+	if len(findings) > 0 || typeErrors > 0 || overBudget {
 		fmt.Fprintf(out, "gnnlint: %d finding(s), %d type error(s), %d suppression(s)\n",
 			len(findings), typeErrors, len(suppressed))
 		return 1

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -66,5 +69,138 @@ func TestBadPatternFails(t *testing.T) {
 	code := run([]string{"./no/such/dir"}, &out, &errw)
 	if code != 2 {
 		t.Fatalf("exit code = %d, want 2\n%s%s", code, out.String(), errw.String())
+	}
+}
+
+// TestSARIFOutput writes SARIF for a fixture package and checks the
+// shape code-scanning ingests: 2.1.0 version, a rule per analyzer,
+// results with relative URIs, and suppressed findings carrying an
+// inSource suppression with the directive's justification.
+func TestSARIFOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.sarif")
+	var out, errw strings.Builder
+	code := run([]string{"-sarif", path, fixtures + "ctxbg"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (fixture has live findings)\n%s%s", code, out.String(), errw.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "gnnlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) == 0 {
+		t.Error("no rules in driver")
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("no results for a fixture with findings")
+	}
+	var sawLive, sawSuppressed bool
+	for _, r := range run.Results {
+		if r.RuleID == "" || r.Message.Text == "" {
+			t.Errorf("result missing ruleId/message: %+v", r)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result has %d locations", len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if strings.HasPrefix(loc.ArtifactLocation.URI, "/") {
+			t.Errorf("artifact URI %q is absolute, want relative", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine <= 0 {
+			t.Errorf("result has no startLine: %+v", r)
+		}
+		if len(r.Suppressions) > 0 {
+			sawSuppressed = true
+			if r.Suppressions[0].Kind != "inSource" || r.Suppressions[0].Justification == "" {
+				t.Errorf("bad suppression: %+v", r.Suppressions[0])
+			}
+		} else {
+			sawLive = true
+		}
+	}
+	if !sawLive || !sawSuppressed {
+		t.Errorf("want both live and suppressed results, got live=%v suppressed=%v", sawLive, sawSuppressed)
+	}
+}
+
+// TestSuppressionBudget checks -max-suppressions turns audited ignores
+// into a hard failure once the tree's count exceeds the cap, and stays
+// quiet when within it.
+func TestSuppressionBudget(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-max-suppressions", "0", fixtures + "refpairipa"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "suppression budget exceeded") {
+		t.Errorf("missing budget failure message:\n%s", out.String())
+	}
+}
+
+// TestBudgetFile checks -budget reads the committed lint-budget.json
+// shape and enforces its cap.
+func TestBudgetFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	tight := write("tight.json", `{"max_suppressions": 0}`)
+	loose := write("loose.json", `{"max_suppressions": 100}`)
+
+	var out, errw strings.Builder
+	if code := run([]string{"-budget", tight, fixtures + "refpairipa"}, &out, &errw); code != 1 {
+		t.Fatalf("tight budget: exit %d, want 1\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "suppression budget exceeded") {
+		t.Errorf("tight budget: missing failure message:\n%s", out.String())
+	}
+
+	out.Reset()
+	errw.Reset()
+	// refpairipa has live findings, so the run still exits 1 — but the
+	// budget itself must not trip.
+	if code := run([]string{"-budget", loose, fixtures + "refpairipa"}, &out, &errw); code != 1 {
+		t.Fatalf("loose budget: exit %d, want 1\n%s%s", code, out.String(), errw.String())
+	}
+	if strings.Contains(out.String(), "suppression budget exceeded") {
+		t.Errorf("loose budget tripped:\n%s", out.String())
+	}
+
+	out.Reset()
+	errw.Reset()
+	bad := write("bad.json", `{`)
+	if code := run([]string{"-budget", bad, fixtures + "refpairipa"}, &out, &errw); code != 2 {
+		t.Fatalf("malformed budget: exit %d, want 2\n%s%s", code, out.String(), errw.String())
+	}
+}
+
+// TestRepoWithinCommittedBudget pins the committed lint-budget.json to
+// the tree's actual suppression count: adding a gnnlint:ignore without
+// raising the budget breaks this test (and CI) in the same commit.
+func TestRepoWithinCommittedBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint run")
+	}
+	var out, errw strings.Builder
+	code := run([]string{"-budget", "../../lint-budget.json", "../../..."}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("tree not clean within committed budget (exit %d):\n%s%s", code, out.String(), errw.String())
 	}
 }
