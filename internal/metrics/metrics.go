@@ -30,6 +30,14 @@ type Recorder struct {
 	// stalls counts watchdog-detected pipeline stalls (a stage made no
 	// progress for the configured deadline and the run was cancelled).
 	stalls atomic.Int64
+	// Read-efficiency counters, accumulated per epoch from the
+	// breakdown: device bytes pulled, payload bytes batches actually
+	// required, and backend read ops issued. BytesRead/BytesNeeded is
+	// the job's cumulative read amplification; a crash-resumed epoch
+	// re-reads the device, and the counters honestly include that.
+	bytesRead    atomic.Int64
+	bytesNeeded  atomic.Int64
+	backendReads atomic.Int64
 	// gpuBusy is a provider because device busy time lives in the device
 	// model; nil means "no GPU". Atomic: the engine installs it while a
 	// previously started sampler may already be reading.
@@ -100,6 +108,27 @@ func (r *Recorder) AddStalls(n int64) { r.stalls.Add(n) }
 
 // Stalls returns cumulative detected pipeline stalls.
 func (r *Recorder) Stalls() int64 { return r.stalls.Load() }
+
+// AddReads accounts one epoch's read-efficiency counters: device bytes
+// read, payload bytes needed, and backend read ops issued.
+func (r *Recorder) AddReads(bytesRead, bytesNeeded, backendReads int64) {
+	r.bytesRead.Add(bytesRead)
+	r.bytesNeeded.Add(bytesNeeded)
+	r.backendReads.Add(backendReads)
+}
+
+// BackendReads returns cumulative backend read ops.
+func (r *Recorder) BackendReads() int64 { return r.backendReads.Load() }
+
+// ReadAmplification returns cumulative BytesRead/BytesNeeded (zero when
+// nothing was needed yet).
+func (r *Recorder) ReadAmplification() float64 {
+	needed := r.bytesNeeded.Load()
+	if needed == 0 {
+		return 0
+	}
+	return float64(r.bytesRead.Load()) / float64(needed)
+}
 
 // AddIntegrity merges an integrity-counter interval into the run totals.
 func (r *Recorder) AddIntegrity(d storage.IntegrityStats) {

@@ -10,13 +10,21 @@ import (
 // for JSON export (the serve daemon's /metrics endpoint reports one per
 // job plus a daemon-wide aggregate).
 type Snapshot struct {
-	CPUBusyNs   int64                  `json:"cpu_busy_ns"`
-	IOWaitNs    int64                  `json:"io_wait_ns"`
-	Retries     int64                  `json:"retries"`
-	Fallbacks   int64                  `json:"fallbacks"`
-	Escalations int64                  `json:"escalations"`
-	Stalls      int64                  `json:"stalls"`
-	Integrity   storage.IntegrityStats `json:"integrity"`
+	CPUBusyNs   int64 `json:"cpu_busy_ns"`
+	IOWaitNs    int64 `json:"io_wait_ns"`
+	Retries     int64 `json:"retries"`
+	Fallbacks   int64 `json:"fallbacks"`
+	Escalations int64 `json:"escalations"`
+	Stalls      int64 `json:"stalls"`
+	// Read-efficiency counters, cumulative across the job's epochs:
+	// backend read ops issued, device bytes pulled versus payload bytes
+	// needed, and their ratio (the job's read amplification; zero until
+	// the first epoch that needed storage).
+	BytesRead         int64                  `json:"bytes_read"`
+	BytesNeeded       int64                  `json:"bytes_needed"`
+	BackendReads      int64                  `json:"backend_reads"`
+	ReadAmplification float64                `json:"read_amplification"`
+	Integrity         storage.IntegrityStats `json:"integrity"`
 }
 
 // Snapshot copies the recorder's counters. Concurrent adders keep
@@ -24,13 +32,17 @@ type Snapshot struct {
 // across counters (standard monitoring semantics).
 func (r *Recorder) Snapshot() Snapshot {
 	return Snapshot{
-		CPUBusyNs:   r.cpuBusy.Load(),
-		IOWaitNs:    r.ioWait.Load(),
-		Retries:     r.retries.Load(),
-		Fallbacks:   r.fallbacks.Load(),
-		Escalations: r.escalations.Load(),
-		Stalls:      r.stalls.Load(),
-		Integrity:   r.Integrity(),
+		CPUBusyNs:         r.cpuBusy.Load(),
+		IOWaitNs:          r.ioWait.Load(),
+		Retries:           r.retries.Load(),
+		Fallbacks:         r.fallbacks.Load(),
+		Escalations:       r.escalations.Load(),
+		Stalls:            r.stalls.Load(),
+		BytesRead:         r.bytesRead.Load(),
+		BytesNeeded:       r.bytesNeeded.Load(),
+		BackendReads:      r.BackendReads(),
+		ReadAmplification: r.ReadAmplification(),
+		Integrity:         r.Integrity(),
 	}
 }
 

@@ -499,3 +499,57 @@ func TestHTTPLifecycle(t *testing.T) {
 		t.Fatalf("metrics io_queue_wait_ms missing job %s: %v", rec.ID, rep.IOQueue)
 	}
 }
+
+// TestMetricsReadCounters runs one job to completion and checks the
+// /metrics snapshot surfaces its cumulative read-efficiency counters:
+// backend read ops and read amplification alongside io_queue_wait_ms.
+func TestMetricsReadCounters(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	d, err := NewDaemon(testDaemonConfig(t, ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	id, err := d.Submit(testSpec(7, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := d.WaitJob(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateCompleted {
+		t.Fatalf("job ended %s (error %q), want completed", rec.State, rec.Error)
+	}
+
+	w := httptest.NewRecorder()
+	d.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	var rep metricsReport
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := rep.Jobs[id]
+	if !ok {
+		t.Fatalf("metrics missing job %s", id)
+	}
+	if snap.BackendReads <= 0 {
+		t.Errorf("backend_reads = %d, want > 0 after a completed epoch", snap.BackendReads)
+	}
+	if snap.BytesNeeded <= 0 || snap.BytesRead <= 0 {
+		t.Errorf("bytes_read/bytes_needed = %d/%d, want both > 0", snap.BytesRead, snap.BytesNeeded)
+	}
+	if snap.ReadAmplification <= 0 {
+		t.Errorf("read_amplification = %v, want > 0", snap.ReadAmplification)
+	}
+	// Raw JSON must carry the documented field names (the API contract
+	// dashboards scrape).
+	for _, field := range []string{"backend_reads", "read_amplification", "io_queue_wait_ms"} {
+		if !strings.Contains(w.Body.String(), field) {
+			t.Errorf("metrics JSON missing %q:\n%s", field, w.Body.String())
+		}
+	}
+}
